@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"udt/internal/experiments"
+)
+
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 256<<10)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), runErr
+}
+
+func TestRunExampleReproducesPaper(t *testing.T) {
+	out, runErr := captureStdout(t, runExample)
+
+	if runErr != nil {
+		t.Fatalf("runExample: %v", runErr)
+	}
+	// The paper's headline numbers for the worked example: AVG classifies
+	// 4/6 correctly, the distribution-based tree all 6.
+	if !strings.Contains(out, "Averaging tree (accuracy 67%)") {
+		t.Fatalf("AVG accuracy missing from:\n%s", out)
+	}
+	if !strings.Contains(out, "Distribution-based tree (accuracy 100%)") {
+		t.Fatalf("UDT accuracy missing from:\n%s", out)
+	}
+	for i := 1; i <= 6; i++ {
+		if !strings.Contains(out, "tuple "+string(rune('0'+i))) {
+			t.Fatalf("per-tuple distribution %d missing", i)
+		}
+	}
+}
+
+func TestRunTraceNineRows(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return runTrace(experiments.Options{})
+	})
+	if err != nil {
+		t.Fatalf("runTrace: %v", err)
+	}
+	for row := 1; row <= 9; row++ {
+		if !strings.Contains(out, "row "+string(rune('0'+row))) {
+			t.Fatalf("Fig 5 row %d missing from trace:\n%s", row, out)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"udt/internal/data"
+)
+
+func TestGenerateIrisCSV(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "iris.csv")
+	if err := run("Iris", 0.2, 0.1, 10, "gaussian", 1, out, 0); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := data.ReadCSV(f, "iris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 30 {
+		t.Fatalf("generated %d tuples, want 30", ds.Len())
+	}
+	if ds.Tuples[0].Num[0].NumSamples() != 10 {
+		t.Fatalf("pdf has %d samples, want 10", ds.Tuples[0].Num[0].NumSamples())
+	}
+}
+
+func TestGenerateWithTestSplit(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "sat.csv")
+	if err := run("Satellite", 0.01, 0.1, 5, "uniform", 2, out, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out + ".test.csv"); err != nil {
+		t.Fatalf("test split not written: %v", err)
+	}
+}
+
+func TestGenerateRawDataset(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "jv.csv")
+	if err := run("JapaneseVowel", 0.05, 0, 0, "gaussian", 3, out, 0); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), "@") {
+		t.Fatal("raw dataset should serialise pdf cells")
+	}
+}
+
+func TestGeneratePerturbed(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.csv")
+	b := filepath.Join(dir, "b.csv")
+	if err := run("Glass", 0.2, 0, 1, "gaussian", 1, a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("Glass", 0.2, 0, 1, "gaussian", 1, b, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	blobA, _ := os.ReadFile(a)
+	blobB, _ := os.ReadFile(b)
+	if string(blobA) == string(blobB) {
+		t.Fatal("perturbation changed nothing")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if err := run("nope", 0.5, 0.1, 10, "gaussian", 1, "", 0); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run("Iris", 0.5, 0.1, 10, "bogus", 1, "", 0); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run("Iris", -1, 0.1, 10, "gaussian", 1, "", 0); err == nil {
+		t.Error("bad scale accepted")
+	}
+}

@@ -1,0 +1,331 @@
+// Command udtree trains, inspects and applies uncertain decision trees on
+// CSV data (see internal/data for the cell syntax: plain floats for point
+// values, "x@mass;x@mass;..." for sampled pdfs).
+//
+// Usage:
+//
+//	udtree train   -in train.csv -out model.json [-avg] [-measure entropy] [-strategy es]
+//	udtree predict -model model.json -in test.csv
+//	udtree rules   -model model.json
+//	udtree eval    -model model.json -in test.csv
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"udt"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = train(os.Args[2:])
+	case "predict":
+		err = predict(os.Args[2:])
+	case "rules":
+		err = rules(os.Args[2:])
+	case "eval":
+		err = evalCmd(os.Args[2:])
+	case "cv":
+		err = cvCmd(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "udtree:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  udtree train   -in train.csv -out model.json [-avg] [-measure entropy|gini|gainratio] [-strategy udt|bp|lp|gp|es] [-maxdepth N] [-minweight W] [-postprune]
+  udtree predict -model model.json -in test.csv
+  udtree rules   -model model.json
+  udtree eval    -model model.json -in test.csv
+  udtree cv      -in data.csv [-folds 10] [-avg] [-measure ...] [-strategy ...] [-seed N]`)
+}
+
+func parseMeasure(s string) (udt.Measure, error) {
+	switch s {
+	case "entropy", "":
+		return udt.Entropy, nil
+	case "gini":
+		return udt.Gini, nil
+	case "gainratio":
+		return udt.GainRatio, nil
+	}
+	return 0, fmt.Errorf("unknown measure %q", s)
+}
+
+func parseStrategy(s string) (udt.Strategy, error) {
+	switch s {
+	case "udt", "":
+		return udt.StrategyUDT, nil
+	case "bp":
+		return udt.StrategyBP, nil
+	case "lp":
+		return udt.StrategyLP, nil
+	case "gp":
+		return udt.StrategyGP, nil
+	case "es":
+		return udt.StrategyES, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q", s)
+}
+
+func loadCSV(path string) (*udt.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return udt.ReadCSV(f, path)
+}
+
+func loadModel(path string) (*udt.Tree, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tree udt.Tree
+	if err := json.Unmarshal(blob, &tree); err != nil {
+		return nil, err
+	}
+	return &tree, nil
+}
+
+func train(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	in := fs.String("in", "", "training CSV")
+	out := fs.String("out", "model.json", "output model file")
+	avg := fs.Bool("avg", false, "use the Averaging baseline (collapse pdfs to means)")
+	measure := fs.String("measure", "entropy", "dispersion measure")
+	strategy := fs.String("strategy", "es", "split search strategy")
+	maxDepth := fs.Int("maxdepth", 0, "maximum tree depth (0 = unlimited)")
+	minWeight := fs.Float64("minweight", 4, "minimum node weight to split")
+	postPrune := fs.Bool("postprune", true, "pessimistic post-pruning")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("train: -in is required")
+	}
+	ds, err := loadCSV(*in)
+	if err != nil {
+		return err
+	}
+	m, err := parseMeasure(*measure)
+	if err != nil {
+		return err
+	}
+	st, err := parseStrategy(*strategy)
+	if err != nil {
+		return err
+	}
+	cfg := udt.Config{
+		Measure:   m,
+		Strategy:  st,
+		MaxDepth:  *maxDepth,
+		MinWeight: *minWeight,
+		PostPrune: *postPrune,
+	}
+	var tree *udt.Tree
+	if *avg {
+		tree, err = udt.BuildAveraging(ds, cfg)
+	} else {
+		tree, err = udt.Build(ds, cfg)
+	}
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(tree, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("trained on %d tuples: %d nodes, %d leaves, depth %d, %d entropy calcs -> %s\n",
+		ds.Len(), tree.Stats.Nodes, tree.Stats.Leaves, tree.Stats.Depth,
+		tree.Stats.Search.EntropyCalcs(), *out)
+	return nil
+}
+
+func predict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	model := fs.String("model", "model.json", "model file")
+	in := fs.String("in", "", "input CSV (class column may hold placeholders)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("predict: -in is required")
+	}
+	tree, err := loadModel(*model)
+	if err != nil {
+		return err
+	}
+	ds, err := loadCSV(*in)
+	if err != nil {
+		return err
+	}
+	for i, tu := range ds.Tuples {
+		dist := tree.Classify(tu)
+		best := tree.Predict(tu)
+		fmt.Printf("tuple %d: %s", i+1, tree.Classes[best])
+		for c, p := range dist {
+			fmt.Printf("  P(%s)=%.4f", tree.Classes[c], p)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func rules(args []string) error {
+	fs := flag.NewFlagSet("rules", flag.ExitOnError)
+	model := fs.String("model", "model.json", "model file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tree, err := loadModel(*model)
+	if err != nil {
+		return err
+	}
+	for _, r := range tree.Rules() {
+		fmt.Println(r)
+	}
+	return nil
+}
+
+func evalCmd(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	model := fs.String("model", "model.json", "model file")
+	in := fs.String("in", "", "labelled test CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("eval: -in is required")
+	}
+	tree, err := loadModel(*model)
+	if err != nil {
+		return err
+	}
+	ds, err := loadCSV(*in)
+	if err != nil {
+		return err
+	}
+	// Align the test set's class indices with the model's label order.
+	if err := alignClasses(tree, ds); err != nil {
+		return err
+	}
+	fmt.Printf("accuracy: %.2f%% on %d tuples\n", udt.Accuracy(tree, ds)*100, ds.Len())
+	m := udt.Confusion(tree, ds)
+	fmt.Printf("%-12s", "true\\pred")
+	for _, c := range tree.Classes {
+		fmt.Printf("%10s", c)
+	}
+	fmt.Println()
+	for i, row := range m {
+		fmt.Printf("%-12s", tree.Classes[i])
+		for _, v := range row {
+			fmt.Printf("%10.1f", v)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cvCmd(args []string) error {
+	fs := flag.NewFlagSet("cv", flag.ExitOnError)
+	in := fs.String("in", "", "labelled CSV")
+	folds := fs.Int("folds", 10, "number of folds")
+	avg := fs.Bool("avg", false, "evaluate the Averaging baseline as well")
+	measure := fs.String("measure", "entropy", "dispersion measure")
+	strategy := fs.String("strategy", "es", "split search strategy")
+	maxDepth := fs.Int("maxdepth", 0, "maximum tree depth (0 = unlimited)")
+	seed := fs.Int64("seed", 1, "fold shuffling seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("cv: -in is required")
+	}
+	ds, err := loadCSV(*in)
+	if err != nil {
+		return err
+	}
+	m, err := parseMeasure(*measure)
+	if err != nil {
+		return err
+	}
+	st, err := parseStrategy(*strategy)
+	if err != nil {
+		return err
+	}
+	cfg := udt.Config{Measure: m, Strategy: st, MaxDepth: *maxDepth, PostPrune: true}
+	res, err := udt.CrossValidate(ds, *folds, cfg, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("UDT %d-fold CV accuracy: %.2f%% (%d entropy calcs, %v build)\n",
+		*folds, res.Accuracy*100, res.Search.EntropyCalcs(), res.BuildTime.Round(time.Millisecond))
+	if *avg {
+		avgDS := ds.Means()
+		resAvg, err := udt.CrossValidate(avgDS, *folds, cfg, rand.New(rand.NewSource(*seed)))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("AVG %d-fold CV accuracy: %.2f%%\n", *folds, resAvg.Accuracy*100)
+	}
+	// Per-class metrics from a single train/test split for detail.
+	tree, err := udt.Build(ds, cfg)
+	if err != nil {
+		return err
+	}
+	metrics, err := udt.PerClass(ds.Classes, udt.Confusion(tree, ds))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nper-class (training set):\n%-12s %9s %9s %9s %9s\n", "class", "precision", "recall", "F1", "support")
+	for _, mm := range metrics {
+		fmt.Printf("%-12s %9.3f %9.3f %9.3f %9.1f\n", mm.Class, mm.Precision, mm.Recall, mm.F1, mm.Support)
+	}
+	fmt.Printf("macro F1: %.3f  Brier: %.4f  log-loss: %.4f\n",
+		udt.MacroF1(metrics), udt.Brier(tree, ds), udt.LogLoss(tree, ds))
+	return nil
+}
+
+// alignClasses remaps the dataset's class indices onto the model's class
+// order, failing on labels the model has never seen.
+func alignClasses(tree *udt.Tree, ds *udt.Dataset) error {
+	idx := map[string]int{}
+	for i, c := range tree.Classes {
+		idx[c] = i
+	}
+	remap := make([]int, len(ds.Classes))
+	for i, c := range ds.Classes {
+		j, ok := idx[c]
+		if !ok {
+			return fmt.Errorf("test class %q unknown to the model", c)
+		}
+		remap[i] = j
+	}
+	for _, tu := range ds.Tuples {
+		tu.Class = remap[tu.Class]
+	}
+	ds.Classes = tree.Classes
+	return nil
+}

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const trainCSV = `x,y,class
+0.1,1;2;3,lo
+0.2,2;3;4,lo
+0.3,1;3;5,lo
+0.4,2;2;3,lo
+9.1,11;12;13,hi
+9.2,12;13;14,hi
+9.3,11;13;15,hi
+9.4,12;12;13,hi
+`
+
+const testCSV = `x,y,class
+0.15,1;2;4,lo
+9.15,11;12;14,hi
+`
+
+// capture redirects stdout around fn and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 64<<10)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), runErr
+}
+
+func writeFixtures(t *testing.T) (trainPath, testPath, modelPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	trainPath = filepath.Join(dir, "train.csv")
+	testPath = filepath.Join(dir, "test.csv")
+	modelPath = filepath.Join(dir, "model.json")
+	if err := os.WriteFile(trainPath, []byte(trainCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(testPath, []byte(testCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return trainPath, testPath, modelPath
+}
+
+func TestTrainPredictEvalRoundTrip(t *testing.T) {
+	trainPath, testPath, modelPath := writeFixtures(t)
+
+	out, err := capture(t, func() error {
+		return train([]string{"-in", trainPath, "-out", modelPath, "-minweight", "1", "-strategy", "gp"})
+	})
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if !strings.Contains(out, "trained on 8 tuples") {
+		t.Fatalf("train output: %q", out)
+	}
+	if _, err := os.Stat(modelPath); err != nil {
+		t.Fatalf("model not written: %v", err)
+	}
+
+	out, err = capture(t, func() error {
+		return predict([]string{"-model", modelPath, "-in", testPath})
+	})
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	if !strings.Contains(out, "tuple 1: lo") || !strings.Contains(out, "tuple 2: hi") {
+		t.Fatalf("predict output: %q", out)
+	}
+
+	out, err = capture(t, func() error {
+		return rules([]string{"-model", modelPath})
+	})
+	if err != nil {
+		t.Fatalf("rules: %v", err)
+	}
+	if !strings.Contains(out, "IF ") || !strings.Contains(out, "THEN") {
+		t.Fatalf("rules output: %q", out)
+	}
+
+	out, err = capture(t, func() error {
+		return evalCmd([]string{"-model", modelPath, "-in", testPath})
+	})
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if !strings.Contains(out, "accuracy: 100.00%") {
+		t.Fatalf("eval output: %q", out)
+	}
+}
+
+func TestTrainAveragingFlag(t *testing.T) {
+	trainPath, _, modelPath := writeFixtures(t)
+	if _, err := capture(t, func() error {
+		return train([]string{"-in", trainPath, "-out", modelPath, "-avg", "-minweight", "1"})
+	}); err != nil {
+		t.Fatalf("train -avg: %v", err)
+	}
+}
+
+func TestTrainMeasures(t *testing.T) {
+	trainPath, _, modelPath := writeFixtures(t)
+	for _, m := range []string{"entropy", "gini", "gainratio"} {
+		if _, err := capture(t, func() error {
+			return train([]string{"-in", trainPath, "-out", modelPath, "-measure", m, "-minweight", "1"})
+		}); err != nil {
+			t.Fatalf("measure %s: %v", m, err)
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if err := train([]string{}); err == nil {
+		t.Error("missing -in not caught")
+	}
+	if err := train([]string{"-in", "/nonexistent.csv"}); err == nil {
+		t.Error("missing file not caught")
+	}
+	trainPath, _, modelPath := writeFixtures(t)
+	if err := train([]string{"-in", trainPath, "-out", modelPath, "-measure", "bogus"}); err == nil {
+		t.Error("bad measure not caught")
+	}
+	if err := train([]string{"-in", trainPath, "-out", modelPath, "-strategy", "bogus"}); err == nil {
+		t.Error("bad strategy not caught")
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	if err := predict([]string{}); err == nil {
+		t.Error("missing -in not caught")
+	}
+	if err := predict([]string{"-in", "x.csv", "-model", "/nonexistent.json"}); err == nil {
+		t.Error("missing model not caught")
+	}
+}
+
+func TestEvalUnknownClass(t *testing.T) {
+	trainPath, _, modelPath := writeFixtures(t)
+	if _, err := capture(t, func() error {
+		return train([]string{"-in", trainPath, "-out", modelPath, "-minweight", "1"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	badPath := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(badPath, []byte("x,y,class\n1,2,mystery\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := evalCmd([]string{"-model", modelPath, "-in", badPath}); err == nil {
+		t.Error("unknown test class not caught")
+	}
+}
+
+func TestCVSubcommand(t *testing.T) {
+	trainPath, _, _ := writeFixtures(t)
+	out, err := capture(t, func() error {
+		return cvCmd([]string{"-in", trainPath, "-folds", "2", "-avg"})
+	})
+	if err != nil {
+		t.Fatalf("cv: %v", err)
+	}
+	for _, want := range []string{"UDT 2-fold CV accuracy", "AVG 2-fold CV accuracy", "macro F1", "precision"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("cv output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCVErrors(t *testing.T) {
+	if err := cvCmd([]string{}); err == nil {
+		t.Error("missing -in not caught")
+	}
+	trainPath, _, _ := writeFixtures(t)
+	if err := cvCmd([]string{"-in", trainPath, "-measure", "bogus"}); err == nil {
+		t.Error("bad measure not caught")
+	}
+	if err := cvCmd([]string{"-in", trainPath, "-strategy", "bogus"}); err == nil {
+		t.Error("bad strategy not caught")
+	}
+	if err := cvCmd([]string{"-in", trainPath, "-folds", "99"}); err == nil {
+		t.Error("too many folds not caught")
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	if m, err := parseMeasure(""); err != nil || m != 0 {
+		t.Error("empty measure should default to entropy")
+	}
+	if s, err := parseStrategy(""); err != nil || s != 0 {
+		t.Error("empty strategy should default to udt")
+	}
+	if _, err := parseMeasure("nope"); err == nil {
+		t.Error("bad measure accepted")
+	}
+	if _, err := parseStrategy("nope"); err == nil {
+		t.Error("bad strategy accepted")
+	}
+}

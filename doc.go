@@ -1,0 +1,42 @@
+// Package udt is a Go implementation of "Decision Trees for Uncertain
+// Data" (Tsang, Kao, Yip, Ho, Lee — ICDE 2009; extended in IEEE TKDE 23(1),
+// 2011): decision tree classifiers whose training and test tuples carry
+// numerical attributes represented by probability density functions (pdfs)
+// rather than point values.
+//
+// The package offers two construction approaches:
+//
+//   - Averaging (AVG): each pdf is collapsed to its expected value and a
+//     conventional C4.5-style tree is built — the baseline of §4.1.
+//   - Distribution-based (UDT): the full pdfs participate in split
+//     selection, with tuples fractionally partitioned when a split point
+//     falls inside their pdf domain — the contribution of §4.2.
+//
+// Because UDT must consider every pdf sample point as a candidate split, it
+// is s times more expensive than AVG. The pruning strategies of §5 recover
+// most of that cost without changing the resulting tree:
+//
+//   - StrategyBP skips the interiors of empty and homogeneous end-point
+//     intervals (Theorems 1-2),
+//   - StrategyLP lower-bounds heterogeneous intervals per attribute (Eq. 3),
+//   - StrategyGP prunes with a global threshold across attributes,
+//   - StrategyES additionally samples end points (§5.3), typically pruning
+//     97%+ of entropy calculations.
+//
+// Classification of an uncertain test tuple descends the tree splitting the
+// tuple's probability mass at every internal node and returns a probability
+// distribution over class labels (§3.2).
+//
+// # Quick start
+//
+//	ds := udt.NewDataset("fever", 1, []string{"healthy", "fever"})
+//	p, _ := udt.GaussianPDF(37.6, 0.2, 37.0, 38.2, 100) // noisy thermometer
+//	ds.Add(1, p)
+//	// ... add more tuples ...
+//	tree, err := udt.Build(ds, udt.Config{Strategy: udt.StrategyES, PostPrune: true})
+//	dist := tree.Classify(testTuple) // probability per class
+//
+// See the examples directory for runnable programs, DESIGN.md for the
+// architecture and the paper-to-module map, and EXPERIMENTS.md for the
+// reproduction of every table and figure in the paper's evaluation.
+package udt

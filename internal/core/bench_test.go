@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"udt/internal/data"
+	"udt/internal/split"
+)
+
+func benchDataset(b *testing.B, m, k, classes, s int) *data.Dataset {
+	b.Helper()
+	return buildRandomDataset(rand.New(rand.NewSource(1)), m, k, classes, s)
+}
+
+func BenchmarkBuildUDT(b *testing.B) {
+	ds := benchDataset(b, 200, 3, 3, 25)
+	for _, strat := range []split.Strategy{split.UDT, split.BP, split.LP, split.GP, split.ES} {
+		b.Run(strat.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(ds, Config{Strategy: strat}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBuildAveraging(b *testing.B) {
+	ds := benchDataset(b, 200, 3, 3, 25)
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildAveraging(ds, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildParallel compares serial and concurrent subtree builds.
+// Speedup requires multiple CPUs (subtrees below the root build
+// concurrently); on a single-core machine the parallel path only adds
+// goroutine overhead, so treat the ratio as hardware-dependent. The
+// correctness guarantee (identical trees, exact work accounting) is pinned
+// by TestParallelBuildMatchesSerial.
+func BenchmarkBuildParallel(b *testing.B) {
+	ds := benchDataset(b, 400, 4, 4, 20)
+	for _, par := range []int{1, 4} {
+		name := "serial"
+		if par > 1 {
+			name = "parallel4"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(ds, Config{Strategy: split.ES, Parallelism: par, MinWeight: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	ds := benchDataset(b, 200, 3, 3, 25)
+	tree, err := Build(ds, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Classify(ds.Tuples[i%ds.Len()])
+	}
+}
+
+func BenchmarkPostPrune(b *testing.B) {
+	ds := benchDataset(b, 300, 2, 3, 10)
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(ds, Config{MinWeight: 0.5, PostPrune: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"udt/internal/data"
+)
+
+// Classify returns the probability distribution P over class labels for an
+// uncertain test tuple, computed by the recursive weight-splitting descent
+// of §3.2: at each numeric node the tuple splits into fractional tuples
+// according to the pdf mass on each side of the split point; at leaves the
+// arriving weight multiplies the leaf's class distribution; contributions
+// sum to P.
+func (t *Tree) Classify(tu *data.Tuple) []float64 {
+	out := make([]float64, len(t.Classes))
+	t.classify(t.Root, tu, 1, out)
+	return out
+}
+
+// Predict returns the single most probable class label index for the tuple
+// (argmax over Classify, the paper's "single result" rule).
+func (t *Tree) Predict(tu *data.Tuple) int {
+	dist := t.Classify(tu)
+	best, bestP := 0, dist[0]
+	for c, p := range dist {
+		if p > bestP {
+			best, bestP = c, p
+		}
+	}
+	return best
+}
+
+func (t *Tree) classify(n *Node, tu *data.Tuple, w float64, out []float64) {
+	if w <= weightEps || n == nil {
+		return
+	}
+	if n.IsLeaf() {
+		for c, p := range n.Dist {
+			out[c] += w * p
+		}
+		return
+	}
+	if n.Cat {
+		d := tu.Cat[n.Attr]
+		if d == nil {
+			// Missing: route by training branch weights.
+			t.classifyByTrainingWeights(n, tu, w, out)
+			return
+		}
+		for v, p := range d {
+			if p <= 0 {
+				continue
+			}
+			kid := n.Kids[v]
+			ty := tu.CloneShallow()
+			ty.Cat[n.Attr] = data.NewCatPoint(v, len(d))
+			t.classify(kid, ty, w*p, out)
+		}
+		return
+	}
+	p := tu.Num[n.Attr]
+	if p == nil {
+		t.classifyByTrainingWeights(n, tu, w, out)
+		return
+	}
+	pl, pr, pL := p.SplitAt(n.Split)
+	if pL > 0 {
+		tl := tu.CloneShallow()
+		tl.Num[n.Attr] = pl
+		t.classify(n.Left, tl, w*pL, out)
+	}
+	if pL < 1 {
+		tr := tu.CloneShallow()
+		tr.Num[n.Attr] = pr
+		t.classify(n.Right, tr, w*(1-pL), out)
+	}
+}
+
+// classifyByTrainingWeights distributes a tuple with a missing test
+// attribute across the node's children in proportion to the training weight
+// each child received, mirroring the C4.5 treatment of missing values.
+func (t *Tree) classifyByTrainingWeights(n *Node, tu *data.Tuple, w float64, out []float64) {
+	children := n.children()
+	total := 0.0
+	for _, ch := range children {
+		if ch != nil {
+			total += ch.W
+		}
+	}
+	if total <= 0 {
+		// No information at all: fall back to the node's own distribution.
+		for c, cw := range n.ClassW {
+			if n.W > 0 {
+				out[c] += w * cw / n.W
+			}
+		}
+		return
+	}
+	for _, ch := range children {
+		if ch != nil {
+			t.classify(ch, tu, w*ch.W/total, out)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"udt/internal/data"
+	"udt/internal/pdf"
+	"udt/internal/split"
+)
+
+// catDataset builds a dataset with a categorical attribute plus a weak
+// numeric attribute.
+func catDataset(n int, rng *rand.Rand) *data.Dataset {
+	ds := data.NewDataset("cat", 1, []string{"A", "B"})
+	ds.CatAttrs = []data.Attribute{{Name: "kind", Kind: data.Categorical, Domain: []string{"x", "y", "z"}}}
+	for i := 0; i < n; i++ {
+		class := i % 2
+		v := class // categorical value correlates with class
+		if rng.Float64() < 0.1 {
+			v = 1 - v
+		}
+		ds.Tuples = append(ds.Tuples, &data.Tuple{
+			Num:    []*pdf.PDF{pdf.Point(rng.Float64())},
+			Cat:    []data.CatDist{data.NewCatPoint(v, 3)},
+			Class:  class,
+			Weight: 1,
+		})
+	}
+	return ds
+}
+
+// TestGiniCategoricalTree exercises the Gini parent-gain path for
+// categorical splits (catGain with Measure == Gini).
+func TestGiniCategoricalTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	ds := catDataset(60, rng)
+	tree, err := Build(ds, Config{Measure: split.Gini, MinWeight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Root.Cat {
+		t.Fatalf("root should split on the categorical attribute:\n%s", tree.Dump())
+	}
+	correct := 0
+	for _, tu := range ds.Tuples {
+		if tree.Predict(tu) == tu.Class {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(ds.Len()); acc < 0.85 {
+		t.Fatalf("gini categorical accuracy = %v", acc)
+	}
+}
+
+// TestGainRatioCategoricalTree exercises the gain-ratio categorical path.
+func TestGainRatioCategoricalTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	ds := catDataset(60, rng)
+	tree, err := Build(ds, Config{Measure: split.GainRatio, MinWeight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Stats.Nodes == 0 {
+		t.Fatal("no tree")
+	}
+}
+
+// TestRulesAndDumpCategorical covers the categorical branches of rule
+// extraction and dumping.
+func TestRulesAndDumpCategorical(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	ds := catDataset(40, rng)
+	tree, err := Build(ds, Config{MinWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := tree.Rules()
+	foundCat := false
+	for _, r := range rules {
+		for _, c := range r.Conditions {
+			if strings.Contains(c, "kind = ") {
+				foundCat = true
+			}
+		}
+	}
+	if !foundCat {
+		t.Fatalf("no categorical condition in rules: %v", rules)
+	}
+	d := tree.Dump()
+	if !strings.Contains(d, "split on kind") {
+		t.Fatalf("dump missing categorical node:\n%s", d)
+	}
+}
+
+// TestJSONCategoricalRoundTrip covers the Kids path of tree
+// (de)serialisation.
+func TestJSONCategoricalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	ds := catDataset(40, rng)
+	tree, err := Build(ds, Config{MinWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tree
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Stats.Nodes != tree.Stats.Nodes {
+		t.Fatal("categorical round trip changed the tree")
+	}
+	for _, tu := range ds.Tuples {
+		if tree.Predict(tu) != back.Predict(tu) {
+			t.Fatal("categorical round trip changed predictions")
+		}
+	}
+	// A categorical node with no children must be rejected.
+	if err := json.Unmarshal([]byte(`{"classes":["A"],"root":{"cat":true,"w":1}}`), &back); err == nil {
+		t.Fatal("childless categorical node accepted")
+	}
+}
+
+// TestClassifyMissingCategorical covers missing-categorical routing by
+// training weights.
+func TestClassifyMissingCategorical(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	ds := catDataset(40, rng)
+	tree, err := Build(ds, Config{MinWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := &data.Tuple{
+		Num:    []*pdf.PDF{pdf.Point(0.5)},
+		Cat:    []data.CatDist{nil},
+		Weight: 1,
+	}
+	dist := tree.Classify(tu)
+	sum := dist[0] + dist[1]
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("missing-categorical distribution sums to %v", sum)
+	}
+}
+
+// TestReducedErrorWithMissingValidation covers the accumulate-by-training-
+// weights path of reduced-error pruning.
+func TestReducedErrorWithMissingValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	train := noisyDataset(120, 0.2, rng)
+	tree, err := Build(train, Config{MinWeight: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := data.NewDataset("v", 1, []string{"A", "B"})
+	for i := 0; i < 30; i++ {
+		tu := &data.Tuple{Num: []*pdf.PDF{nil}, Class: i % 2, Weight: 1}
+		if i%3 != 0 {
+			tu.Num[0] = pdf.Point(float64(i%2) + rng.NormFloat64()*0.3)
+		}
+		valid.Tuples = append(valid.Tuples, tu)
+	}
+	if _, err := tree.PruneReducedError(valid); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"udt/internal/data"
+	"udt/internal/pdf"
+)
+
+// TestFig2bExactNumbers reproduces the paper's §4.2 hand computation
+// digit for digit. The post-pruned distribution-based tree of Fig 2b has a
+// root split at -1 with leaf distributions (A:0.80, B:0.20) on the left
+// and (A:0.212, B:0.788) on the right. Classifying tuple 3 of Table 1
+// (values -1, +1, +10 with masses 5/8, 1/8, 2/8) gives
+//
+//	P(A) = 5/8 × 0.80 + 3/8 × 0.212 = 0.5795
+//	P(B) = 5/8 × 0.20 + 3/8 × 0.788 = 0.4205
+//
+// so tuple 3 is classified "A".
+func TestFig2bExactNumbers(t *testing.T) {
+	tree := &Tree{
+		Classes:  []string{"A", "B"},
+		NumAttrs: []data.Attribute{{Name: "A1", Kind: data.Numeric}},
+		Root: &Node{
+			Attr: 0, Split: -1, W: 6,
+			Left:  &Node{Dist: []float64{0.80, 0.20}, W: 2.5},
+			Right: &Node{Dist: []float64{0.212, 0.788}, W: 3.5},
+		},
+	}
+	tuple3 := &data.Tuple{
+		Num:    []*pdf.PDF{pdf.MustNew([]float64{-1, 1, 10}, []float64{5, 1, 2})},
+		Class:  0,
+		Weight: 1,
+	}
+	dist := tree.Classify(tuple3)
+	if math.Abs(dist[0]-0.5795) > 1e-12 {
+		t.Fatalf("P(A) = %v, paper says 0.5795", dist[0])
+	}
+	if math.Abs(dist[1]-0.4205) > 1e-12 {
+		t.Fatalf("P(B) = %v, paper says 0.4205", dist[1])
+	}
+	if tree.Predict(tuple3) != 0 {
+		t.Fatal("tuple 3 should be classified as class A")
+	}
+}
+
+// TestFig1WeightFlow reproduces the Fig 1 walk-through structure: a test
+// tuple with pL = 0.3 at the root splits into fractional tuples of weight
+// 0.3 and 0.7, and the sub-pdfs are renormalised by 1/w.
+func TestFig1WeightFlow(t *testing.T) {
+	// A pdf on [-2.5, 2] with exactly 0.3 mass at locations <= -1.
+	p := pdf.MustNew(
+		[]float64{-2.5, -1, 0, 2},
+		[]float64{0.15, 0.15, 0.35, 0.35},
+	)
+	left, right, pL := p.SplitAt(-1)
+	if math.Abs(pL-0.3) > 1e-12 {
+		t.Fatalf("pL = %v, want 0.3", pL)
+	}
+	// Left part: renormalised by 1/0.3.
+	if math.Abs(left.Mass(0)-0.5) > 1e-12 {
+		t.Fatalf("left mass not renormalised: %v", left.Mass(0))
+	}
+	// Right part: renormalised by 1/0.7.
+	if math.Abs(right.Mass(0)-0.5) > 1e-12 {
+		t.Fatalf("right mass not renormalised: %v", right.Mass(0))
+	}
+	_ = right
+}

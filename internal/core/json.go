@@ -1,0 +1,139 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"udt/internal/data"
+)
+
+// Trees serialise to a compact JSON document so that models can be stored
+// and served without retaining the training data.
+
+type treeJSON struct {
+	Classes  []string   `json:"classes"`
+	NumAttrs []attrJSON `json:"numAttrs"`
+	CatAttrs []attrJSON `json:"catAttrs,omitempty"`
+	Root     *nodeJSON  `json:"root"`
+}
+
+type attrJSON struct {
+	Name   string   `json:"name"`
+	Domain []string `json:"domain,omitempty"`
+}
+
+type nodeJSON struct {
+	Attr   int         `json:"attr,omitempty"`
+	Split  float64     `json:"split,omitempty"`
+	Cat    bool        `json:"cat,omitempty"`
+	Left   *nodeJSON   `json:"left,omitempty"`
+	Right  *nodeJSON   `json:"right,omitempty"`
+	Kids   []*nodeJSON `json:"kids,omitempty"`
+	Dist   []float64   `json:"dist,omitempty"`
+	W      float64     `json:"w"`
+	ClassW []float64   `json:"classW,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	doc := treeJSON{
+		Classes: t.Classes,
+		Root:    toNodeJSON(t.Root),
+	}
+	for _, a := range t.NumAttrs {
+		doc.NumAttrs = append(doc.NumAttrs, attrJSON{Name: a.Name})
+	}
+	for _, a := range t.CatAttrs {
+		doc.CatAttrs = append(doc.CatAttrs, attrJSON{Name: a.Name, Domain: a.Domain})
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *Tree) UnmarshalJSON(b []byte) error {
+	var doc treeJSON
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return err
+	}
+	if doc.Root == nil {
+		return errors.New("core: tree JSON has no root")
+	}
+	t.Classes = doc.Classes
+	t.NumAttrs = nil
+	for _, a := range doc.NumAttrs {
+		t.NumAttrs = append(t.NumAttrs, data.Attribute{Name: a.Name, Kind: data.Numeric})
+	}
+	t.CatAttrs = nil
+	for _, a := range doc.CatAttrs {
+		t.CatAttrs = append(t.CatAttrs, data.Attribute{Name: a.Name, Kind: data.Categorical, Domain: a.Domain})
+	}
+	root, err := fromNodeJSON(doc.Root, len(doc.Classes))
+	if err != nil {
+		return err
+	}
+	t.Root = root
+	t.Stats.Nodes, t.Stats.Leaves, t.Stats.Depth = countNodes(root)
+	return nil
+}
+
+func toNodeJSON(n *Node) *nodeJSON {
+	if n == nil {
+		return nil
+	}
+	j := &nodeJSON{
+		Attr:   n.Attr,
+		Split:  n.Split,
+		Cat:    n.Cat,
+		Dist:   n.Dist,
+		W:      n.W,
+		ClassW: n.ClassW,
+		Left:   toNodeJSON(n.Left),
+		Right:  toNodeJSON(n.Right),
+	}
+	for _, kid := range n.Kids {
+		j.Kids = append(j.Kids, toNodeJSON(kid))
+	}
+	return j
+}
+
+func fromNodeJSON(j *nodeJSON, numClasses int) (*Node, error) {
+	n := &Node{
+		Attr:   j.Attr,
+		Split:  j.Split,
+		Cat:    j.Cat,
+		Dist:   j.Dist,
+		W:      j.W,
+		ClassW: j.ClassW,
+	}
+	if n.IsLeaf() {
+		if len(n.Dist) != numClasses {
+			return nil, fmt.Errorf("core: leaf has %d class probabilities, want %d", len(n.Dist), numClasses)
+		}
+		return n, nil
+	}
+	if j.Cat {
+		if len(j.Kids) == 0 {
+			return nil, errors.New("core: categorical node without children")
+		}
+		for _, kj := range j.Kids {
+			kid, err := fromNodeJSON(kj, numClasses)
+			if err != nil {
+				return nil, err
+			}
+			n.Kids = append(n.Kids, kid)
+		}
+		return n, nil
+	}
+	if j.Left == nil || j.Right == nil {
+		return nil, errors.New("core: numeric node missing a child")
+	}
+	var err error
+	if n.Left, err = fromNodeJSON(j.Left, numClasses); err != nil {
+		return nil, err
+	}
+	if n.Right, err = fromNodeJSON(j.Right, numClasses); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"udt/internal/data"
+	"udt/internal/pdf"
+)
+
+// The recursive weight-splitting classification of §3.2 has an independent
+// semantic definition: since attributes are independent (§2), the class
+// distribution of an uncertain tuple is the expectation of the point-value
+// classification over the joint distribution of its pdfs,
+//
+//	P(c) = sum over all joint sample assignments (x_1..x_k)
+//	       of prod_j mass_j(x_j) * leafDist(path(x_1..x_k))(c).
+//
+// enumerateClassify computes that directly (exponential in k, fine for
+// tiny tuples) and serves as the oracle for Tree.Classify.
+
+func enumerateClassify(t *Tree, tu *data.Tuple) []float64 {
+	out := make([]float64, len(t.Classes))
+	point := make([]float64, len(tu.Num))
+	var walk func(j int, mass float64)
+	walk = func(j int, mass float64) {
+		if j == len(tu.Num) {
+			dist := classifyPoint(t.Root, point)
+			for c, p := range dist {
+				out[c] += mass * p
+			}
+			return
+		}
+		p := tu.Num[j]
+		for i := 0; i < p.NumSamples(); i++ {
+			point[j] = p.X(i)
+			walk(j+1, mass*p.Mass(i))
+		}
+	}
+	walk(0, 1)
+	return out
+}
+
+// classifyPoint descends with precise point values (the traditional §3.1
+// traversal).
+func classifyPoint(n *Node, point []float64) []float64 {
+	for !n.IsLeaf() {
+		if point[n.Attr] <= n.Split {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Dist
+}
+
+// TestClassifyMatchesEnumerationOracle: on random trees and random small
+// tuples, the §3.2 recursion must agree exactly with the expectation over
+// enumerated joint assignments.
+func TestClassifyMatchesEnumerationOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(2)
+		ds := buildRandomDataset(rng, 20+rng.Intn(30), k, 2+rng.Intn(2), 1+rng.Intn(4))
+		tree, err := Build(ds, Config{MinWeight: 1})
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 5; trial++ {
+			num := make([]*pdf.PDF, k)
+			for j := range num {
+				n := 1 + rng.Intn(5)
+				xs := make([]float64, n)
+				ms := make([]float64, n)
+				for i := range xs {
+					xs[i] = rng.NormFloat64() * 3
+					ms[i] = rng.Float64() + 0.05
+				}
+				num[j] = pdf.MustNew(xs, ms)
+			}
+			tu := &data.Tuple{Num: num, Weight: 1}
+			got := tree.Classify(tu)
+			want := enumerateClassify(tree, tu)
+			for c := range got {
+				if math.Abs(got[c]-want[c]) > 1e-9 {
+					t.Logf("seed %d: Classify %v != oracle %v", seed, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTreeInvariants: structural invariants of any built tree, checked via
+// property testing — every internal numeric node has two children, every
+// categorical node one child per domain value, every leaf distribution is
+// normalised, children's training weight sums to the parent's, and depth
+// respects MaxDepth.
+func TestTreeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds := buildRandomDataset(rng, 15+rng.Intn(60), 1+rng.Intn(3), 2+rng.Intn(3), 1+rng.Intn(6))
+		maxDepth := 2 + rng.Intn(8)
+		tree, err := Build(ds, Config{MinWeight: 0.5, MaxDepth: maxDepth, PostPrune: seed%2 == 0})
+		if err != nil {
+			return false
+		}
+		ok := true
+		var walk func(n *Node, depth int)
+		walk = func(n *Node, depth int) {
+			if n == nil {
+				ok = false
+				return
+			}
+			if depth > maxDepth+1 {
+				ok = false
+				return
+			}
+			if n.IsLeaf() {
+				sum := 0.0
+				for _, p := range n.Dist {
+					if p < 0 || p > 1+1e-12 {
+						ok = false
+					}
+					sum += p
+				}
+				if n.W > 0 && math.Abs(sum-1) > 1e-9 {
+					ok = false
+				}
+				return
+			}
+			children := n.children()
+			if len(children) < 2 {
+				ok = false
+				return
+			}
+			childW := 0.0
+			for _, ch := range children {
+				if ch == nil {
+					ok = false
+					return
+				}
+				childW += ch.W
+			}
+			if math.Abs(childW-n.W) > 1e-6*math.Max(1, n.W) {
+				ok = false
+				return
+			}
+			for _, ch := range children {
+				walk(ch, depth+1)
+			}
+		}
+		walk(tree.Root, 1)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

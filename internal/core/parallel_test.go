@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"udt/internal/split"
+)
+
+// TestParallelBuildMatchesSerial: concurrent subtree construction must
+// produce a tree that classifies identically to the serial build and must
+// account for exactly the same amount of split-search work.
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	ds := buildRandomDataset(rand.New(rand.NewSource(41)), 120, 3, 4, 10)
+	serial, err := Build(ds, Config{Strategy: split.GP, MinWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Build(ds, Config{Strategy: split.GP, MinWeight: 1, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parallel.Stats.Nodes != serial.Stats.Nodes || parallel.Stats.Leaves != serial.Stats.Leaves {
+		t.Fatalf("tree shape differs: %d/%d nodes, %d/%d leaves",
+			parallel.Stats.Nodes, serial.Stats.Nodes, parallel.Stats.Leaves, serial.Stats.Leaves)
+	}
+	if parallel.Stats.Search.EntropyCalcs() != serial.Stats.Search.EntropyCalcs() {
+		t.Fatalf("work accounting differs: %d vs %d entropy calcs",
+			parallel.Stats.Search.EntropyCalcs(), serial.Stats.Search.EntropyCalcs())
+	}
+	for _, tu := range ds.Tuples {
+		a, b := serial.Classify(tu), parallel.Classify(tu)
+		for c := range a {
+			if math.Abs(a[c]-b[c]) > 1e-12 {
+				t.Fatalf("parallel tree classifies differently: %v vs %v", b, a)
+			}
+		}
+	}
+}
+
+// TestParallelBuildRace exercises the concurrent path under the race
+// detector (go test -race) with enough tuples to spawn real goroutines.
+func TestParallelBuildRace(t *testing.T) {
+	ds := buildRandomDataset(rand.New(rand.NewSource(42)), 200, 4, 5, 8)
+	for trial := 0; trial < 3; trial++ {
+		tr, err := Build(ds, Config{Strategy: split.ES, MinWeight: 1, Parallelism: 8, PostPrune: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Stats.Nodes == 0 {
+			t.Fatal("empty tree")
+		}
+	}
+}
+
+// TestParallelismOneIsSerial: Parallelism <= 1 must not allocate the
+// semaphore (pure serial path).
+func TestParallelismOneIsSerial(t *testing.T) {
+	ds := buildRandomDataset(rand.New(rand.NewSource(43)), 30, 1, 2, 4)
+	for _, p := range []int{0, 1, -5} {
+		if _, err := Build(ds, Config{Parallelism: p}); err != nil {
+			t.Fatalf("Parallelism=%d: %v", p, err)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import "math"
+
+// Pessimistic error post-pruning in the C4.5 style (footnote 3 of the paper
+// defers to Quinlan [3] and Mitchell [33]). Each subtree's training error is
+// inflated to an upper confidence bound; a subtree is replaced by a leaf
+// when the leaf's estimated errors do not exceed the subtree's.
+
+// prune collapses subtrees of n bottom-up and returns the number of
+// subtrees replaced by leaves.
+func prune(n *Node, cf float64) int {
+	if n == nil || n.IsLeaf() {
+		return 0
+	}
+	pruned := 0
+	for _, ch := range n.children() {
+		pruned += prune(ch, cf)
+	}
+	leafErr := pessimisticErrors(n.W, trainingErrors(n), cf)
+	subErr := subtreeErrors(n, cf)
+	if leafErr <= subErr+0.1 {
+		collapse(n)
+		pruned++
+	}
+	return pruned
+}
+
+// trainingErrors is the weight of tuples at the node not belonging to its
+// majority class.
+func trainingErrors(n *Node) float64 {
+	maxW := 0.0
+	for _, w := range n.ClassW {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	return n.W - maxW
+}
+
+// subtreeErrors sums the pessimistic errors of the subtree's leaves.
+func subtreeErrors(n *Node, cf float64) float64 {
+	if n == nil {
+		return 0
+	}
+	if n.IsLeaf() {
+		return pessimisticErrors(n.W, trainingErrors(n), cf)
+	}
+	sum := 0.0
+	for _, ch := range n.children() {
+		sum += subtreeErrors(ch, cf)
+	}
+	return sum
+}
+
+// collapse turns an internal node into a leaf predicting its training
+// distribution.
+func collapse(n *Node) {
+	n.Dist = leafDist(n.ClassW, n.W)
+	n.Left, n.Right, n.Kids = nil, nil, nil
+	n.Cat = false
+	n.Split = 0
+	n.Attr = 0
+}
+
+// pessimisticErrors returns the estimated error count for a node covering
+// weight w with e training errors: the observed errors plus C4.5's AddErrs
+// upper-confidence correction at confidence factor cf.
+func pessimisticErrors(w, e, cf float64) float64 {
+	if w <= 0 {
+		return 0
+	}
+	if e < 0 {
+		e = 0
+	}
+	return e + addErrs(w, e, cf)
+}
+
+// addErrs is Quinlan's C4.5 AddErrs: the number of extra errors to charge a
+// leaf of weight n with e observed errors, derived from the upper cf
+// confidence limit of the binomial error rate (with the exact special case
+// for e = 0 and linear interpolation below one error).
+func addErrs(n, e, cf float64) float64 {
+	switch {
+	case e < 1e-6:
+		// Zero errors: the cf confidence bound solves (1-p)^n = cf.
+		return n * (1 - math.Exp(math.Log(cf)/n))
+	case e < 0.9999:
+		// Fewer than one error: interpolate between the 0 and 1 cases.
+		v0 := n * (1 - math.Exp(math.Log(cf)/n))
+		return v0 + e*(addErrs(n, 1, cf)-v0)
+	case e+0.5 >= n:
+		// Nearly everything is an error already.
+		return 0.67 * (n - e)
+	default:
+		z := normalQuantile(1 - cf)
+		pr := (e + 0.5 + z*z/2 + z*math.Sqrt(z*z/4+(e+0.5)*(1-(e+0.5)/n))) / (n + z*z)
+		return n*pr - e
+	}
+}
+
+// normalQuantile computes the inverse standard normal CDF using the
+// Beasley-Springer-Moro / Acklam rational approximation (relative error
+// below 1.2e-9 on (0,1)), sufficient for confidence-factor lookups.
+func normalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [...]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [...]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [...]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [...]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"errors"
+
+	"udt/internal/data"
+)
+
+// PruneReducedError performs reduced-error post-pruning against a held-out
+// validation set: bottom-up, each internal node is collapsed to a leaf
+// whenever doing so does not increase the weighted misclassification error
+// of the validation tuples reaching it. This is the classical alternative
+// to the pessimistic pruning used by Build (Mitchell [33], which the
+// paper's footnote 3 cites for pruning technique details); unlike
+// pessimistic pruning it needs extra data but makes no statistical
+// assumptions. Returns the number of subtrees collapsed.
+func (t *Tree) PruneReducedError(validation *data.Dataset) (int, error) {
+	if validation == nil || validation.Len() == 0 {
+		return 0, errors.New("core: reduced-error pruning needs a non-empty validation set")
+	}
+	if len(validation.Classes) != len(t.Classes) {
+		return 0, errors.New("core: validation class count differs from the model's")
+	}
+	// Distribute validation mass over the tree once: for every node, the
+	// per-class weight of validation tuples (fractionally) reaching it.
+	reach := map[*Node][]float64{}
+	for _, tu := range validation.Tuples {
+		t.accumulate(t.Root, tu, tu.Weight, reach)
+	}
+	pruned := t.pruneRE(t.Root, reach)
+	t.Stats.Pruned += pruned
+	t.Stats.Nodes, t.Stats.Leaves, t.Stats.Depth = countNodes(t.Root)
+	return pruned, nil
+}
+
+// accumulate walks tu down the subtree exactly like classification,
+// recording the per-class validation weight arriving at every node.
+func (t *Tree) accumulate(n *Node, tu *data.Tuple, w float64, reach map[*Node][]float64) {
+	if n == nil || w <= weightEps {
+		return
+	}
+	r := reach[n]
+	if r == nil {
+		r = make([]float64, len(t.Classes))
+		reach[n] = r
+	}
+	r[tu.Class] += w
+	if n.IsLeaf() {
+		return
+	}
+	if n.Cat {
+		d := tu.Cat[n.Attr]
+		if d == nil {
+			t.accumulateByTrainingWeights(n, tu, w, reach)
+			return
+		}
+		for v, p := range d {
+			if p > 0 {
+				t.accumulate(n.Kids[v], tu, w*p, reach)
+			}
+		}
+		return
+	}
+	p := tu.Num[n.Attr]
+	if p == nil {
+		t.accumulateByTrainingWeights(n, tu, w, reach)
+		return
+	}
+	pl, pr, pL := p.SplitAt(n.Split)
+	if pL > 0 {
+		tl := tu.CloneShallow()
+		tl.Num[n.Attr] = pl
+		t.accumulate(n.Left, tl, w*pL, reach)
+	}
+	if pL < 1 {
+		tr := tu.CloneShallow()
+		tr.Num[n.Attr] = pr
+		t.accumulate(n.Right, tr, w*(1-pL), reach)
+	}
+}
+
+func (t *Tree) accumulateByTrainingWeights(n *Node, tu *data.Tuple, w float64, reach map[*Node][]float64) {
+	children := n.children()
+	total := 0.0
+	for _, ch := range children {
+		if ch != nil {
+			total += ch.W
+		}
+	}
+	if total <= 0 {
+		return
+	}
+	for _, ch := range children {
+		if ch != nil {
+			t.accumulate(ch, tu, w*ch.W/total, reach)
+		}
+	}
+}
+
+// pruneRE collapses nodes bottom-up when the leaf validation error does
+// not exceed the subtree validation error.
+func (t *Tree) pruneRE(n *Node, reach map[*Node][]float64) int {
+	if n == nil || n.IsLeaf() {
+		return 0
+	}
+	pruned := 0
+	for _, ch := range n.children() {
+		pruned += t.pruneRE(ch, reach)
+	}
+	leafErr := t.validationErrorAsLeaf(n, reach)
+	subErr := t.validationErrorSubtree(n, reach)
+	if leafErr <= subErr+1e-12 {
+		collapse(n)
+		pruned++
+	}
+	return pruned
+}
+
+// validationErrorAsLeaf is the validation weight misclassified at n if it
+// predicted its training majority class.
+func (t *Tree) validationErrorAsLeaf(n *Node, reach map[*Node][]float64) float64 {
+	r := reach[n]
+	if r == nil {
+		return 0
+	}
+	pred := majorityClass(n)
+	errW := 0.0
+	for c, w := range r {
+		if c != pred {
+			errW += w
+		}
+	}
+	return errW
+}
+
+// validationErrorSubtree sums the leaves' validation errors under n.
+func (t *Tree) validationErrorSubtree(n *Node, reach map[*Node][]float64) float64 {
+	if n == nil {
+		return 0
+	}
+	if n.IsLeaf() {
+		r := reach[n]
+		if r == nil {
+			return 0
+		}
+		pred := majorityLeafClass(n)
+		errW := 0.0
+		for c, w := range r {
+			if c != pred {
+				errW += w
+			}
+		}
+		return errW
+	}
+	sum := 0.0
+	for _, ch := range n.children() {
+		sum += t.validationErrorSubtree(ch, reach)
+	}
+	return sum
+}
+
+// majorityClass is the node's training-majority class.
+func majorityClass(n *Node) int {
+	best, bestW := 0, -1.0
+	for c, w := range n.ClassW {
+		if w > bestW {
+			best, bestW = c, w
+		}
+	}
+	return best
+}
+
+// majorityLeafClass is the class a leaf predicts (argmax of its
+// distribution; falls back to training majority for weightless leaves).
+func majorityLeafClass(n *Node) int {
+	best, bestP := 0, -1.0
+	for c, p := range n.Dist {
+		if p > bestP {
+			best, bestP = c, p
+		}
+	}
+	if bestP <= 0 {
+		return majorityClass(n)
+	}
+	return best
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"udt/internal/data"
+	"udt/internal/pdf"
+	"udt/internal/split"
+)
+
+// noisyDataset has a real class signal plus label noise, so an unpruned
+// tree overfits.
+func noisyDataset(n int, noise float64, rng *rand.Rand) *data.Dataset {
+	ds := data.NewDataset("noisy", 1, []string{"A", "B"})
+	for i := 0; i < n; i++ {
+		class := i % 2
+		if rng.Float64() < noise {
+			class = 1 - class
+		}
+		v := float64(i%2) + rng.NormFloat64()*0.4
+		ds.Add(class, pdf.Point(v))
+	}
+	return ds
+}
+
+func TestPruneReducedErrorShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	train := noisyDataset(150, 0.25, rng)
+	valid := noisyDataset(80, 0.25, rng)
+
+	tree, err := Build(train, Config{MinWeight: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tree.Stats.Nodes
+	pruned, err := tree.PruneReducedError(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned == 0 {
+		t.Fatal("reduced-error pruning collapsed nothing on an overfit tree")
+	}
+	if tree.Stats.Nodes >= before {
+		t.Fatalf("node count did not shrink: %d -> %d", before, tree.Stats.Nodes)
+	}
+	// The pruned tree must not be worse on the validation set than a
+	// fully-grown one. Rebuild the overfit tree to compare.
+	overfit, _ := Build(train, Config{MinWeight: 0.01})
+	accP := accuracyOn(tree, valid)
+	accO := accuracyOn(overfit, valid)
+	if accP+1e-9 < accO {
+		t.Fatalf("pruning reduced validation accuracy: %v < %v", accP, accO)
+	}
+}
+
+func accuracyOn(tr *Tree, ds *data.Dataset) float64 {
+	correct := 0
+	for _, tu := range ds.Tuples {
+		if tr.Predict(tu) == tu.Class {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+func TestPruneReducedErrorUncertainValidation(t *testing.T) {
+	// Validation tuples with pdfs are fractionally distributed, exactly
+	// like classification.
+	rng := rand.New(rand.NewSource(62))
+	train := buildRandomDataset(rng, 80, 2, 3, 6)
+	valid := buildRandomDataset(rng, 40, 2, 3, 6)
+	tree, err := Build(train, Config{MinWeight: 0.5, Strategy: split.GP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.PruneReducedError(valid); err != nil {
+		t.Fatal(err)
+	}
+	// Tree remains structurally sound and normalised.
+	for _, tu := range valid.Tuples {
+		dist := tree.Classify(tu)
+		sum := 0.0
+		for _, p := range dist {
+			sum += p
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("post-pruning distribution sums to %v", sum)
+		}
+	}
+}
+
+func TestPruneReducedErrorErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	train := noisyDataset(40, 0.1, rng)
+	tree, err := Build(train, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.PruneReducedError(nil); err == nil {
+		t.Fatal("nil validation accepted")
+	}
+	empty := train.Subset(nil)
+	if _, err := tree.PruneReducedError(empty); err == nil {
+		t.Fatal("empty validation accepted")
+	}
+	wrong := data.NewDataset("w", 1, []string{"only"})
+	wrong.Add(0, pdf.Point(1))
+	if _, err := tree.PruneReducedError(wrong); err == nil {
+		t.Fatal("class mismatch accepted")
+	}
+}
+
+func TestPruneReducedErrorLeafTree(t *testing.T) {
+	// A tree that is already a single leaf: nothing to prune, no error.
+	ds := data.NewDataset("pure", 1, []string{"A", "B"})
+	for i := 0; i < 5; i++ {
+		ds.Add(0, pdf.Point(float64(i)))
+	}
+	tree, err := Build(ds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := data.NewDataset("v", 1, []string{"A", "B"})
+	valid.Add(0, pdf.Point(1))
+	pruned, err := tree.PruneReducedError(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned != 0 {
+		t.Fatalf("pruned %d on a leaf tree", pruned)
+	}
+}

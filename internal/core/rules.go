@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rule is one root-to-leaf path rendered as a classification rule.
+type Rule struct {
+	Conditions []string
+	Class      string  // most probable class at the leaf
+	Confidence float64 // probability of Class at the leaf
+	Support    float64 // training weight reaching the leaf
+}
+
+// String renders the rule in "IF ... THEN class (conf, support)" form.
+func (r Rule) String() string {
+	cond := "TRUE"
+	if len(r.Conditions) > 0 {
+		cond = strings.Join(r.Conditions, " AND ")
+	}
+	return fmt.Sprintf("IF %s THEN %s (confidence %.3f, support %.2f)", cond, r.Class, r.Confidence, r.Support)
+}
+
+// Rules extracts one rule per leaf, the "rules can be extracted from
+// decision trees easily" property the paper's introduction highlights.
+func (t *Tree) Rules() []Rule {
+	var rules []Rule
+	t.collectRules(t.Root, nil, &rules)
+	return rules
+}
+
+func (t *Tree) collectRules(n *Node, conds []string, out *[]Rule) {
+	if n == nil {
+		return
+	}
+	if n.IsLeaf() {
+		best, bestP := 0, 0.0
+		for c, p := range n.Dist {
+			if p > bestP {
+				best, bestP = c, p
+			}
+		}
+		*out = append(*out, Rule{
+			Conditions: append([]string(nil), conds...),
+			Class:      t.Classes[best],
+			Confidence: bestP,
+			Support:    n.W,
+		})
+		return
+	}
+	if n.Cat {
+		name := t.CatAttrs[n.Attr].Name
+		for v, kid := range n.Kids {
+			cond := fmt.Sprintf("%s = %s", name, t.CatAttrs[n.Attr].Domain[v])
+			t.collectRules(kid, append(conds, cond), out)
+		}
+		return
+	}
+	name := t.NumAttrs[n.Attr].Name
+	t.collectRules(n.Left, append(conds, fmt.Sprintf("%s <= %.6g", name, n.Split)), out)
+	t.collectRules(n.Right, append(conds, fmt.Sprintf("%s > %.6g", name, n.Split)), out)
+}
+
+// Dump renders the tree as an indented text diagram, one line per node.
+func (t *Tree) Dump() string {
+	var b strings.Builder
+	t.dump(&b, t.Root, 0, "")
+	return b.String()
+}
+
+func (t *Tree) dump(b *strings.Builder, n *Node, depth int, label string) {
+	if n == nil {
+		return
+	}
+	indent := strings.Repeat("  ", depth)
+	if label != "" {
+		label += ": "
+	}
+	if n.IsLeaf() {
+		best, bestP := 0, 0.0
+		for c, p := range n.Dist {
+			if p > bestP {
+				best, bestP = c, p
+			}
+		}
+		fmt.Fprintf(b, "%s%sleaf %s (p=%.3f, w=%.2f)\n", indent, label, t.Classes[best], bestP, n.W)
+		return
+	}
+	if n.Cat {
+		fmt.Fprintf(b, "%s%ssplit on %s (w=%.2f)\n", indent, label, t.CatAttrs[n.Attr].Name, n.W)
+		for v, kid := range n.Kids {
+			t.dump(b, kid, depth+1, "= "+t.CatAttrs[n.Attr].Domain[v])
+		}
+		return
+	}
+	fmt.Fprintf(b, "%s%s%s <= %.6g? (w=%.2f)\n", indent, label, t.NumAttrs[n.Attr].Name, n.Split, n.W)
+	t.dump(b, n.Left, depth+1, "yes")
+	t.dump(b, n.Right, depth+1, "no")
+}

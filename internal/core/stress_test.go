@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"udt/internal/data"
+	"udt/internal/pdf"
+	"udt/internal/split"
+)
+
+// TestBuildTerminatesOnHeavyOverlap: with every pdf overlapping every
+// other, fractional splitting keeps producing fractional tuples; the
+// builder must still terminate because each child's candidate set strictly
+// shrinks. Unlimited depth, near-zero pre-pruning.
+func TestBuildTerminatesOnHeavyOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	ds := data.NewDataset("overlap", 1, []string{"A", "B"})
+	for i := 0; i < 40; i++ {
+		// All pdfs share the domain [0, 1] on slightly jittered grids.
+		a := rng.Float64() * 0.01
+		p, err := pdf.Uniform(a, a+1, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds.Add(i%2, p)
+	}
+	tree, err := Build(ds, Config{MinWeight: 1e-6, MinGain: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Stats.Nodes == 0 {
+		t.Fatal("no tree built")
+	}
+	// Classification remains a proper distribution even through the very
+	// deep fractional descent.
+	dist := tree.Classify(ds.Tuples[0])
+	sum := dist[0] + dist[1]
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("distribution sums to %v", sum)
+	}
+}
+
+// TestBuildIdenticalTuples: tuples that cannot be discerned at all must
+// yield a single leaf with the class proportions, not an infinite loop.
+func TestBuildIdenticalTuples(t *testing.T) {
+	ds := data.NewDataset("identical", 1, []string{"A", "B"})
+	for i := 0; i < 12; i++ {
+		ds.Add(i%3%2, pdf.Point(5))
+	}
+	tree, err := Build(ds, Config{MinWeight: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Root.IsLeaf() {
+		t.Fatalf("indiscernible tuples should form one leaf:\n%s", tree.Dump())
+	}
+}
+
+// TestBuildExtremeWeights: very small and very large tuple weights must
+// not break normalisation or split search.
+func TestBuildExtremeWeights(t *testing.T) {
+	ds := data.NewDataset("weights", 1, []string{"A", "B"})
+	for i := 0; i < 20; i++ {
+		tu := ds.Add(i%2, pdf.Point(float64(i%2)+0.01*float64(i)))
+		if i%2 == 0 {
+			tu.Weight = 1e-6
+		} else {
+			tu.Weight = 1e6
+		}
+	}
+	tree, err := Build(ds, Config{MinWeight: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range ds.Tuples {
+		dist := tree.Classify(tu)
+		sum := 0.0
+		for _, p := range dist {
+			sum += p
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("distribution sums to %v under extreme weights", sum)
+		}
+	}
+}
+
+// TestClassifyConcurrent: a built tree must be safe for concurrent
+// classification (read-only traversal); run with -race.
+func TestClassifyConcurrent(t *testing.T) {
+	ds := buildRandomDataset(rand.New(rand.NewSource(72)), 80, 2, 3, 8)
+	tree, err := Build(ds, Config{Strategy: split.GP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tu := ds.Tuples[(g*50+i)%ds.Len()]
+				dist := tree.Classify(tu)
+				sum := 0.0
+				for _, p := range dist {
+					sum += p
+				}
+				if sum < 0.999 || sum > 1.001 {
+					t.Errorf("goroutine %d: distribution sums to %v", g, sum)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestBuildManyClasses: class counts beyond a handful (the paper's Vowel
+// has 11) stress the per-class buffers.
+func TestBuildManyClasses(t *testing.T) {
+	const classes = 15
+	names := make([]string, classes)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	ds := data.NewDataset("many", 1, names)
+	rng := rand.New(rand.NewSource(73))
+	for i := 0; i < classes*12; i++ {
+		c := i % classes
+		p, err := pdf.Gaussian(float64(c), 0.2, float64(c)-0.5, float64(c)+0.5, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = rng
+		ds.Add(c, p)
+	}
+	tree, err := Build(ds, Config{Strategy: split.ES})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, tu := range ds.Tuples {
+		if tree.Predict(tu) == tu.Class {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(ds.Len()); acc < 0.95 {
+		t.Fatalf("many-class accuracy = %v", acc)
+	}
+}
+
+// TestBuildSingleTuplePerClass: minimum viable dataset.
+func TestBuildSingleTuplePerClass(t *testing.T) {
+	ds := data.NewDataset("mini", 1, []string{"A", "B"})
+	ds.Add(0, pdf.Point(0))
+	ds.Add(1, pdf.Point(1))
+	tree, err := Build(ds, Config{MinWeight: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Predict(ds.Tuples[0]) != 0 || tree.Predict(ds.Tuples[1]) != 1 {
+		t.Fatal("two-tuple dataset misclassified")
+	}
+}

@@ -1,0 +1,529 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"udt/internal/data"
+	"udt/internal/pdf"
+	"udt/internal/split"
+)
+
+// paperStyleDataset recreates the flavour of Table 1: six one-attribute
+// tuples of two classes whose means collapse into just two groups, so the
+// Averaging tree cannot discern them, while the full distributions can.
+// Tuple 3 is exactly the paper's: values -1, +1, +10 with masses 5/8, 1/8,
+// 2/8 (mean +2).
+func paperStyleDataset() *data.Dataset {
+	ds := data.NewDataset("table1", 1, []string{"A", "B"})
+	ds.Add(0, pdf.Point(2))                                          // t1 A, mean +2
+	ds.Add(0, pdf.MustNew([]float64{-6, 2}, []float64{1, 1}))        // t2 A, mean -2
+	ds.Add(0, pdf.MustNew([]float64{-1, 1, 10}, []float64{5, 1, 2})) // t3 A, mean +2
+	ds.Add(1, pdf.Point(-2))                                         // t4 B, mean -2
+	ds.Add(1, pdf.MustNew([]float64{-2, 6}, []float64{1, 1}))        // t5 B, mean +2
+	ds.Add(1, pdf.MustNew([]float64{-4, 0}, []float64{1, 1}))        // t6 B, mean -2
+	return ds
+}
+
+func selfAccuracy(t *testing.T, tr *Tree, ds *data.Dataset) float64 {
+	t.Helper()
+	correct := 0
+	for _, tu := range ds.Tuples {
+		if tr.Predict(tu) == tu.Class {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+// TestPaperExample is experiment E1: on Table-1-style data the Averaging
+// tree misclassifies the mean-aliased tuples (2/3 accuracy) while the
+// Distribution-based tree separates all six (100%).
+func TestPaperExample(t *testing.T) {
+	ds := paperStyleDataset()
+	cfg := Config{MinWeight: 0.01}
+
+	avg, err := BuildAveraging(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := selfAccuracy(t, avg, ds); math.Abs(acc-2.0/3) > 1e-9 {
+		t.Fatalf("AVG self-accuracy = %v, want 2/3", acc)
+	}
+
+	udtTree, err := Build(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := selfAccuracy(t, udtTree, ds); acc != 1 {
+		t.Fatalf("UDT self-accuracy = %v, want 1.0\n%s", acc, udtTree.Dump())
+	}
+}
+
+// TestClassifyHandComputed verifies the §3.2 recursive classification on a
+// hand-built tree against a hand computation (the Fig. 1 walk-through).
+func TestClassifyHandComputed(t *testing.T) {
+	// Root: x <= -1? yes -> leaf(A:0.8,B:0.2); no -> x <= 1? yes ->
+	// leaf(A:0.3,B:0.7); no -> leaf(A:0.9,B:0.1).
+	tree := &Tree{
+		Classes:  []string{"A", "B"},
+		NumAttrs: []data.Attribute{{Name: "x", Kind: data.Numeric}},
+		Root: &Node{
+			Attr: 0, Split: -1, W: 1,
+			Left: &Node{Dist: []float64{0.8, 0.2}, W: 1},
+			Right: &Node{
+				Attr: 0, Split: 1, W: 1,
+				Left:  &Node{Dist: []float64{0.3, 0.7}, W: 1},
+				Right: &Node{Dist: []float64{0.9, 0.1}, W: 1},
+			},
+		},
+	}
+	// Test tuple: P(-2)=0.3, P(0)=0.4, P(2)=0.3.
+	tu := &data.Tuple{
+		Num:    []*pdf.PDF{pdf.MustNew([]float64{-2, 0, 2}, []float64{0.3, 0.4, 0.3})},
+		Weight: 1,
+	}
+	dist := tree.Classify(tu)
+	// Hand computation: 0.3 to left leaf; 0.7 right, of which 4/7 (=0.4) to
+	// middle leaf and 0.3 to right leaf.
+	wantA := 0.3*0.8 + 0.4*0.3 + 0.3*0.9
+	wantB := 0.3*0.2 + 0.4*0.7 + 0.3*0.1
+	if math.Abs(dist[0]-wantA) > 1e-12 || math.Abs(dist[1]-wantB) > 1e-12 {
+		t.Fatalf("Classify = %v, want [%v %v]", dist, wantA, wantB)
+	}
+	if s := dist[0] + dist[1]; math.Abs(s-1) > 1e-12 {
+		t.Fatalf("distribution sums to %v", s)
+	}
+	if tree.Predict(tu) != 0 {
+		t.Fatalf("Predict = %d, want 0 (A)", tree.Predict(tu))
+	}
+}
+
+// TestClassifyConditionsDownstream checks that the renormalised conditional
+// pdf is used at deeper splits on the same attribute: mass already sent
+// left must not be double-counted.
+func TestClassifyConditionsDownstream(t *testing.T) {
+	tree := &Tree{
+		Classes:  []string{"A", "B"},
+		NumAttrs: []data.Attribute{{Name: "x", Kind: data.Numeric}},
+		Root: &Node{
+			Attr: 0, Split: 0, W: 1,
+			Left: &Node{
+				Attr: 0, Split: -1, W: 1,
+				Left:  &Node{Dist: []float64{1, 0}, W: 1},
+				Right: &Node{Dist: []float64{0, 1}, W: 1},
+			},
+			Right: &Node{Dist: []float64{0.5, 0.5}, W: 1},
+		},
+	}
+	tu := &data.Tuple{
+		Num:    []*pdf.PDF{pdf.MustNew([]float64{-2, -0.5, 1}, []float64{0.25, 0.25, 0.5})},
+		Weight: 1,
+	}
+	dist := tree.Classify(tu)
+	// Left weight 0.5; within it, P(x<=-1 | x<=0) = 0.5 -> A gets
+	// 0.5*0.5=0.25, B gets 0.25; right leaf adds 0.25 each.
+	if math.Abs(dist[0]-0.5) > 1e-12 || math.Abs(dist[1]-0.5) > 1e-12 {
+		t.Fatalf("Classify = %v, want [0.5 0.5]", dist)
+	}
+}
+
+func buildRandomDataset(rng *rand.Rand, m, k, classes, s int) *data.Dataset {
+	names := make([]string, classes)
+	for i := range names {
+		names[i] = string(rune('A' + i))
+	}
+	ds := data.NewDataset("rand", k, names)
+	for i := 0; i < m; i++ {
+		class := rng.Intn(classes)
+		num := make([]*pdf.PDF, k)
+		for j := range num {
+			c := float64(class)*2 + rng.NormFloat64()*0.7
+			p, _ := pdf.Gaussian(c, 0.3, c-0.6, c+0.6, s)
+			num[j] = p
+		}
+		ds.Add(class, num...)
+	}
+	return ds
+}
+
+// TestBuildStrategiesSameTree verifies the §5 safety claim end to end: the
+// pruning strategies do not change the resulting decision tree's behaviour.
+func TestBuildStrategiesSameTree(t *testing.T) {
+	ds := buildRandomDataset(rand.New(rand.NewSource(11)), 40, 2, 3, 8)
+	ref, err := Build(ds, Config{Strategy: split.UDT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []split.Strategy{split.BP, split.LP, split.GP, split.ES} {
+		tr, err := Build(ds, Config{Strategy: strat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tu := range ds.Tuples {
+			a, b := ref.Classify(tu), tr.Classify(tu)
+			for c := range a {
+				if math.Abs(a[c]-b[c]) > 1e-9 {
+					t.Fatalf("strategy %v classifies differently: %v vs %v", strat, b, a)
+				}
+			}
+		}
+		if tr.Stats.Search.EntropyCalcs() > ref.Stats.Search.EntropyCalcs() {
+			t.Fatalf("strategy %v did more entropy calculations than exhaustive: %d > %d",
+				strat, tr.Stats.Search.EntropyCalcs(), ref.Stats.Search.EntropyCalcs())
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	empty := data.NewDataset("e", 1, []string{"A"})
+	if _, err := Build(empty, Config{}); err == nil {
+		t.Fatal("empty dataset should fail")
+	}
+	bad := data.NewDataset("b", 1, []string{"A"})
+	bad.Add(5, pdf.Point(1))
+	if _, err := Build(bad, Config{}); err == nil {
+		t.Fatal("invalid dataset should fail")
+	}
+}
+
+func TestBuildPureDatasetIsLeaf(t *testing.T) {
+	ds := data.NewDataset("pure", 1, []string{"A", "B"})
+	for i := 0; i < 10; i++ {
+		ds.Add(0, pdf.Point(float64(i)))
+	}
+	tr, err := Build(ds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root.IsLeaf() {
+		t.Fatal("pure dataset should build a single leaf")
+	}
+	if tr.Root.Dist[0] != 1 || tr.Root.Dist[1] != 0 {
+		t.Fatalf("leaf dist = %v", tr.Root.Dist)
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	ds := buildRandomDataset(rand.New(rand.NewSource(2)), 60, 2, 3, 5)
+	tr, err := Build(ds, Config{MaxDepth: 2, MinWeight: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats.Depth > 3 { // 2 levels of tests + leaves
+		t.Fatalf("depth = %d exceeds MaxDepth+1", tr.Stats.Depth)
+	}
+}
+
+func TestMinWeightPrePruning(t *testing.T) {
+	ds := buildRandomDataset(rand.New(rand.NewSource(3)), 30, 1, 2, 4)
+	loose, _ := Build(ds, Config{MinWeight: 0.01})
+	tight, _ := Build(ds, Config{MinWeight: 25})
+	if tight.Stats.Nodes >= loose.Stats.Nodes {
+		t.Fatalf("MinWeight=25 built %d nodes, loose built %d", tight.Stats.Nodes, loose.Stats.Nodes)
+	}
+}
+
+func TestPostPruningShrinksTree(t *testing.T) {
+	// Noisy labels force overfit subtrees that pessimistic pruning removes.
+	rng := rand.New(rand.NewSource(4))
+	ds := data.NewDataset("noisy", 1, []string{"A", "B"})
+	for i := 0; i < 80; i++ {
+		class := 0
+		if rng.Float64() < 0.3 {
+			class = 1
+		}
+		ds.Add(class, pdf.Point(rng.Float64()))
+	}
+	grown, _ := Build(ds, Config{MinWeight: 0.01})
+	pruned, _ := Build(ds, Config{MinWeight: 0.01, PostPrune: true})
+	if pruned.Stats.Nodes >= grown.Stats.Nodes {
+		t.Fatalf("post-pruning did not shrink: %d vs %d nodes", pruned.Stats.Nodes, grown.Stats.Nodes)
+	}
+	if pruned.Stats.Pruned == 0 {
+		t.Fatal("Stats.Pruned not recorded")
+	}
+}
+
+func TestClassifyDistributionSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ds := buildRandomDataset(rng, 50, 3, 4, 6)
+	tr, err := Build(ds, Config{PostPrune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		num := make([]*pdf.PDF, 3)
+		for j := range num {
+			c := rng.NormFloat64() * 3
+			p, _ := pdf.Uniform(c, c+rng.Float64()*2, 7)
+			num[j] = p
+		}
+		tu := &data.Tuple{Num: num, Weight: 1}
+		dist := tr.Classify(tu)
+		sum := 0.0
+		for _, p := range dist {
+			if p < -1e-12 {
+				t.Fatalf("negative probability %v", p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("distribution sums to %v", sum)
+		}
+	}
+}
+
+func TestClassifyMissingNumeric(t *testing.T) {
+	ds := buildRandomDataset(rand.New(rand.NewSource(8)), 40, 2, 2, 4)
+	tr, err := Build(ds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := &data.Tuple{Num: []*pdf.PDF{nil, nil}, Weight: 1}
+	dist := tr.Classify(tu)
+	sum := 0.0
+	for _, p := range dist {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("missing-value classification sums to %v", sum)
+	}
+}
+
+func TestTrainMissingNumeric(t *testing.T) {
+	ds := data.NewDataset("miss", 2, []string{"A", "B"})
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 40; i++ {
+		class := i % 2
+		var p0 *pdf.PDF
+		if rng.Intn(4) != 0 { // 25% missing
+			p0 = pdf.Point(float64(class) + rng.Float64()*0.5)
+		}
+		p1 := pdf.Point(rng.Float64())
+		ds.Tuples = append(ds.Tuples, &data.Tuple{Num: []*pdf.PDF{p0, p1}, Class: class, Weight: 1})
+	}
+	tr, err := Build(ds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := selfAccuracy(t, tr, ds); acc < 0.7 {
+		t.Fatalf("accuracy with missing values = %v, want >= 0.7", acc)
+	}
+}
+
+func TestCategoricalSplit(t *testing.T) {
+	ds := data.NewDataset("cat", 0, []string{"A", "B"})
+	ds.CatAttrs = []data.Attribute{{Name: "color", Kind: data.Categorical, Domain: []string{"red", "blue", "green"}}}
+	add := func(class, v int) {
+		ds.Tuples = append(ds.Tuples, &data.Tuple{
+			Cat:    []data.CatDist{data.NewCatPoint(v, 3)},
+			Class:  class,
+			Weight: 1,
+		})
+	}
+	for i := 0; i < 5; i++ {
+		add(0, 0) // red -> A
+		add(1, 1) // blue -> B
+		add(0, 2) // green -> A
+	}
+	tr, err := Build(ds, Config{MinWeight: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root.Cat {
+		t.Fatalf("root should be a categorical split:\n%s", tr.Dump())
+	}
+	if acc := selfAccuracy(t, tr, ds); acc != 1 {
+		t.Fatalf("categorical accuracy = %v", acc)
+	}
+	// A fractionally uncertain test tuple: 60% blue, 40% red.
+	tu := &data.Tuple{Cat: []data.CatDist{{0.4, 0.6, 0}}, Weight: 1}
+	dist := tr.Classify(tu)
+	if math.Abs(dist[0]-0.4) > 1e-9 || math.Abs(dist[1]-0.6) > 1e-9 {
+		t.Fatalf("uncertain categorical classification = %v, want [0.4 0.6]", dist)
+	}
+}
+
+func TestCategoricalNotReused(t *testing.T) {
+	// With one categorical attribute and pure-by-value classes the tree
+	// needs exactly one categorical level; reuse would loop forever given
+	// MinWeight near zero. Mixed numeric noise forces deeper recursion.
+	ds := data.NewDataset("catreuse", 1, []string{"A", "B"})
+	ds.CatAttrs = []data.Attribute{{Name: "c", Kind: data.Categorical, Domain: []string{"x", "y"}}}
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 30; i++ {
+		class := i % 2
+		ds.Tuples = append(ds.Tuples, &data.Tuple{
+			Num:    []*pdf.PDF{pdf.Point(rng.Float64())},
+			Cat:    []data.CatDist{{0.5, 0.5}},
+			Class:  class,
+			Weight: 1,
+		})
+	}
+	tr, err := Build(ds, Config{MinWeight: 0.5, MaxDepth: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk every path and verify the categorical attribute repeats on no path.
+	var walk func(n *Node, seen bool)
+	walk = func(n *Node, seen bool) {
+		if n == nil || n.IsLeaf() {
+			return
+		}
+		if n.Cat {
+			if seen {
+				t.Fatal("categorical attribute reused on a path")
+			}
+			seen = true
+		}
+		for _, ch := range n.children() {
+			walk(ch, seen)
+		}
+	}
+	walk(tr.Root, false)
+}
+
+func TestRules(t *testing.T) {
+	ds := paperStyleDataset()
+	tr, err := Build(ds, Config{MinWeight: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := tr.Rules()
+	if len(rules) != tr.Stats.Leaves {
+		t.Fatalf("%d rules for %d leaves", len(rules), tr.Stats.Leaves)
+	}
+	for _, r := range rules {
+		if r.Class != "A" && r.Class != "B" {
+			t.Fatalf("rule class %q", r.Class)
+		}
+		if r.Confidence < 0 || r.Confidence > 1 {
+			t.Fatalf("rule confidence %v", r.Confidence)
+		}
+		if r.String() == "" {
+			t.Fatal("empty rule string")
+		}
+	}
+}
+
+func TestDump(t *testing.T) {
+	ds := paperStyleDataset()
+	tr, _ := Build(ds, Config{MinWeight: 0.01})
+	d := tr.Dump()
+	if d == "" || tr.String() == "" {
+		t.Fatal("empty dump")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	ds := buildRandomDataset(rand.New(rand.NewSource(12)), 30, 2, 3, 5)
+	tr, err := Build(ds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tree
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Stats.Nodes != tr.Stats.Nodes {
+		t.Fatalf("node count changed: %d vs %d", back.Stats.Nodes, tr.Stats.Nodes)
+	}
+	for _, tu := range ds.Tuples {
+		a, b := tr.Classify(tu), back.Classify(tu)
+		for c := range a {
+			if math.Abs(a[c]-b[c]) > 1e-12 {
+				t.Fatalf("deserialised tree classifies differently")
+			}
+		}
+	}
+}
+
+func TestJSONUnmarshalErrors(t *testing.T) {
+	var tr Tree
+	if err := json.Unmarshal([]byte(`{"classes":["A"],"root":null}`), &tr); err == nil {
+		t.Fatal("nil root accepted")
+	}
+	if err := json.Unmarshal([]byte(`{bad`), &tr); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"classes":["A","B"],"root":{"dist":[1],"w":1}}`), &tr); err == nil {
+		t.Fatal("wrong leaf arity accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"classes":["A"],"root":{"w":1}}`), &tr); err == nil {
+		t.Fatal("childless internal node accepted")
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.75, 0.6744897501},
+		{0.975, 1.959963985},
+		{0.025, -1.959963985},
+		{0.0001, -3.719016485},
+	}
+	for _, c := range cases {
+		if got := normalQuantile(c.p); math.Abs(got-c.want) > 1e-6 {
+			t.Fatalf("normalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(normalQuantile(0), -1) || !math.IsInf(normalQuantile(1), 1) {
+		t.Fatal("extreme quantiles should be infinite")
+	}
+}
+
+func TestPessimisticErrors(t *testing.T) {
+	// Zero observed errors still yields a positive pessimistic estimate.
+	if e := pessimisticErrors(10, 0, 0.25); e <= 0 {
+		t.Fatalf("pessimistic errors for clean leaf = %v, want > 0", e)
+	}
+	// More observed errors give larger estimates.
+	if pessimisticErrors(10, 4, 0.25) <= pessimisticErrors(10, 1, 0.25) {
+		t.Fatal("estimate not monotone in observed errors")
+	}
+	// Estimate never exceeds the node weight.
+	if e := pessimisticErrors(5, 5, 0.25); e > 5 {
+		t.Fatalf("estimate %v exceeds weight", e)
+	}
+	if pessimisticErrors(0, 0, 0.25) != 0 {
+		t.Fatal("zero-weight node should estimate zero errors")
+	}
+}
+
+// TestWeightConservation: the fractional partition of training tuples must
+// conserve total weight at every split.
+func TestWeightConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ds := buildRandomDataset(rng, 30, 2, 2, 6)
+	b := &builder{
+		cfg:     Config{}.withDefaults(),
+		classes: 2,
+		numAttr: 2,
+	}
+	tuples := ds.Tuples
+	res := b.getFinder().Best(tuples, 2, 2)
+	if !res.Found {
+		t.Skip("no split found")
+	}
+	left, right := b.partitionNumeric(tuples, res.Attr, res.Z)
+	var wl, wr, w float64
+	for _, tu := range left {
+		wl += tu.Weight
+	}
+	for _, tu := range right {
+		wr += tu.Weight
+	}
+	for _, tu := range tuples {
+		w += tu.Weight
+	}
+	if math.Abs(wl+wr-w) > 1e-9 {
+		t.Fatalf("weight not conserved: %v + %v != %v", wl, wr, w)
+	}
+}

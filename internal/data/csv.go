@@ -1,0 +1,154 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"udt/internal/pdf"
+)
+
+// The CSV interchange format: one header row naming the attributes with the
+// final column being the class label, then one row per tuple. A numeric cell
+// is either a plain float ("3.14", a point value) or a sampled pdf written
+// as semicolon-separated x@mass pairs ("1@0.625;2@0.125;10@0.25"); masses
+// may be omitted ("1;2;10") for equal-mass raw samples.
+
+// ReadCSV parses a dataset from the interchange format.
+func ReadCSV(r io.Reader, name string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("data: reading CSV header: %w", err)
+	}
+	if len(header) < 2 {
+		return nil, fmt.Errorf("data: CSV needs at least one attribute and a class column, got %d columns", len(header))
+	}
+	attrs := header[:len(header)-1]
+	classIdx := map[string]int{}
+	var classes []string
+	ds := NewDataset(name, len(attrs), nil)
+	for j, a := range attrs {
+		ds.NumAttrs[j].Name = a
+	}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: reading CSV line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("data: CSV line %d has %d fields, want %d", line, len(rec), len(header))
+		}
+		num := make([]*pdf.PDF, len(attrs))
+		for j := range attrs {
+			p, err := parseCell(rec[j])
+			if err != nil {
+				return nil, fmt.Errorf("data: CSV line %d column %q: %w", line, attrs[j], err)
+			}
+			num[j] = p
+		}
+		label := rec[len(rec)-1]
+		ci, ok := classIdx[label]
+		if !ok {
+			ci = len(classes)
+			classIdx[label] = ci
+			classes = append(classes, label)
+		}
+		ds.Add(ci, num...)
+	}
+	ds.Classes = classes
+	return ds, ds.Validate()
+}
+
+// parseCell parses one numeric cell of the interchange format.
+func parseCell(cell string) (*pdf.PDF, error) {
+	cell = strings.TrimSpace(cell)
+	if cell == "" {
+		return nil, fmt.Errorf("empty cell")
+	}
+	if !strings.ContainsAny(cell, ";@") {
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			return nil, err
+		}
+		return pdf.Point(v), nil
+	}
+	parts := strings.Split(cell, ";")
+	xs := make([]float64, 0, len(parts))
+	ms := make([]float64, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		x, m := part, "1"
+		if at := strings.IndexByte(part, '@'); at >= 0 {
+			x, m = part[:at], part[at+1:]
+		}
+		xv, err := strconv.ParseFloat(x, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad sample location %q: %w", x, err)
+		}
+		mv, err := strconv.ParseFloat(m, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad sample mass %q: %w", m, err)
+		}
+		xs = append(xs, xv)
+		ms = append(ms, mv)
+	}
+	return pdf.New(xs, ms)
+}
+
+// WriteCSV writes a dataset in the interchange format.
+func WriteCSV(w io.Writer, ds *Dataset) error {
+	if len(ds.CatAttrs) > 0 {
+		return fmt.Errorf("data: CSV format does not carry categorical attributes")
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(ds.NumAttrs)+1)
+	for _, a := range ds.NumAttrs {
+		header = append(header, a.Name)
+	}
+	header = append(header, "class")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for _, t := range ds.Tuples {
+		for j, p := range t.Num {
+			rec[j] = formatCell(p)
+		}
+		rec[len(rec)-1] = ds.Classes[t.Class]
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// formatCell renders a pdf in the interchange cell syntax.
+func formatCell(p *pdf.PDF) string {
+	if p == nil {
+		return ""
+	}
+	if p.NumSamples() == 1 {
+		return strconv.FormatFloat(p.X(0), 'g', -1, 64)
+	}
+	var b strings.Builder
+	for i := 0; i < p.NumSamples(); i++ {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(strconv.FormatFloat(p.X(i), 'g', -1, 64))
+		b.WriteByte('@')
+		b.WriteString(strconv.FormatFloat(p.Mass(i), 'g', -1, 64))
+	}
+	return b.String()
+}

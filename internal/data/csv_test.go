@@ -1,0 +1,88 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"udt/internal/pdf"
+)
+
+func TestReadCSVPointsAndPDFs(t *testing.T) {
+	in := `x,y,class
+1.5,2@0.5;4@0.5,pos
+-1,1;2;3,neg
+`
+	ds, err := ReadCSV(strings.NewReader(in), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 || len(ds.Classes) != 2 {
+		t.Fatalf("parsed %d tuples %d classes", ds.Len(), len(ds.Classes))
+	}
+	if ds.Tuples[0].Num[0].Mean() != 1.5 {
+		t.Fatal("point cell wrong")
+	}
+	if m := ds.Tuples[0].Num[1].Mean(); math.Abs(m-3) > 1e-12 {
+		t.Fatalf("weighted pdf cell mean = %v, want 3", m)
+	}
+	if m := ds.Tuples[1].Num[1].Mean(); math.Abs(m-2) > 1e-12 {
+		t.Fatalf("equal-mass pdf cell mean = %v, want 2", m)
+	}
+	if ds.Classes[0] != "pos" || ds.Classes[1] != "neg" {
+		t.Fatalf("classes = %v", ds.Classes)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"onlyclass\n1\n",          // too few columns
+		"x,class\nnotanumber,a\n", // bad float
+		"x,class\n1@z,a\n",        // bad mass
+		"x,class\nz@1,a\n",        // bad location
+		"x,class\n,a\n",           // empty cell
+		"x,class\n1@0;2@0,a\n",    // zero total mass
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c), "t"); err == nil {
+			t.Errorf("case %d: no error", i)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := NewDataset("rt", 2, []string{"a", "b"})
+	ds.Add(0, pdf.Point(3.25), pdf.MustNew([]float64{1, 2}, []float64{1, 3}))
+	ds.Add(1, pdf.Point(-1), pdf.MustNew([]float64{0, 5, 9}, []float64{1, 1, 2}))
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() {
+		t.Fatalf("round trip lost tuples: %d vs %d", back.Len(), ds.Len())
+	}
+	for i := range ds.Tuples {
+		for j := range ds.Tuples[i].Num {
+			if !ds.Tuples[i].Num[j].Equal(back.Tuples[i].Num[j], 1e-9) {
+				t.Fatalf("tuple %d attr %d pdf changed in round trip", i, j)
+			}
+		}
+		if ds.Tuples[i].Class != back.Tuples[i].Class {
+			t.Fatalf("tuple %d class changed", i)
+		}
+	}
+}
+
+func TestWriteCSVRejectsCategorical(t *testing.T) {
+	ds := NewDataset("c", 1, []string{"A"})
+	ds.CatAttrs = []Attribute{{Name: "color", Kind: Categorical, Domain: []string{"r", "g"}}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err == nil {
+		t.Fatal("categorical datasets should be rejected by the CSV writer")
+	}
+}

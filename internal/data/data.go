@@ -1,0 +1,322 @@
+// Package data defines the uncertain-data model of Tsang et al.: datasets of
+// tuples whose numerical attributes are probability density functions and
+// whose categorical attributes are discrete distributions, plus the
+// fractional-tuple machinery, uncertainty injection, perturbation, and
+// cross-validation utilities used by the paper's experiments.
+package data
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"udt/internal/pdf"
+)
+
+// Kind distinguishes attribute types.
+type Kind int
+
+// Attribute kinds.
+const (
+	Numeric     Kind = iota // real-valued, uncertainty as a pdf
+	Categorical             // finite domain, uncertainty as a discrete distribution
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Numeric:
+		return "numeric"
+	case Categorical:
+		return "categorical"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Attribute describes one feature of a dataset.
+type Attribute struct {
+	Name   string
+	Kind   Kind
+	Domain []string // categorical value names; nil for numeric attributes
+}
+
+// CatDist is a discrete probability distribution over a categorical
+// attribute's domain (§7.2). Index i corresponds to Domain[i]. A nil or
+// empty CatDist means the attribute is missing for the tuple.
+type CatDist []float64
+
+// NewCatPoint returns the distribution concentrated on domain value v of a
+// domain with n values.
+func NewCatPoint(v, n int) CatDist {
+	d := make(CatDist, n)
+	d[v] = 1
+	return d
+}
+
+// Normalize scales the distribution to sum to one. It returns an error when
+// the total mass is not positive.
+func (d CatDist) Normalize() error {
+	total := 0.0
+	for _, p := range d {
+		if p < 0 || math.IsNaN(p) {
+			return errors.New("data: negative or NaN categorical mass")
+		}
+		total += p
+	}
+	if total <= 0 {
+		return errors.New("data: categorical distribution has no mass")
+	}
+	for i := range d {
+		d[i] /= total
+	}
+	return nil
+}
+
+// Mode returns the index of the most probable domain value.
+func (d CatDist) Mode() int {
+	best, bestP := 0, math.Inf(-1)
+	for i, p := range d {
+		if p > bestP {
+			best, bestP = i, p
+		}
+	}
+	return best
+}
+
+// Clone returns a deep copy.
+func (d CatDist) Clone() CatDist {
+	if d == nil {
+		return nil
+	}
+	c := make(CatDist, len(d))
+	copy(c, d)
+	return c
+}
+
+// Tuple is one training or test example. Num holds one pdf per numeric
+// attribute, Cat one discrete distribution per categorical attribute, in
+// dataset attribute order (numeric attributes first in Dataset.NumAttrs
+// order, categorical in Dataset.CatAttrs order). Weight is the fractional
+// tuple weight w of §3.2; whole tuples have weight 1.
+type Tuple struct {
+	Num    []*pdf.PDF
+	Cat    []CatDist
+	Class  int
+	Weight float64
+}
+
+// CloneShallow copies the tuple header while sharing the immutable pdfs.
+func (t *Tuple) CloneShallow() *Tuple {
+	c := &Tuple{Class: t.Class, Weight: t.Weight}
+	if t.Num != nil {
+		c.Num = make([]*pdf.PDF, len(t.Num))
+		copy(c.Num, t.Num)
+	}
+	if t.Cat != nil {
+		c.Cat = make([]CatDist, len(t.Cat))
+		copy(c.Cat, t.Cat)
+	}
+	return c
+}
+
+// Dataset is a set of uncertain tuples with schema information.
+type Dataset struct {
+	Name     string
+	NumAttrs []Attribute // numeric attributes
+	CatAttrs []Attribute // categorical attributes
+	Classes  []string
+	Tuples   []*Tuple
+}
+
+// NewDataset allocates an empty dataset with k numeric attributes named
+// A1..Ak and the given class labels.
+func NewDataset(name string, numAttrs int, classes []string) *Dataset {
+	attrs := make([]Attribute, numAttrs)
+	for i := range attrs {
+		attrs[i] = Attribute{Name: fmt.Sprintf("A%d", i+1), Kind: Numeric}
+	}
+	return &Dataset{Name: name, NumAttrs: attrs, Classes: classes}
+}
+
+// Add appends a tuple of whole weight with the given numeric pdfs.
+func (ds *Dataset) Add(class int, num ...*pdf.PDF) *Tuple {
+	t := &Tuple{Num: num, Class: class, Weight: 1}
+	ds.Tuples = append(ds.Tuples, t)
+	return t
+}
+
+// Len reports the number of tuples.
+func (ds *Dataset) Len() int { return len(ds.Tuples) }
+
+// TotalWeight returns the sum of tuple weights.
+func (ds *Dataset) TotalWeight() float64 {
+	w := 0.0
+	for _, t := range ds.Tuples {
+		w += t.Weight
+	}
+	return w
+}
+
+// Validate checks structural consistency: attribute arity, class indices,
+// weights, and categorical distribution lengths.
+func (ds *Dataset) Validate() error {
+	if len(ds.Classes) == 0 {
+		return errors.New("data: dataset has no classes")
+	}
+	for i, t := range ds.Tuples {
+		if t == nil {
+			return fmt.Errorf("data: tuple %d is nil", i)
+		}
+		if len(t.Num) != len(ds.NumAttrs) {
+			return fmt.Errorf("data: tuple %d has %d numeric values, schema has %d", i, len(t.Num), len(ds.NumAttrs))
+		}
+		if len(t.Cat) != len(ds.CatAttrs) {
+			return fmt.Errorf("data: tuple %d has %d categorical values, schema has %d", i, len(t.Cat), len(ds.CatAttrs))
+		}
+		if t.Class < 0 || t.Class >= len(ds.Classes) {
+			return fmt.Errorf("data: tuple %d has class %d out of range", i, t.Class)
+		}
+		if t.Weight <= 0 || math.IsNaN(t.Weight) {
+			return fmt.Errorf("data: tuple %d has weight %v", i, t.Weight)
+		}
+		for j, d := range t.Cat {
+			if d != nil && len(d) != len(ds.CatAttrs[j].Domain) {
+				return fmt.Errorf("data: tuple %d categorical %d has %d masses, domain has %d", i, j, len(d), len(ds.CatAttrs[j].Domain))
+			}
+		}
+	}
+	return nil
+}
+
+// withTuples returns a dataset sharing the schema with the given tuples.
+func (ds *Dataset) withTuples(ts []*Tuple) *Dataset {
+	return &Dataset{
+		Name:     ds.Name,
+		NumAttrs: ds.NumAttrs,
+		CatAttrs: ds.CatAttrs,
+		Classes:  ds.Classes,
+		Tuples:   ts,
+	}
+}
+
+// Subset returns a dataset over the tuples at the given indices (shared,
+// not copied).
+func (ds *Dataset) Subset(idx []int) *Dataset {
+	ts := make([]*Tuple, len(idx))
+	for i, j := range idx {
+		ts[i] = ds.Tuples[j]
+	}
+	return ds.withTuples(ts)
+}
+
+// ClassCounts returns the total weight per class.
+func (ds *Dataset) ClassCounts() []float64 {
+	counts := make([]float64, len(ds.Classes))
+	for _, t := range ds.Tuples {
+		counts[t.Class] += t.Weight
+	}
+	return counts
+}
+
+// NumRange returns the minimum and maximum location taken by numeric
+// attribute j over all tuples (the |A_j| domain width of §4.3 is hi-lo).
+// ok is false when no tuple carries the attribute.
+func (ds *Dataset) NumRange(j int) (lo, hi float64, ok bool) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, t := range ds.Tuples {
+		p := t.Num[j]
+		if p == nil {
+			continue
+		}
+		if p.Min() < lo {
+			lo = p.Min()
+		}
+		if p.Max() > hi {
+			hi = p.Max()
+		}
+		ok = true
+	}
+	return lo, hi, ok
+}
+
+// Means converts every tuple to its Averaging representative: each pdf is
+// replaced by a point pdf at its mean (§4.1). Categorical distributions are
+// preserved. The schema is shared; the tuples are fresh.
+func (ds *Dataset) Means() *Dataset {
+	ts := make([]*Tuple, len(ds.Tuples))
+	for i, t := range ds.Tuples {
+		c := t.CloneShallow()
+		for j, p := range t.Num {
+			if p != nil {
+				c.Num[j] = pdf.Point(p.Mean())
+			}
+		}
+		ts[i] = c
+	}
+	return ds.withTuples(ts)
+}
+
+// Shuffle permutes the tuple order in place using rng.
+func (ds *Dataset) Shuffle(rng *rand.Rand) {
+	rng.Shuffle(len(ds.Tuples), func(i, j int) {
+		ds.Tuples[i], ds.Tuples[j] = ds.Tuples[j], ds.Tuples[i]
+	})
+}
+
+// Split partitions the dataset into train and test sets, putting the first
+// ceil(frac*n) shuffled tuples into train. frac is clamped to [0,1].
+func (ds *Dataset) Split(frac float64, rng *rand.Rand) (train, test *Dataset) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	idx := rng.Perm(len(ds.Tuples))
+	cut := int(math.Ceil(frac * float64(len(ds.Tuples))))
+	return ds.Subset(idx[:cut]), ds.Subset(idx[cut:])
+}
+
+// Fold is one train/test split of a cross-validation.
+type Fold struct {
+	Train *Dataset
+	Test  *Dataset
+}
+
+// StratifiedKFold partitions the dataset into k folds preserving class
+// proportions, as used for the 10-fold cross-validation of §4.3.
+func (ds *Dataset) StratifiedKFold(k int, rng *rand.Rand) ([]Fold, error) {
+	if k < 2 {
+		return nil, errors.New("data: k-fold requires k >= 2")
+	}
+	if len(ds.Tuples) < k {
+		return nil, fmt.Errorf("data: %d tuples cannot make %d folds", len(ds.Tuples), k)
+	}
+	// Group indices by class, shuffle within each class, and deal them out
+	// round-robin so every fold sees near-identical class proportions.
+	byClass := make([][]int, len(ds.Classes))
+	for i, t := range ds.Tuples {
+		byClass[t.Class] = append(byClass[t.Class], i)
+	}
+	foldIdx := make([][]int, k)
+	next := 0
+	for _, idxs := range byClass {
+		rng.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
+		for _, i := range idxs {
+			foldIdx[next%k] = append(foldIdx[next%k], i)
+			next++
+		}
+	}
+	folds := make([]Fold, k)
+	for f := 0; f < k; f++ {
+		var train []int
+		for g := 0; g < k; g++ {
+			if g != f {
+				train = append(train, foldIdx[g]...)
+			}
+		}
+		folds[f] = Fold{Train: ds.Subset(train), Test: ds.Subset(foldIdx[f])}
+	}
+	return folds, nil
+}

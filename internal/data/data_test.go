@@ -1,0 +1,266 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"udt/internal/pdf"
+)
+
+func twoClassDataset(t *testing.T, n int) *Dataset {
+	t.Helper()
+	ds := NewDataset("toy", 2, []string{"A", "B"})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		class := i % 2
+		base := float64(class) * 5
+		p1, err := pdf.Uniform(base+rng.Float64(), base+1+rng.Float64(), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds.Add(class, p1, pdf.Point(rng.Float64()))
+	}
+	return ds
+}
+
+func TestDatasetBasics(t *testing.T) {
+	ds := twoClassDataset(t, 10)
+	if ds.Len() != 10 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	if w := ds.TotalWeight(); w != 10 {
+		t.Fatalf("TotalWeight = %v", w)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	counts := ds.ClassCounts()
+	if counts[0] != 5 || counts[1] != 5 {
+		t.Fatalf("ClassCounts = %v", counts)
+	}
+}
+
+func TestValidateCatchesBadTuples(t *testing.T) {
+	ds := NewDataset("bad", 1, []string{"A"})
+	ds.Add(0, pdf.Point(1), pdf.Point(2)) // wrong arity
+	if err := ds.Validate(); err == nil {
+		t.Error("arity mismatch not caught")
+	}
+	ds2 := NewDataset("bad2", 1, []string{"A"})
+	ds2.Add(3, pdf.Point(1)) // class out of range
+	if err := ds2.Validate(); err == nil {
+		t.Error("class out of range not caught")
+	}
+	ds3 := NewDataset("bad3", 1, []string{"A"})
+	tu := ds3.Add(0, pdf.Point(1))
+	tu.Weight = 0
+	if err := ds3.Validate(); err == nil {
+		t.Error("zero weight not caught")
+	}
+	ds4 := NewDataset("bad4", 0, nil)
+	if err := ds4.Validate(); err == nil {
+		t.Error("empty class set not caught")
+	}
+}
+
+func TestNumRange(t *testing.T) {
+	ds := twoClassDataset(t, 20)
+	lo, hi, ok := ds.NumRange(0)
+	if !ok {
+		t.Fatal("NumRange not ok")
+	}
+	if lo >= hi {
+		t.Fatalf("degenerate range [%v,%v]", lo, hi)
+	}
+	for _, tu := range ds.Tuples {
+		if tu.Num[0].Min() < lo || tu.Num[0].Max() > hi {
+			t.Fatal("range does not cover tuple pdfs")
+		}
+	}
+}
+
+func TestMeansCollapsesToPoints(t *testing.T) {
+	ds := twoClassDataset(t, 6)
+	avg := ds.Means()
+	if avg.Len() != ds.Len() {
+		t.Fatal("Means changed tuple count")
+	}
+	for i, tu := range avg.Tuples {
+		for j, p := range tu.Num {
+			if p.NumSamples() != 1 {
+				t.Fatalf("tuple %d attr %d not a point", i, j)
+			}
+			if math.Abs(p.Mean()-ds.Tuples[i].Num[j].Mean()) > 1e-12 {
+				t.Fatalf("mean changed for tuple %d attr %d", i, j)
+			}
+		}
+	}
+	// The original dataset must be untouched.
+	if ds.Tuples[0].Num[0].NumSamples() == 1 {
+		t.Fatal("Means mutated the source dataset")
+	}
+}
+
+func TestSubsetShares(t *testing.T) {
+	ds := twoClassDataset(t, 8)
+	sub := ds.Subset([]int{0, 2, 4})
+	if sub.Len() != 3 {
+		t.Fatalf("Subset len = %d", sub.Len())
+	}
+	if sub.Tuples[1] != ds.Tuples[2] {
+		t.Fatal("Subset should share tuples")
+	}
+}
+
+func TestSplitFractions(t *testing.T) {
+	ds := twoClassDataset(t, 10)
+	train, test := ds.Split(0.7, rand.New(rand.NewSource(3)))
+	if train.Len() != 7 || test.Len() != 3 {
+		t.Fatalf("Split = %d/%d, want 7/3", train.Len(), test.Len())
+	}
+	train, test = ds.Split(-1, rand.New(rand.NewSource(3)))
+	if train.Len() != 0 || test.Len() != 10 {
+		t.Fatal("clamped frac<0 should put everything in test")
+	}
+}
+
+func TestStratifiedKFold(t *testing.T) {
+	ds := twoClassDataset(t, 30)
+	folds, err := ds.StratifiedKFold(5, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatalf("StratifiedKFold: %v", err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("%d folds", len(folds))
+	}
+	seen := map[*Tuple]int{}
+	for _, f := range folds {
+		if f.Train.Len()+f.Test.Len() != ds.Len() {
+			t.Fatal("fold does not cover the dataset")
+		}
+		// Stratification: each class appears in each test fold.
+		counts := f.Test.ClassCounts()
+		for c, n := range counts {
+			if n == 0 {
+				t.Fatalf("class %d missing from a test fold", c)
+			}
+		}
+		for _, tu := range f.Test.Tuples {
+			seen[tu]++
+		}
+	}
+	if len(seen) != ds.Len() {
+		t.Fatalf("test folds cover %d distinct tuples, want %d", len(seen), ds.Len())
+	}
+	for _, n := range seen {
+		if n != 1 {
+			t.Fatal("a tuple appears in more than one test fold")
+		}
+	}
+}
+
+func TestStratifiedKFoldErrors(t *testing.T) {
+	ds := twoClassDataset(t, 4)
+	if _, err := ds.StratifiedKFold(1, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("k=1 should error")
+	}
+	if _, err := ds.StratifiedKFold(10, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("k > n should error")
+	}
+}
+
+func TestCatDist(t *testing.T) {
+	d := NewCatPoint(1, 3)
+	if d.Mode() != 1 {
+		t.Fatalf("Mode = %d", d.Mode())
+	}
+	d2 := CatDist{2, 1, 1}
+	if err := d2.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d2[0]-0.5) > 1e-12 {
+		t.Fatalf("Normalize: %v", d2)
+	}
+	bad := CatDist{0, 0}
+	if err := bad.Normalize(); err == nil {
+		t.Error("zero-mass Normalize should error")
+	}
+	neg := CatDist{-1, 2}
+	if err := neg.Normalize(); err == nil {
+		t.Error("negative-mass Normalize should error")
+	}
+	c := d2.Clone()
+	c[0] = 9
+	if d2[0] == 9 {
+		t.Error("Clone should copy")
+	}
+	if CatDist(nil).Clone() != nil {
+		t.Error("nil Clone should be nil")
+	}
+}
+
+func TestCloneShallow(t *testing.T) {
+	tu := &Tuple{
+		Num:    []*pdf.PDF{pdf.Point(1)},
+		Cat:    []CatDist{{1, 0}},
+		Class:  1,
+		Weight: 0.5,
+	}
+	c := tu.CloneShallow()
+	c.Num[0] = pdf.Point(2)
+	c.Cat[0] = CatDist{0, 1}
+	if tu.Num[0].Mean() != 1 || tu.Cat[0][0] != 1 {
+		t.Fatal("CloneShallow shares backing slices")
+	}
+	if c.Class != 1 || c.Weight != 0.5 {
+		t.Fatal("CloneShallow lost header fields")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Numeric.String() != "numeric" || Categorical.String() != "categorical" {
+		t.Fatal("Kind.String broken")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown Kind should still print")
+	}
+}
+
+// TestShuffle covers Dataset.Shuffle determinism.
+func TestShuffle(t *testing.T) {
+	ds := NewDataset("s", 1, []string{"A"})
+	for i := 0; i < 10; i++ {
+		ds.Add(0, pdf.Point(float64(i)))
+	}
+	order := func() []float64 {
+		out := make([]float64, ds.Len())
+		for i, tu := range ds.Tuples {
+			out[i] = tu.Num[0].Mean()
+		}
+		return out
+	}
+	before := order()
+	ds.Shuffle(rand.New(rand.NewSource(1)))
+	after := order()
+	same := true
+	for i := range before {
+		if before[i] != after[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("shuffle left the order unchanged")
+	}
+	// Same seed reproduces the same permutation.
+	ds2 := NewDataset("s2", 1, []string{"A"})
+	for i := 0; i < 10; i++ {
+		ds2.Add(0, pdf.Point(float64(i)))
+	}
+	ds2.Shuffle(rand.New(rand.NewSource(1)))
+	for i := range ds2.Tuples {
+		if ds2.Tuples[i].Num[0].Mean() != after[i] {
+			t.Fatal("shuffle not deterministic per seed")
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package data
+
+import (
+	"fmt"
+
+	"udt/internal/pdf"
+)
+
+// FillMissing implements the missing-value technique sketched in §2 of the
+// paper: for each numeric attribute, the pdfs of the tuples where the
+// value is present are averaged (weighted by tuple weight) into a "guess"
+// distribution, which is then substituted for every missing value. The
+// returned dataset has fresh tuples; the input is not modified. Attributes
+// with no observed values at all are left missing.
+func FillMissing(ds *Dataset) (*Dataset, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	guesses := make([]*pdf.PDF, len(ds.NumAttrs))
+	for j := range ds.NumAttrs {
+		var comps []*pdf.PDF
+		var weights []float64
+		for _, t := range ds.Tuples {
+			if p := t.Num[j]; p != nil {
+				comps = append(comps, p)
+				weights = append(weights, t.Weight)
+			}
+		}
+		if len(comps) == 0 {
+			continue
+		}
+		g, err := pdf.Mix(comps, weights)
+		if err != nil {
+			return nil, fmt.Errorf("data: averaging attribute %q: %w", ds.NumAttrs[j].Name, err)
+		}
+		guesses[j] = g
+	}
+	ts := make([]*Tuple, len(ds.Tuples))
+	for i, t := range ds.Tuples {
+		c := t.CloneShallow()
+		for j, p := range c.Num {
+			if p == nil {
+				c.Num[j] = guesses[j]
+			}
+		}
+		ts[i] = c
+	}
+	return ds.withTuples(ts), nil
+}
+
+// MissingCounts returns, per numeric attribute, how many tuples are
+// missing a value.
+func MissingCounts(ds *Dataset) []int {
+	counts := make([]int, len(ds.NumAttrs))
+	for _, t := range ds.Tuples {
+		for j, p := range t.Num {
+			if p == nil {
+				counts[j]++
+			}
+		}
+	}
+	return counts
+}

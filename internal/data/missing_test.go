@@ -1,0 +1,122 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"udt/internal/pdf"
+)
+
+func TestFillMissing(t *testing.T) {
+	ds := NewDataset("miss", 2, []string{"A", "B"})
+	ds.Add(0, pdf.Point(1), pdf.Point(10))
+	ds.Add(0, pdf.Point(3), nil)
+	ds.Add(1, nil, pdf.Point(20))
+	filled, err := FillMissing(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The original must keep its holes.
+	if ds.Tuples[1].Num[1] != nil || ds.Tuples[2].Num[0] != nil {
+		t.Fatal("FillMissing mutated the input")
+	}
+	// Attribute 0 guess: average of points 1 and 3 => mass 1/2 each.
+	g0 := filled.Tuples[2].Num[0]
+	if g0 == nil {
+		t.Fatal("missing value not filled")
+	}
+	if math.Abs(g0.Mean()-2) > 1e-12 {
+		t.Fatalf("guess mean = %v, want 2", g0.Mean())
+	}
+	if g0.NumSamples() != 2 {
+		t.Fatalf("guess should carry both observed values, got %d samples", g0.NumSamples())
+	}
+	// Attribute 1 guess: average of 10 and 20.
+	g1 := filled.Tuples[1].Num[1]
+	if math.Abs(g1.Mean()-15) > 1e-12 {
+		t.Fatalf("guess mean = %v, want 15", g1.Mean())
+	}
+	// Present values untouched.
+	if filled.Tuples[0].Num[0].Mean() != 1 {
+		t.Fatal("present value changed")
+	}
+	if err := filled.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFillMissingWeighted(t *testing.T) {
+	ds := NewDataset("w", 1, []string{"A"})
+	t1 := ds.Add(0, pdf.Point(0))
+	t1.Weight = 3
+	ds.Add(0, pdf.Point(4))
+	ds.Tuples = append(ds.Tuples, &Tuple{Num: []*pdf.PDF{nil}, Class: 0, Weight: 1})
+	filled, err := FillMissing(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weighted average: (3*0 + 1*4)/4 = 1.
+	g := filled.Tuples[2].Num[0]
+	if math.Abs(g.Mean()-1) > 1e-12 {
+		t.Fatalf("weighted guess mean = %v, want 1", g.Mean())
+	}
+}
+
+func TestFillMissingAllAbsent(t *testing.T) {
+	ds := NewDataset("allmiss", 1, []string{"A"})
+	ds.Tuples = append(ds.Tuples, &Tuple{Num: []*pdf.PDF{nil}, Class: 0, Weight: 1})
+	filled, err := FillMissing(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filled.Tuples[0].Num[0] != nil {
+		t.Fatal("attribute with no observations should stay missing")
+	}
+}
+
+func TestFillMissingInvalidDataset(t *testing.T) {
+	ds := NewDataset("bad", 1, []string{"A"})
+	ds.Add(7, pdf.Point(1))
+	if _, err := FillMissing(ds); err == nil {
+		t.Fatal("invalid dataset accepted")
+	}
+}
+
+func TestMissingCounts(t *testing.T) {
+	ds := NewDataset("mc", 2, []string{"A"})
+	ds.Add(0, pdf.Point(1), nil)
+	ds.Add(0, nil, nil)
+	counts := MissingCounts(ds)
+	if counts[0] != 1 || counts[1] != 2 {
+		t.Fatalf("MissingCounts = %v, want [1 2]", counts)
+	}
+}
+
+func TestMix(t *testing.T) {
+	a := pdf.Point(0)
+	b := pdf.Point(10)
+	m, err := pdf.Mix([]*pdf.PDF{a, b}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Mean()-7.5) > 1e-12 {
+		t.Fatalf("mixture mean = %v, want 7.5", m.Mean())
+	}
+	if _, err := pdf.Mix([]*pdf.PDF{a}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := pdf.Mix([]*pdf.PDF{a}, []float64{-1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := pdf.Mix([]*pdf.PDF{nil}, []float64{1}); err == nil {
+		t.Fatal("all-nil mixture accepted")
+	}
+	// Zero-weight and nil components are skipped.
+	m2, err := pdf.Mix([]*pdf.PDF{a, nil, b}, []float64{1, 5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Mean() != 0 {
+		t.Fatalf("mixture should reduce to the single live component, mean %v", m2.Mean())
+	}
+}

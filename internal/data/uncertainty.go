@@ -1,0 +1,193 @@
+package data
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"udt/internal/pdf"
+)
+
+// ErrorModel selects the synthetic pdf shape used when injecting uncertainty
+// onto point data (§4.3): Gaussian for random measurement noise, uniform for
+// quantisation noise.
+type ErrorModel int
+
+// Error models from §4.3.
+const (
+	GaussianModel ErrorModel = iota
+	UniformModel
+)
+
+func (m ErrorModel) String() string {
+	switch m {
+	case GaussianModel:
+		return "Gaussian"
+	case UniformModel:
+		return "uniform"
+	default:
+		return fmt.Sprintf("ErrorModel(%d)", int(m))
+	}
+}
+
+// Points is a point-valued dataset: the raw UCI-style matrix before
+// uncertainty is injected. Rows are tuples, columns numeric attributes.
+type Points struct {
+	Name    string
+	Attrs   []string
+	Classes []string
+	Rows    [][]float64
+	Labels  []int
+	Integer []bool // attribute has an integral domain (PenDigits et al.)
+}
+
+// Validate checks matrix consistency.
+func (p *Points) Validate() error {
+	if len(p.Rows) != len(p.Labels) {
+		return fmt.Errorf("data: %d rows but %d labels", len(p.Rows), len(p.Labels))
+	}
+	for i, r := range p.Rows {
+		if len(r) != len(p.Attrs) {
+			return fmt.Errorf("data: row %d has %d values, schema has %d", i, len(r), len(p.Attrs))
+		}
+		if p.Labels[i] < 0 || p.Labels[i] >= len(p.Classes) {
+			return fmt.Errorf("data: row %d label %d out of range", i, p.Labels[i])
+		}
+	}
+	return nil
+}
+
+// Ranges returns per-attribute value ranges |A_j| over the whole matrix.
+func (p *Points) Ranges() []float64 {
+	rs := make([]float64, len(p.Attrs))
+	for j := range p.Attrs {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range p.Rows {
+			if r[j] < lo {
+				lo = r[j]
+			}
+			if r[j] > hi {
+				hi = r[j]
+			}
+		}
+		if len(p.Rows) > 0 {
+			rs[j] = hi - lo
+		}
+	}
+	return rs
+}
+
+// Perturb returns a copy of the matrix with controlled Gaussian noise added
+// per §4.4: each value v becomes v + N(0, sigma²) with
+// sigma = u*|A_j|/4. u=0 returns an unmodified copy.
+func (p *Points) Perturb(u float64, rng *rand.Rand) *Points {
+	ranges := p.Ranges()
+	out := &Points{Name: p.Name, Attrs: p.Attrs, Classes: p.Classes, Labels: p.Labels, Integer: p.Integer}
+	out.Rows = make([][]float64, len(p.Rows))
+	for i, r := range p.Rows {
+		row := make([]float64, len(r))
+		copy(row, r)
+		if u > 0 {
+			for j := range row {
+				row[j] += rng.NormFloat64() * u * ranges[j] / 4
+			}
+		}
+		out.Rows[i] = row
+	}
+	return out
+}
+
+// InjectConfig controls uncertainty injection per §4.3.
+type InjectConfig struct {
+	W       float64    // pdf domain width as a fraction of |A_j|
+	S       int        // sample points per pdf
+	Model   ErrorModel // Gaussian (sigma = width/4) or uniform
+	PerAttr []ErrorModel
+}
+
+// modelFor returns the error model for attribute j.
+func (c InjectConfig) modelFor(j int) ErrorModel {
+	if j < len(c.PerAttr) {
+		return c.PerAttr[j]
+	}
+	return c.Model
+}
+
+// Inject converts point data into an uncertain dataset following §4.3: each
+// value v_{i,j} becomes the mean of a pdf over [v - w|A_j|/2, v + w|A_j|/2]
+// with s sample points. With W == 0 or S <= 1 values become point pdfs,
+// which makes AVG and UDT coincide (the paper's w=0 data points in Fig 4).
+func Inject(p *Points, cfg InjectConfig) (*Dataset, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.W < 0 {
+		return nil, errors.New("data: negative uncertainty width")
+	}
+	if cfg.S < 0 {
+		return nil, errors.New("data: negative sample count")
+	}
+	ds := NewDataset(p.Name, len(p.Attrs), p.Classes)
+	for j, name := range p.Attrs {
+		ds.NumAttrs[j].Name = name
+	}
+	ranges := p.Ranges()
+	for i, row := range p.Rows {
+		num := make([]*pdf.PDF, len(row))
+		for j, v := range row {
+			width := cfg.W * ranges[j]
+			if width <= 0 || cfg.S <= 1 {
+				num[j] = pdf.Point(v)
+				continue
+			}
+			a, b := v-width/2, v+width/2
+			var (
+				q   *pdf.PDF
+				err error
+			)
+			if cfg.modelFor(j) == UniformModel {
+				q, err = pdf.Uniform(a, b, cfg.S)
+			} else {
+				q, err = pdf.Gaussian(v, width/4, a, b, cfg.S)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("data: inject row %d attr %d: %w", i, j, err)
+			}
+			num[j] = q
+		}
+		ds.Add(p.Labels[i], num...)
+	}
+	return ds, nil
+}
+
+// FromRawSamples builds an uncertain dataset where each attribute value is
+// given by raw repeated measurements (the JapaneseVowel path of §4.3: 7-29
+// samples per value modelled directly as the pdf).
+func FromRawSamples(name string, attrs []string, classes []string, rows [][][]float64, labels []int) (*Dataset, error) {
+	if len(rows) != len(labels) {
+		return nil, fmt.Errorf("data: %d rows but %d labels", len(rows), len(labels))
+	}
+	ds := NewDataset(name, len(attrs), classes)
+	for j, a := range attrs {
+		ds.NumAttrs[j].Name = a
+	}
+	for i, row := range rows {
+		if len(row) != len(attrs) {
+			return nil, fmt.Errorf("data: row %d has %d attributes, schema has %d", i, len(row), len(attrs))
+		}
+		num := make([]*pdf.PDF, len(row))
+		for j, obs := range row {
+			q, err := pdf.FromSamples(obs)
+			if err != nil {
+				return nil, fmt.Errorf("data: row %d attr %d: %w", i, j, err)
+			}
+			num[j] = q
+		}
+		if labels[i] < 0 || labels[i] >= len(classes) {
+			return nil, fmt.Errorf("data: row %d label %d out of range", i, labels[i])
+		}
+		ds.Add(labels[i], num...)
+	}
+	return ds, nil
+}

@@ -1,0 +1,215 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func toyPoints() *Points {
+	return &Points{
+		Name:    "toy",
+		Attrs:   []string{"x", "y"},
+		Classes: []string{"A", "B"},
+		Rows: [][]float64{
+			{0, 10}, {1, 20}, {2, 30}, {3, 40},
+		},
+		Labels: []int{0, 0, 1, 1},
+	}
+}
+
+func TestPointsValidate(t *testing.T) {
+	p := toyPoints()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Labels = p.Labels[:3]
+	if err := p.Validate(); err == nil {
+		t.Error("label count mismatch not caught")
+	}
+	q := toyPoints()
+	q.Rows[0] = []float64{1}
+	if err := q.Validate(); err == nil {
+		t.Error("row arity mismatch not caught")
+	}
+	r := toyPoints()
+	r.Labels[0] = 7
+	if err := r.Validate(); err == nil {
+		t.Error("label out of range not caught")
+	}
+}
+
+func TestRanges(t *testing.T) {
+	p := toyPoints()
+	rs := p.Ranges()
+	if rs[0] != 3 || rs[1] != 30 {
+		t.Fatalf("Ranges = %v, want [3 30]", rs)
+	}
+}
+
+func TestPerturbZeroIsCopy(t *testing.T) {
+	p := toyPoints()
+	q := p.Perturb(0, rand.New(rand.NewSource(1)))
+	for i := range p.Rows {
+		for j := range p.Rows[i] {
+			if q.Rows[i][j] != p.Rows[i][j] {
+				t.Fatal("u=0 perturbation changed values")
+			}
+		}
+	}
+	q.Rows[0][0] = 99
+	if p.Rows[0][0] == 99 {
+		t.Fatal("Perturb must deep-copy rows")
+	}
+}
+
+func TestPerturbScalesWithU(t *testing.T) {
+	p := toyPoints()
+	rng := rand.New(rand.NewSource(5))
+	// Average displacement over many trials should scale with u*range/4.
+	const trials = 300
+	sum := 0.0
+	for k := 0; k < trials; k++ {
+		q := p.Perturb(0.2, rng)
+		sum += math.Abs(q.Rows[0][1] - p.Rows[0][1])
+	}
+	mean := sum / trials
+	sigma := 0.2 * 30 / 4 // u * |A_y| / 4
+	want := sigma * math.Sqrt(2/math.Pi)
+	if mean < want*0.7 || mean > want*1.3 {
+		t.Fatalf("mean |noise| = %v, want about %v", mean, want)
+	}
+}
+
+func TestInjectGaussian(t *testing.T) {
+	ds, err := Inject(toyPoints(), InjectConfig{W: 0.1, S: 20, Model: GaussianModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ranges := toyPoints().Ranges()
+	for i, tu := range ds.Tuples {
+		for j, q := range tu.Num {
+			v := toyPoints().Rows[i][j]
+			width := 0.1 * ranges[j]
+			if math.Abs(q.Mean()-v) > width/4 {
+				t.Fatalf("pdf mean %v far from source value %v", q.Mean(), v)
+			}
+			if q.Min() < v-width/2-1e-9 || q.Max() > v+width/2+1e-9 {
+				t.Fatalf("pdf domain [%v,%v] exceeds ±width/2 around %v", q.Min(), q.Max(), v)
+			}
+		}
+	}
+}
+
+func TestInjectUniformWidthAndShape(t *testing.T) {
+	ds, err := Inject(toyPoints(), InjectConfig{W: 0.2, S: 10, Model: UniformModel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := ds.Tuples[0]
+	q := tu.Num[1]
+	if q.NumSamples() != 10 {
+		t.Fatalf("s = %d, want 10", q.NumSamples())
+	}
+	for i := 0; i < q.NumSamples(); i++ {
+		if math.Abs(q.Mass(i)-0.1) > 1e-9 {
+			t.Fatalf("uniform mass %v", q.Mass(i))
+		}
+	}
+	if math.Abs((q.Max()-q.Min())-0.2*30) > 1e-9 {
+		t.Fatalf("width = %v, want %v", q.Max()-q.Min(), 0.2*30)
+	}
+}
+
+func TestInjectZeroWidthGivesPoints(t *testing.T) {
+	ds, err := Inject(toyPoints(), InjectConfig{W: 0, S: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range ds.Tuples {
+		for _, q := range tu.Num {
+			if q.NumSamples() != 1 {
+				t.Fatal("w=0 should give point pdfs")
+			}
+		}
+	}
+}
+
+func TestInjectPerAttrModels(t *testing.T) {
+	cfg := InjectConfig{W: 0.5, S: 9, Model: GaussianModel, PerAttr: []ErrorModel{UniformModel}}
+	ds, err := Inject(toyPoints(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Tuples[0].Num[0] // uniform: equal masses
+	for i := 0; i < q.NumSamples(); i++ {
+		if math.Abs(q.Mass(i)-1.0/float64(q.NumSamples())) > 1e-9 {
+			t.Fatal("attr 0 should be uniform")
+		}
+	}
+	g := ds.Tuples[0].Num[1] // Gaussian: centre mass exceeds edge mass
+	if g.Mass(g.NumSamples()/2) <= g.Mass(0) {
+		t.Fatal("attr 1 should be Gaussian-shaped")
+	}
+}
+
+func TestInjectErrors(t *testing.T) {
+	if _, err := Inject(toyPoints(), InjectConfig{W: -1, S: 10}); err == nil {
+		t.Error("negative width not caught")
+	}
+	if _, err := Inject(toyPoints(), InjectConfig{W: 0.1, S: -2}); err == nil {
+		t.Error("negative s not caught")
+	}
+	bad := toyPoints()
+	bad.Labels[0] = 9
+	if _, err := Inject(bad, InjectConfig{W: 0.1, S: 10}); err == nil {
+		t.Error("invalid points not caught")
+	}
+}
+
+func TestFromRawSamples(t *testing.T) {
+	rows := [][][]float64{
+		{{1, 2, 3}, {10, 10, 11}},
+		{{5, 6}, {20}},
+	}
+	ds, err := FromRawSamples("raw", []string{"a", "b"}, []string{"X", "Y"}, rows, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	if ds.Tuples[0].Num[0].NumSamples() != 3 {
+		t.Fatal("raw samples not preserved")
+	}
+	if math.Abs(ds.Tuples[0].Num[0].Mean()-2) > 1e-12 {
+		t.Fatal("raw sample mean wrong")
+	}
+}
+
+func TestFromRawSamplesErrors(t *testing.T) {
+	if _, err := FromRawSamples("x", []string{"a"}, []string{"X"}, [][][]float64{{{1}}}, []int{0, 1}); err == nil {
+		t.Error("row/label mismatch not caught")
+	}
+	if _, err := FromRawSamples("x", []string{"a", "b"}, []string{"X"}, [][][]float64{{{1}}}, []int{0}); err == nil {
+		t.Error("arity mismatch not caught")
+	}
+	if _, err := FromRawSamples("x", []string{"a"}, []string{"X"}, [][][]float64{{{}}}, []int{0}); err == nil {
+		t.Error("empty observations not caught")
+	}
+	if _, err := FromRawSamples("x", []string{"a"}, []string{"X"}, [][][]float64{{{1}}}, []int{5}); err == nil {
+		t.Error("label out of range not caught")
+	}
+}
+
+func TestErrorModelString(t *testing.T) {
+	if GaussianModel.String() != "Gaussian" || UniformModel.String() != "uniform" {
+		t.Fatal("ErrorModel.String broken")
+	}
+	if ErrorModel(9).String() == "" {
+		t.Fatal("unknown model should still print")
+	}
+}

@@ -1,0 +1,150 @@
+// Package eval measures classifier quality and construction cost: accuracy,
+// confusion matrices, train/test and 10-fold cross-validation protocols
+// (§4.3), and timing/counter harnesses for the efficiency study of §6.
+package eval
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"udt/internal/core"
+	"udt/internal/data"
+	"udt/internal/split"
+)
+
+// Result aggregates one evaluation run.
+type Result struct {
+	Accuracy     float64
+	Confusion    [][]float64 // [true class][predicted class] test weight
+	BuildTime    time.Duration
+	ClassifyTime time.Duration
+	Search       split.Stats // split-search work during construction
+	Nodes        int
+	Leaves       int
+	Depth        int
+}
+
+// Accuracy returns the fraction of test tuples whose predicted label
+// (argmax of the classification distribution, §3.2) matches the true label.
+func Accuracy(t *core.Tree, test *data.Dataset) float64 {
+	if test.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for _, tu := range test.Tuples {
+		if t.Predict(tu) == tu.Class {
+			correct++
+		}
+	}
+	return float64(correct) / float64(test.Len())
+}
+
+// Confusion returns the weight-weighted confusion matrix over the test set.
+func Confusion(t *core.Tree, test *data.Dataset) [][]float64 {
+	m := make([][]float64, len(test.Classes))
+	for i := range m {
+		m[i] = make([]float64, len(test.Classes))
+	}
+	for _, tu := range test.Tuples {
+		m[tu.Class][t.Predict(tu)] += tu.Weight
+	}
+	return m
+}
+
+// TrainTest builds a tree on train and evaluates on test.
+func TrainTest(train, test *data.Dataset, cfg core.Config) (Result, error) {
+	start := time.Now()
+	tree, err := core.Build(train, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	build := time.Since(start)
+
+	start = time.Now()
+	acc := Accuracy(tree, test)
+	classify := time.Since(start)
+
+	return Result{
+		Accuracy:     acc,
+		Confusion:    Confusion(tree, test),
+		BuildTime:    build,
+		ClassifyTime: classify,
+		Search:       tree.Stats.Search,
+		Nodes:        tree.Stats.Nodes,
+		Leaves:       tree.Stats.Leaves,
+		Depth:        tree.Stats.Depth,
+	}, nil
+}
+
+// TrainTestAveraging is TrainTest with the Averaging baseline: the training
+// pdfs are collapsed to their means before construction. Test tuples keep
+// their uncertainty (the paper classifies uncertain test tuples with both
+// approaches).
+func TrainTestAveraging(train, test *data.Dataset, cfg core.Config) (Result, error) {
+	return TrainTest(train.Means(), test, cfg)
+}
+
+// CrossValidate runs stratified k-fold cross-validation and returns the
+// pooled result (accuracy weighted by fold size, summed work counters).
+func CrossValidate(ds *data.Dataset, k int, cfg core.Config, rng *rand.Rand) (Result, error) {
+	if rng == nil {
+		return Result{}, errors.New("eval: nil rng")
+	}
+	folds, err := ds.StratifiedKFold(k, rng)
+	if err != nil {
+		return Result{}, err
+	}
+	var pooled Result
+	var correctW, totalW float64
+	for _, f := range folds {
+		r, err := TrainTest(f.Train, f.Test, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		correctW += r.Accuracy * float64(f.Test.Len())
+		totalW += float64(f.Test.Len())
+		pooled.BuildTime += r.BuildTime
+		pooled.ClassifyTime += r.ClassifyTime
+		pooled.Search.Add(r.Search)
+		pooled.Nodes += r.Nodes
+		pooled.Leaves += r.Leaves
+		if r.Depth > pooled.Depth {
+			pooled.Depth = r.Depth
+		}
+	}
+	pooled.Accuracy = correctW / totalW
+	return pooled, nil
+}
+
+// CrossValidateAveraging is CrossValidate with mean-collapsed training
+// folds (test folds keep their pdfs).
+func CrossValidateAveraging(ds *data.Dataset, k int, cfg core.Config, rng *rand.Rand) (Result, error) {
+	if rng == nil {
+		return Result{}, errors.New("eval: nil rng")
+	}
+	folds, err := ds.StratifiedKFold(k, rng)
+	if err != nil {
+		return Result{}, err
+	}
+	var pooled Result
+	var correctW, totalW float64
+	for _, f := range folds {
+		r, err := TrainTest(f.Train.Means(), f.Test, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		correctW += r.Accuracy * float64(f.Test.Len())
+		totalW += float64(f.Test.Len())
+		pooled.BuildTime += r.BuildTime
+		pooled.ClassifyTime += r.ClassifyTime
+		pooled.Search.Add(r.Search)
+		pooled.Nodes += r.Nodes
+		pooled.Leaves += r.Leaves
+		if r.Depth > pooled.Depth {
+			pooled.Depth = r.Depth
+		}
+	}
+	pooled.Accuracy = correctW / totalW
+	return pooled, nil
+}

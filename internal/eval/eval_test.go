@@ -1,0 +1,158 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"udt/internal/core"
+	"udt/internal/data"
+	"udt/internal/pdf"
+)
+
+func separableDataset(n int, rng *rand.Rand) *data.Dataset {
+	ds := data.NewDataset("sep", 1, []string{"lo", "hi"})
+	for i := 0; i < n; i++ {
+		class := i % 2
+		c := float64(class)*10 + rng.Float64()
+		p, _ := pdf.Uniform(c-0.3, c+0.3, 5)
+		ds.Add(class, p)
+	}
+	return ds
+}
+
+func TestAccuracyPerfect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := separableDataset(40, rng)
+	tree, err := core.Build(ds, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(tree, ds); acc != 1 {
+		t.Fatalf("accuracy on separable data = %v", acc)
+	}
+	empty := ds.Subset(nil)
+	if acc := Accuracy(tree, empty); acc != 0 {
+		t.Fatalf("accuracy on empty set = %v", acc)
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds := separableDataset(20, rng)
+	tree, err := core.Build(ds, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Confusion(tree, ds)
+	if len(m) != 2 || len(m[0]) != 2 {
+		t.Fatalf("confusion shape %dx%d", len(m), len(m[0]))
+	}
+	total := m[0][0] + m[0][1] + m[1][0] + m[1][1]
+	if math.Abs(total-20) > 1e-9 {
+		t.Fatalf("confusion total %v, want 20", total)
+	}
+	if m[0][0] != 10 || m[1][1] != 10 {
+		t.Fatalf("separable data should give diagonal confusion, got %v", m)
+	}
+}
+
+func TestTrainTest(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	train := separableDataset(40, rng)
+	test := separableDataset(20, rng)
+	r, err := TrainTest(train, test, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accuracy != 1 {
+		t.Fatalf("accuracy = %v", r.Accuracy)
+	}
+	if r.Nodes == 0 || r.Leaves == 0 || r.Depth == 0 {
+		t.Fatalf("tree stats missing: %+v", r)
+	}
+	if r.Search.EntropyCalcs() == 0 {
+		t.Fatal("no search work recorded")
+	}
+}
+
+func TestTrainTestAveraging(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	train := separableDataset(40, rng)
+	test := separableDataset(20, rng)
+	r, err := TrainTestAveraging(train, test, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accuracy != 1 {
+		t.Fatalf("AVG accuracy on separable data = %v", r.Accuracy)
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := separableDataset(50, rng)
+	r, err := CrossValidate(ds, 5, core.Config{}, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accuracy < 0.95 {
+		t.Fatalf("CV accuracy = %v", r.Accuracy)
+	}
+	if r.Nodes == 0 {
+		t.Fatal("pooled stats missing")
+	}
+	if _, err := CrossValidate(ds, 5, core.Config{}, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if _, err := CrossValidate(ds, 1, core.Config{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+}
+
+func TestCrossValidateAveraging(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ds := separableDataset(50, rng)
+	r, err := CrossValidateAveraging(ds, 5, core.Config{}, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accuracy < 0.95 {
+		t.Fatalf("AVG CV accuracy = %v", r.Accuracy)
+	}
+	if _, err := CrossValidateAveraging(ds, 5, core.Config{}, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+// TestUDTBeatsAVGOnMeanAliasedData is the paper's central accuracy claim in
+// miniature: when the means collide but the distributions differ, only the
+// distribution-based tree separates the classes.
+func TestUDTBeatsAVGOnMeanAliasedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ds := data.NewDataset("aliased", 1, []string{"A", "B"})
+	for i := 0; i < 60; i++ {
+		// Class A: mass at {-1, +1}; class B: mass at {-3, +3}. Same mean 0.
+		jitter := rng.Float64() * 0.1
+		if i%2 == 0 {
+			ds.Add(0, pdf.MustNew([]float64{-1 - jitter, 1 + jitter}, []float64{1, 1}))
+		} else {
+			ds.Add(1, pdf.MustNew([]float64{-3 - jitter, 3 + jitter}, []float64{1, 1}))
+		}
+	}
+	cfg := core.Config{MinWeight: 1}
+	avg, err := CrossValidateAveraging(ds, 5, cfg, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	udt, err := CrossValidate(ds, 5, cfg, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if udt.Accuracy <= avg.Accuracy {
+		t.Fatalf("UDT (%v) should beat AVG (%v) on mean-aliased data", udt.Accuracy, avg.Accuracy)
+	}
+	if udt.Accuracy < 0.9 {
+		t.Fatalf("UDT accuracy = %v, want >= 0.9", udt.Accuracy)
+	}
+}

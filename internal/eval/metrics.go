@@ -1,0 +1,112 @@
+package eval
+
+import (
+	"errors"
+	"math"
+
+	"udt/internal/core"
+	"udt/internal/data"
+)
+
+// Probabilistic and per-class quality metrics. The paper's classifier
+// returns a distribution over class labels for every test tuple (§3.2);
+// beyond argmax accuracy, proper scoring rules measure how well calibrated
+// those distributions are.
+
+// ClassMetrics holds per-class precision, recall and F1 derived from a
+// confusion matrix.
+type ClassMetrics struct {
+	Class     string
+	Precision float64
+	Recall    float64
+	F1        float64
+	Support   float64 // true weight of the class in the test set
+}
+
+// PerClass computes per-class metrics from a confusion matrix (rows: true
+// class, columns: predicted).
+func PerClass(classes []string, confusion [][]float64) ([]ClassMetrics, error) {
+	if len(confusion) != len(classes) {
+		return nil, errors.New("eval: confusion matrix does not match class count")
+	}
+	out := make([]ClassMetrics, len(classes))
+	for c := range classes {
+		if len(confusion[c]) != len(classes) {
+			return nil, errors.New("eval: confusion matrix is not square")
+		}
+		var tp, fn, fp float64
+		tp = confusion[c][c]
+		for o := range classes {
+			if o != c {
+				fn += confusion[c][o]
+				fp += confusion[o][c]
+			}
+		}
+		m := ClassMetrics{Class: classes[c], Support: tp + fn}
+		if tp+fp > 0 {
+			m.Precision = tp / (tp + fp)
+		}
+		if tp+fn > 0 {
+			m.Recall = tp / (tp + fn)
+		}
+		if m.Precision+m.Recall > 0 {
+			m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+		}
+		out[c] = m
+	}
+	return out, nil
+}
+
+// MacroF1 averages per-class F1 scores with equal class weight.
+func MacroF1(metrics []ClassMetrics) float64 {
+	if len(metrics) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, m := range metrics {
+		sum += m.F1
+	}
+	return sum / float64(len(metrics))
+}
+
+// Brier returns the mean Brier score of the tree's classification
+// distributions over the test set: the squared distance between the
+// predicted distribution and the one-hot true label, averaged over tuples.
+// Lower is better; 0 is perfect.
+func Brier(t *core.Tree, test *data.Dataset) float64 {
+	if test.Len() == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, tu := range test.Tuples {
+		dist := t.Classify(tu)
+		for c, p := range dist {
+			target := 0.0
+			if c == tu.Class {
+				target = 1
+			}
+			d := p - target
+			sum += d * d
+		}
+	}
+	return sum / float64(test.Len())
+}
+
+// LogLoss returns the mean negative log-likelihood (in nats) assigned to
+// the true labels, with probabilities clamped away from zero to keep the
+// score finite. Lower is better.
+func LogLoss(t *core.Tree, test *data.Dataset) float64 {
+	if test.Len() == 0 {
+		return 0
+	}
+	const floor = 1e-15
+	sum := 0.0
+	for _, tu := range test.Tuples {
+		p := t.Classify(tu)[tu.Class]
+		if p < floor {
+			p = floor
+		}
+		sum -= math.Log(p)
+	}
+	return sum / float64(test.Len())
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestESFractionAblation(t *testing.T) {
+	o := tinyOpts()
+	o.Scale = 0.1
+	rows, err := ESFractionAblation(o, "Glass", []float64{0.05, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	// Ablation must not change the resulting tree (safe pruning).
+	if rows[0].Nodes != rows[1].Nodes {
+		t.Fatalf("ES fraction changed the tree: %d vs %d nodes", rows[0].Nodes, rows[1].Nodes)
+	}
+	var buf bytes.Buffer
+	FprintAblation(&buf, rows)
+	if !strings.Contains(buf.String(), "frac=5%") {
+		t.Fatalf("render missing label:\n%s", buf.String())
+	}
+	if _, err := ESFractionAblation(o, "nope", nil); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestEndPointModeAblation(t *testing.T) {
+	o := tinyOpts()
+	o.Scale = 0.1
+	rows, err := EndPointModeAblation(o, "Iris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	// Same width, different end-point modes: identical trees.
+	if rows[0].Nodes != rows[1].Nodes {
+		t.Fatalf("end-point mode changed the tree: %d vs %d nodes", rows[0].Nodes, rows[1].Nodes)
+	}
+	if rows[2].Nodes != rows[3].Nodes {
+		t.Fatalf("end-point mode changed the wide tree: %d vs %d nodes", rows[2].Nodes, rows[3].Nodes)
+	}
+	if _, err := EndPointModeAblation(o, "nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"udt/internal/data"
+)
+
+// tinyOpts keeps experiment tests fast: minimal datasets, few samples.
+func tinyOpts(datasets ...string) Options {
+	return Options{
+		Scale:    0.02,
+		S:        12,
+		W:        0.10,
+		Seed:     1,
+		Folds:    3,
+		Datasets: datasets,
+		MaxDepth: 6,
+	}
+}
+
+func TestDatasetTable(t *testing.T) {
+	rows := DatasetTable(Options{})
+	if len(rows) != 10 {
+		t.Fatalf("%d rows, want 10", len(rows))
+	}
+	var buf bytes.Buffer
+	FprintDatasetTable(&buf, rows)
+	out := buf.String()
+	for _, name := range []string{"JapaneseVowel", "Iris", "Segment"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("table missing %s:\n%s", name, out)
+		}
+	}
+	filtered := DatasetTable(Options{Datasets: []string{"Iris"}})
+	if len(filtered) != 1 || filtered[0].Name != "Iris" {
+		t.Fatalf("filter broken: %+v", filtered)
+	}
+}
+
+func TestAccuracyTableSmall(t *testing.T) {
+	rows, err := AccuracyTable(tinyOpts("Iris", "Glass"), []float64{0.05, 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 datasets x 1 model x 2 widths.
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.AVG < 0 || r.AVG > 1 || r.UDT < 0 || r.UDT > 1 {
+			t.Fatalf("accuracy out of range: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	FprintAccuracyTable(&buf, rows)
+	if !strings.Contains(buf.String(), "Iris") {
+		t.Fatal("render missing dataset")
+	}
+}
+
+func TestAccuracyTableUniformForIntegerDatasets(t *testing.T) {
+	rows, err := AccuracyTable(tinyOpts("Vehicle"), []float64{0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := map[data.ErrorModel]bool{}
+	for _, r := range rows {
+		models[r.Model] = true
+	}
+	if !models[data.GaussianModel] || !models[data.UniformModel] {
+		t.Fatalf("integer dataset should get both error models, got %v", models)
+	}
+}
+
+func TestAccuracyTableRawDataset(t *testing.T) {
+	rows, err := AccuracyTable(tinyOpts("JapaneseVowel"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !rows[0].Raw {
+		t.Fatalf("raw dataset should give one raw row: %+v", rows)
+	}
+}
+
+func TestNoiseModelSmall(t *testing.T) {
+	points, err := NoiseModel(tinyOpts(), "Iris", []float64{0, 0.05}, []float64{0, 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 u x 2 w measured + 2 model points.
+	if len(points) != 6 {
+		t.Fatalf("%d points, want 6", len(points))
+	}
+	modelPoints := 0
+	for _, p := range points {
+		if p.Model {
+			modelPoints++
+			// Eq. (2): w = sqrt(w0² + u²) >= u always.
+			if p.W < p.U-1e-12 {
+				t.Fatalf("model width %v below its noise level %v", p.W, p.U)
+			}
+		}
+	}
+	if modelPoints != 2 {
+		t.Fatalf("%d model points, want 2", modelPoints)
+	}
+	var buf bytes.Buffer
+	FprintNoiseModel(&buf, points)
+	if !strings.Contains(buf.String(), "model") {
+		t.Fatal("render missing model curve")
+	}
+}
+
+func TestNoiseModelRejectsRawDataset(t *testing.T) {
+	if _, err := NoiseModel(tinyOpts(), "JapaneseVowel", nil, nil); err == nil {
+		t.Fatal("raw dataset accepted")
+	}
+	if _, err := NoiseModel(tinyOpts(), "nope", nil, nil); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestEfficiencySmall(t *testing.T) {
+	rows, err := Efficiency(tinyOpts("Iris"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Algorithms) {
+		t.Fatalf("%d rows, want %d", len(rows), len(Algorithms))
+	}
+	byAlgo := map[string]EfficiencyRow{}
+	for _, r := range rows {
+		byAlgo[r.Algorithm] = r
+	}
+	// The pruning hierarchy of §6.2: each successive algorithm performs at
+	// most as many entropy calculations as its predecessor (ES can exceed GP
+	// on tiny data, but never UDT).
+	if byAlgo["UDT-BP"].EntropyCalcs > byAlgo["UDT"].EntropyCalcs {
+		t.Fatal("BP did more work than UDT")
+	}
+	if byAlgo["UDT-LP"].EntropyCalcs > byAlgo["UDT-BP"].EntropyCalcs {
+		t.Fatal("LP did more work than BP")
+	}
+	if byAlgo["UDT-GP"].EntropyCalcs > byAlgo["UDT-LP"].EntropyCalcs {
+		t.Fatal("GP did more work than LP")
+	}
+	if byAlgo["UDT-ES"].EntropyCalcs > byAlgo["UDT"].EntropyCalcs {
+		t.Fatal("ES did more work than UDT")
+	}
+	// AVG processes one point per pdf and must do far less split work.
+	if byAlgo["AVG"].EntropyCalcs >= byAlgo["UDT"].EntropyCalcs {
+		t.Fatal("AVG should evaluate fewer candidates than UDT")
+	}
+	var buf bytes.Buffer
+	FprintEfficiency(&buf, rows)
+	if !strings.Contains(buf.String(), "UDT-ES") {
+		t.Fatal("render missing algorithm")
+	}
+}
+
+func TestSSweepSmall(t *testing.T) {
+	points, err := SSweep(tinyOpts("Glass"), []int{5, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d points, want 2", len(points))
+	}
+	if points[0].X != 5 || points[1].X != 15 {
+		t.Fatalf("sweep xs wrong: %+v", points)
+	}
+	// More samples per pdf means more candidates to search.
+	if points[1].EntropyCalcs < points[0].EntropyCalcs {
+		t.Fatalf("entropy calcs should not shrink with s: %d -> %d",
+			points[0].EntropyCalcs, points[1].EntropyCalcs)
+	}
+	var buf bytes.Buffer
+	FprintSweep(&buf, "s", points)
+	if !strings.Contains(buf.String(), "Glass") {
+		t.Fatal("render missing dataset")
+	}
+}
+
+func TestWSweepSmall(t *testing.T) {
+	points, err := WSweep(tinyOpts("Iris"), []float64{0.02, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d points, want 2", len(points))
+	}
+}
+
+func TestSweepsExcludeRawDataset(t *testing.T) {
+	points, err := SSweep(tinyOpts("JapaneseVowel"), []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 0 {
+		t.Fatal("raw dataset should be excluded from sweeps")
+	}
+}
+
+func TestPointDataSmall(t *testing.T) {
+	o := tinyOpts()
+	o.Scale = 0.1
+	rows, err := PointData(o, "Iris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	var udt, gp int64
+	for _, r := range rows {
+		switch r.Algorithm {
+		case "UDT":
+			udt = r.EntropyCalcs
+		case "UDT-GP":
+			gp = r.EntropyCalcs
+		}
+		if r.Accuracy <= 0 {
+			t.Fatalf("accuracy missing: %+v", r)
+		}
+	}
+	if gp > udt {
+		t.Fatalf("GP on point data did more work than exhaustive: %d > %d", gp, udt)
+	}
+	var buf bytes.Buffer
+	FprintPointData(&buf, rows)
+	if !strings.Contains(buf.String(), "UDT-GP") {
+		t.Fatal("render missing algorithm")
+	}
+	if _, err := PointData(o, "JapaneseVowel"); err == nil {
+		t.Fatal("raw dataset accepted")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Scale != 1 || o.S != 100 || o.W != 0.10 || o.Folds != 10 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	if !o.wants("anything") {
+		t.Fatal("empty filter should accept everything")
+	}
+	o.Datasets = []string{"Iris"}
+	if o.wants("Glass") || !o.wants("Iris") {
+		t.Fatal("filter broken")
+	}
+}

@@ -1,0 +1,74 @@
+package pdf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchPDF(b *testing.B, s int) *PDF {
+	b.Helper()
+	p, err := Gaussian(0, 1, -3, 3, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func BenchmarkGaussianConstruct(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Gaussian(0, 1, -3, 3, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUniformConstruct(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Uniform(-3, 3, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCDF(b *testing.B) {
+	p := benchPDF(b, 100)
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = rng.Float64()*8 - 4
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.CDF(xs[i%len(xs)])
+	}
+}
+
+func BenchmarkSplitAt(b *testing.B) {
+	p := benchPDF(b, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.SplitAt(p.X(i % p.NumSamples()))
+	}
+}
+
+func BenchmarkFromSamples(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	obs := make([]float64, 25)
+	for i := range obs {
+		obs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromSamples(obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMean(b *testing.B) {
+	p := benchPDF(b, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Mean()
+	}
+}

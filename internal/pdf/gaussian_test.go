@@ -1,0 +1,154 @@
+package pdf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestGaussianMassMatchesAnalyticCDF: each discretisation cell must carry
+// exactly the Gaussian mass of that cell (before renormalisation), so the
+// discrete CDF tracks the analytic truncated-Gaussian CDF.
+func TestGaussianMassMatchesAnalyticCDF(t *testing.T) {
+	mean, sigma, a, b := 3.0, 1.5, -1.0, 7.0
+	const s = 201
+	p, err := Gaussian(mean, sigma, a, b, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := func(x float64) float64 { return gaussCDF(mean, sigma, x) }
+	norm := z(b) - z(a)
+	for _, x := range []float64{0, 1.7, 3, 4.2, 6} {
+		analytic := (z(x) - z(a)) / norm
+		// The discrete CDF is a staircase; at cell width 8/200 = 0.04 it
+		// should track the analytic CDF within half a cell of mass.
+		got := p.CDF(x)
+		if math.Abs(got-analytic) > 0.02 {
+			t.Fatalf("CDF(%v) = %v, analytic %v", x, got, analytic)
+		}
+	}
+}
+
+// TestGaussianAsymmetricTruncationShiftsMean: truncating a Gaussian
+// asymmetrically moves the mean toward the retained side.
+func TestGaussianAsymmetricTruncationShiftsMean(t *testing.T) {
+	p, err := Gaussian(0, 1, -0.5, 3, 301)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mean() <= 0 {
+		t.Fatalf("mean = %v, want > 0 after right-leaning truncation", p.Mean())
+	}
+}
+
+// TestQuickMassesSumToOne: every constructor yields a distribution whose
+// total mass is exactly one.
+func TestQuickMassesSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var p *PDF
+		switch rng.Intn(4) {
+		case 0:
+			p = Point(rng.NormFloat64())
+		case 1:
+			a := rng.NormFloat64()
+			p, _ = Uniform(a, a+rng.Float64()*5+0.01, 1+rng.Intn(50))
+		case 2:
+			m := rng.NormFloat64()
+			p, _ = Gaussian(m, rng.Float64()+0.01, m-2, m+2, 1+rng.Intn(50))
+		default:
+			obs := make([]float64, 1+rng.Intn(20))
+			for i := range obs {
+				obs[i] = rng.NormFloat64()
+			}
+			p, _ = FromSamples(obs)
+		}
+		if p == nil {
+			return false
+		}
+		total := 0.0
+		for i := 0; i < p.NumSamples(); i++ {
+			m := p.Mass(i)
+			if m < 0 {
+				return false
+			}
+			total += m
+		}
+		return math.Abs(total-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickQuantileInverseOfCDF: Quantile(CDF(x)) <= x and
+// CDF(Quantile(q)) >= q for all sample points and probabilities.
+func TestQuickQuantileInverseOfCDF(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		xs := make([]float64, n)
+		ms := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(rng.Intn(100))
+			ms[i] = rng.Float64() + 0.01
+		}
+		p := MustNew(xs, ms)
+		for i := 0; i < p.NumSamples(); i++ {
+			x := p.X(i)
+			if p.Quantile(p.CDF(x)) > x {
+				return false
+			}
+		}
+		for q := 0.05; q < 1; q += 0.1 {
+			if p.CDF(p.Quantile(q)) < q-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVarianceOfUniform: the discretised uniform's variance approaches the
+// analytic (b-a)²/12 · (s+1)/(s-1) — for equally spaced equal-mass points
+// the exact variance is (b-a)²(s+1)/(12(s-1)).
+func TestVarianceOfUniform(t *testing.T) {
+	a, b := 2.0, 8.0
+	const s = 101
+	p, err := Uniform(a, b, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (b - a) * (b - a) * float64(s+1) / (12 * float64(s-1))
+	if math.Abs(p.Variance()-want) > 1e-9 {
+		t.Fatalf("variance = %v, want %v", p.Variance(), want)
+	}
+}
+
+// TestSplitAtEverySamplePoint: splitting at each sample location in turn
+// partitions the mass monotonically.
+func TestSplitAtEverySamplePoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 30)
+	ms := make([]float64, 30)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 5
+		ms[i] = rng.Float64() + 0.01
+	}
+	p := MustNew(xs, ms)
+	prev := 0.0
+	for i := 0; i < p.NumSamples(); i++ {
+		_, _, pL := p.SplitAt(p.X(i))
+		if pL < prev {
+			t.Fatalf("left mass decreased: %v after %v", pL, prev)
+		}
+		prev = pL
+	}
+	if math.Abs(prev-1) > 1e-12 {
+		t.Fatalf("final left mass = %v, want 1", prev)
+	}
+}

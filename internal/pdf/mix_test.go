@@ -1,0 +1,72 @@
+package pdf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMixWeightsAndNormalisation(t *testing.T) {
+	a := MustNew([]float64{0, 1}, []float64{1, 1})
+	b := MustNew([]float64{10, 11}, []float64{1, 3})
+	m, err := Mix([]*PDF{a, b}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal weights: each component contributes half its mass.
+	if got := m.CDF(1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("CDF(1) = %v, want 0.5", got)
+	}
+	if got := m.Mass(3); math.Abs(got-3.0/8) > 1e-12 {
+		t.Fatalf("mass at 11 = %v, want 3/8", got)
+	}
+	want := 0.5*a.Mean() + 0.5*b.Mean()
+	if math.Abs(m.Mean()-want) > 1e-12 {
+		t.Fatalf("mixture mean = %v, want %v", m.Mean(), want)
+	}
+}
+
+func TestMixOverlappingSupports(t *testing.T) {
+	a := MustNew([]float64{0, 1}, []float64{1, 1})
+	b := MustNew([]float64{1, 2}, []float64{1, 1})
+	m, err := Mix([]*PDF{a, b}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSamples() != 3 {
+		t.Fatalf("overlapping mixture has %d samples, want 3 (shared point merged)", m.NumSamples())
+	}
+	if math.Abs(m.Mass(1)-0.5) > 1e-12 {
+		t.Fatalf("shared point mass = %v, want 0.5", m.Mass(1))
+	}
+}
+
+func TestMixErrorCases(t *testing.T) {
+	a := Point(1)
+	if _, err := Mix([]*PDF{a}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Mix([]*PDF{a}, []float64{-1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := Mix([]*PDF{a}, []float64{math.NaN()}); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	if _, err := Mix(nil, nil); err == nil {
+		t.Error("empty mixture accepted")
+	}
+	if _, err := Mix([]*PDF{nil, nil}, []float64{1, 1}); err == nil {
+		t.Error("all-nil mixture accepted")
+	}
+	if _, err := Mix([]*PDF{a, nil}, []float64{0, 1}); err == nil {
+		t.Error("zero-total mixture accepted")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic on invalid input")
+		}
+	}()
+	MustNew(nil, nil)
+}

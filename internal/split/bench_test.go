@@ -1,0 +1,81 @@
+package split
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkBuildAttrView(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tuples := randomDataset(rng, 200, 1, 4, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := buildAttrView(tuples, 0, 4); v == nil {
+			b.Fatal("nil view")
+		}
+	}
+}
+
+func BenchmarkBestStrategies(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tuples := randomDataset(rng, 150, 3, 4, 40)
+	for _, strat := range []Strategy{UDT, BP, LP, GP, ES} {
+		b.Run(strat.String(), func(b *testing.B) {
+			f := NewFinder(Config{Measure: Entropy, Strategy: strat})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := f.Best(tuples, 3, 4)
+				if !res.Found {
+					b.Fatal("no split found")
+				}
+			}
+			b.ReportMetric(float64(f.Stats().EntropyCalcs())/float64(b.N), "calcs/op")
+		})
+	}
+}
+
+func BenchmarkBestMeasures(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	tuples := randomDataset(rng, 100, 2, 3, 30)
+	for _, m := range []Measure{Entropy, Gini, GainRatio} {
+		b.Run(m.String(), func(b *testing.B) {
+			f := NewFinder(Config{Measure: m, Strategy: GP})
+			for i := 0; i < b.N; i++ {
+				f.Best(tuples, 2, 3)
+			}
+		})
+	}
+}
+
+func BenchmarkEntropyLowerBound(b *testing.B) {
+	in := boundInput{
+		n: []float64{3, 1, 4, 1},
+		k: []float64{5, 9, 2, 6},
+		m: []float64{5, 3, 5, 8},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		entropyLowerBound(in)
+	}
+}
+
+func BenchmarkCategoricalScore(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	tuples := randomDataset(rng, 100, 1, 3, 5)
+	for _, tu := range tuples {
+		d := make([]float64, 4)
+		for v := range d {
+			d[v] = rng.Float64()
+		}
+		total := d[0] + d[1] + d[2] + d[3]
+		for v := range d {
+			d[v] /= total
+		}
+		tu.Cat = append(tu.Cat, d)
+	}
+	f := NewFinder(Config{Measure: Entropy})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.CategoricalScore(tuples, 0, 4, 3)
+	}
+}

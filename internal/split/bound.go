@@ -1,0 +1,102 @@
+package split
+
+import "math"
+
+// boundInput carries the z-independent quantities of §5.2 for one
+// heterogeneous interval (a, b]: per-class masses left of the interval (n),
+// inside it (k), and right of it (m).
+type boundInput struct {
+	n, k, m []float64
+}
+
+// entropyLowerBound computes L_j of Eq. (3): a lower bound of the split
+// entropy H(z, A_j) over every split point z inside the interval. Its cost
+// is comparable to a single entropy evaluation, which is why bound
+// computations are counted together with entropy calculations in §6.2.
+func entropyLowerBound(in boundInput) float64 {
+	var n, m, kSum float64
+	for c := range in.n {
+		n += in.n[c]
+		m += in.m[c]
+		kSum += in.k[c]
+	}
+	N := n + kSum + m
+	if N <= 0 {
+		return 0
+	}
+	sum := 0.0
+	for c := range in.n {
+		nc, mc, kc := in.n[c], in.m[c], in.k[c]
+		theta := safeRatio(nc+kc, n+kc)
+		eta := safeRatio(mc+kc, m+kc)
+		sum += nc*log2Safe(theta) + mc*log2Safe(eta) + kc*log2Safe(math.Max(theta, eta))
+	}
+	return -sum / N
+}
+
+// giniLowerBound computes L_j^(Gini) of Eq. (4), the analogous lower bound
+// for the Gini index.
+func giniLowerBound(in boundInput) float64 {
+	var n, m, kSum float64
+	for c := range in.n {
+		n += in.n[c]
+		m += in.m[c]
+		kSum += in.k[c]
+	}
+	N := n + kSum + m
+	if N <= 0 {
+		return 0
+	}
+	var sumTheta2, sumEta2, sumK float64
+	for c := range in.n {
+		nc, mc, kc := in.n[c], in.m[c], in.k[c]
+		theta := safeRatio(nc+kc, n+kc)
+		eta := safeRatio(mc+kc, m+kc)
+		sumTheta2 += theta * theta
+		sumEta2 += eta * eta
+		sumK += kc * (theta*theta + eta*eta)
+	}
+	inner := math.Min(sumK, kSum*math.Max(sumTheta2, sumEta2))
+	return 1 - (n*sumTheta2+m*sumEta2+inner)/N
+}
+
+// gainRatioScoreBound returns a lower bound of the negated gain ratio over
+// the interval, together with ok=false when no safe bound exists (the split
+// information can vanish inside the interval, §7.4). parentH is the parent
+// entropy; nLa and nLb are the left totals when splitting at the interval's
+// two end points; total is the overall mass.
+func gainRatioScoreBound(in boundInput, parentH, nLa, nLb, total float64) (bound float64, ok bool) {
+	entLB := entropyLowerBound(in)
+	gainUB := parentH - entLB
+	if gainUB <= 0 {
+		// No split in the interval can have positive gain; any bound below
+		// every useful score works. Scores are negated gain ratios, so 0
+		// dominates nothing and the interval is prunable against any
+		// negative best.
+		return 0, true
+	}
+	siA := splitInfo(nLa, total-nLa)
+	siB := splitInfo(nLb, total-nLb)
+	siMin := math.Min(siA, siB)
+	if siMin <= siEps {
+		return 0, false
+	}
+	return -gainUB / siMin, true
+}
+
+// safeRatio returns a/b treating 0/0 as 0.
+func safeRatio(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
+}
+
+// log2Safe returns log2(x) treating log(0) as 0, matching the 0·log 0 = 0
+// convention of the entropy formulas (the multiplier is 0 whenever x is).
+func log2Safe(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log2(x)
+}

@@ -1,0 +1,78 @@
+package split
+
+import "udt/internal/data"
+
+// CategoricalScore computes the dispersion of the multiway split on
+// categorical attribute catIdx (§7.2): tuples are fractionally distributed
+// into one bucket per domain value according to their discrete
+// distributions, and the weighted impurity over buckets is returned. ok is
+// false when fewer than two buckets receive mass, in which case the split
+// is useless. The evaluation counts once toward Stats.SplitEvals.
+func (f *Finder) CategoricalScore(tuples []*data.Tuple, catIdx, domainSize, numClasses int) (score float64, ok bool) {
+	f.ensureScratch(numClasses)
+	f.stats.SplitEvals++
+
+	bucketClass := make([][]float64, domainSize)
+	for v := range bucketClass {
+		bucketClass[v] = make([]float64, numClasses)
+	}
+	bucketTotal := make([]float64, domainSize)
+	total := 0.0
+	for _, t := range tuples {
+		d := t.Cat[catIdx]
+		if d == nil {
+			continue
+		}
+		for v, p := range d {
+			w := t.Weight * p
+			if w <= 0 {
+				continue
+			}
+			bucketClass[v][t.Class] += w
+			bucketTotal[v] += w
+			total += w
+		}
+	}
+	if total <= 0 {
+		return 0, false
+	}
+	nonEmpty := 0
+	for _, w := range bucketTotal {
+		if w > intervalEps {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		return 0, false
+	}
+
+	h := 0.0
+	for v := range bucketClass {
+		if bucketTotal[v] <= 0 {
+			continue
+		}
+		if f.cfg.Measure == Gini {
+			h += bucketTotal[v] / total * giniOf(bucketClass[v], bucketTotal[v])
+		} else {
+			h += bucketTotal[v] / total * entropyOf(bucketClass[v], bucketTotal[v])
+		}
+	}
+	if f.cfg.Measure != GainRatio {
+		return h, true
+	}
+
+	// Gain ratio: (parent entropy - H) / multiway split information.
+	parentCounts := make([]float64, numClasses)
+	for _, t := range tuples {
+		parentCounts[t.Class] += t.Weight
+	}
+	parentH := entropyOf(parentCounts, -1)
+	si := 0.0
+	for _, w := range bucketTotal {
+		si -= xlog2(w / total)
+	}
+	if si <= siEps {
+		return 0, false
+	}
+	return -(parentH - h) / si, true
+}

@@ -1,0 +1,316 @@
+package split
+
+import (
+	"fmt"
+	"math"
+
+	"udt/internal/data"
+)
+
+// Strategy selects the candidate-pruning algorithm of §5.
+type Strategy int
+
+// Search strategies, in the paper's ascending order of pruning power.
+const (
+	UDT Strategy = iota // exhaustive: every pdf sample point (§4.2)
+	BP                  // Basic Pruning: skip empty/homogeneous interiors (Thms 1-2)
+	LP                  // Local Pruning: bound heterogeneous intervals per attribute (§5.2)
+	GP                  // Global Pruning: bound with a global threshold (§5.2)
+	ES                  // End-point Sampling on top of GP (§5.3)
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case UDT:
+		return "UDT"
+	case BP:
+		return "UDT-BP"
+	case LP:
+		return "UDT-LP"
+	case GP:
+		return "UDT-GP"
+	case ES:
+		return "UDT-ES"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Stats counts the work performed by split searches. SplitEvals counts
+// dispersion evaluations at candidate split points and BoundEvals counts
+// interval lower-bound computations; their sum is the paper's "number of
+// entropy calculations" metric (§6.2, which states a bound costs about the
+// same as an entropy evaluation).
+type Stats struct {
+	SplitEvals      int64
+	BoundEvals      int64
+	PrunedIntervals int64
+	PrunedCoarse    int64
+}
+
+// EntropyCalcs returns the paper's cost metric: split evaluations plus
+// bound computations.
+func (s Stats) EntropyCalcs() int64 { return s.SplitEvals + s.BoundEvals }
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.SplitEvals += other.SplitEvals
+	s.BoundEvals += other.BoundEvals
+	s.PrunedIntervals += other.PrunedIntervals
+	s.PrunedCoarse += other.PrunedCoarse
+}
+
+// Config parameterises a Finder.
+type Config struct {
+	Measure      Measure
+	Strategy     Strategy
+	EndPointFrac float64      // ES end-point sample fraction; 0 means the paper's 10%
+	EndPoints    EndPointMode // interval end-point derivation (§7.3)
+	Percentiles  int          // per-class percentile count for PercentileEnds; 0 means 9
+}
+
+// Result is the outcome of a best-split search over the numeric attributes.
+type Result struct {
+	Attr  int     // winning attribute index
+	Z     float64 // split point z_n
+	Score float64 // minimised dispersion H(z, A_j) (negated gain ratio for GainRatio)
+	Gain  float64 // parent impurity minus Score (the gain ratio itself for GainRatio)
+	Found bool
+}
+
+// Finder locates optimal split points. It is not safe for concurrent use;
+// create one Finder per goroutine.
+type Finder struct {
+	cfg   Config
+	stats Stats
+
+	// scratch buffers reused across evaluations
+	numClasses int
+	left       []float64
+	right      []float64
+	kBuf       []float64
+	nBuf       []float64
+	mBuf       []float64
+}
+
+// NewFinder returns a Finder for the given configuration.
+func NewFinder(cfg Config) *Finder {
+	if cfg.EndPointFrac <= 0 || cfg.EndPointFrac > 1 {
+		cfg.EndPointFrac = 0.1
+	}
+	return &Finder{cfg: cfg}
+}
+
+// Config returns the finder's configuration.
+func (f *Finder) Config() Config { return f.cfg }
+
+// Stats returns the accumulated work counters.
+func (f *Finder) Stats() Stats { return f.stats }
+
+// ResetStats zeroes the work counters.
+func (f *Finder) ResetStats() { f.stats = Stats{} }
+
+func (f *Finder) ensureScratch(numClasses int) {
+	if f.numClasses != numClasses {
+		f.numClasses = numClasses
+		f.left = make([]float64, numClasses)
+		f.right = make([]float64, numClasses)
+		f.kBuf = make([]float64, numClasses)
+		f.nBuf = make([]float64, numClasses)
+		f.mBuf = make([]float64, numClasses)
+	}
+}
+
+// scoreEps breaks ties conservatively: a bound only prunes when it cannot
+// hide a strictly better optimum.
+const scoreEps = 1e-12
+
+// Best finds the optimal (attribute, split point) over all numeric
+// attributes for the given fractional tuples, using the configured strategy.
+// All strategies return a split with the globally minimal dispersion; they
+// differ only in how many evaluations Stats records. Found is false when no
+// attribute admits a valid binary split.
+func (f *Finder) Best(tuples []*data.Tuple, numAttrs, numClasses int) Result {
+	f.ensureScratch(numClasses)
+	parentH := f.parentEntropy(tuples, numClasses)
+	best := Result{Score: math.Inf(1)}
+
+	switch f.cfg.Strategy {
+	case UDT:
+		for j := 0; j < numAttrs; j++ {
+			v := buildAttrView(tuples, j, numClasses)
+			if v == nil {
+				continue
+			}
+			f.evalAllSamples(v, j, parentH, &best)
+		}
+	case BP, LP:
+		for j := 0; j < numAttrs; j++ {
+			v := buildAttrView(tuples, j, numClasses)
+			if v == nil {
+				continue
+			}
+			ends := f.endsFor(v)
+			f.evalEndPoints(v, j, ends, parentH, &best)
+			f.evalIntervals(v, j, ends, parentH, f.cfg.Strategy == LP, &best)
+		}
+	case GP:
+		// Phase 1: end points of every attribute establish the global
+		// pruning threshold. Phase 2: bound-prune heterogeneous intervals
+		// against it. Views are cached across the two phases; the cache
+		// lives only for this node's search.
+		cache := newViewCache(tuples, numClasses)
+		for j := 0; j < numAttrs; j++ {
+			v := cache.get(j)
+			if v == nil {
+				continue
+			}
+			f.evalEndPoints(v, j, f.endsFor(v), parentH, &best)
+		}
+		for j := 0; j < numAttrs; j++ {
+			v := cache.get(j)
+			if v == nil {
+				continue
+			}
+			f.evalIntervals(v, j, f.endsFor(v), parentH, true, &best)
+		}
+	case ES:
+		f.bestES(tuples, numAttrs, numClasses, parentH, &best)
+	default:
+		for j := 0; j < numAttrs; j++ {
+			v := buildAttrView(tuples, j, numClasses)
+			if v == nil {
+				continue
+			}
+			f.evalAllSamples(v, j, parentH, &best)
+		}
+	}
+
+	if !best.Found {
+		return best
+	}
+	if f.cfg.Measure == GainRatio {
+		best.Gain = -best.Score
+	} else {
+		counts := make([]float64, numClasses)
+		total := 0.0
+		for _, t := range tuples {
+			counts[t.Class] += t.Weight
+			total += t.Weight
+		}
+		best.Gain = impurity(f.cfg.Measure, counts, total) - best.Score
+	}
+	return best
+}
+
+// parentEntropy returns the parent node entropy needed by the gain-ratio
+// measure; zero otherwise (unused).
+func (f *Finder) parentEntropy(tuples []*data.Tuple, numClasses int) float64 {
+	if f.cfg.Measure != GainRatio {
+		return 0
+	}
+	counts := make([]float64, numClasses)
+	total := 0.0
+	for _, t := range tuples {
+		counts[t.Class] += t.Weight
+		total += t.Weight
+	}
+	return entropyOf(counts, total)
+}
+
+// evalCandidate scores splitting attribute j at location x and folds the
+// outcome into best. It counts one split evaluation.
+func (f *Finder) evalCandidate(v *attrView, j int, x, parentH float64, best *Result) {
+	f.stats.SplitEvals++
+	nL := v.leftCounts(x, f.left)
+	nR := v.total - nL
+	for c := range f.right {
+		f.right[c] = v.totals[c] - f.left[c]
+	}
+	score, ok := binarySplitScore(f.cfg.Measure, f.left, f.right, nL, nR, parentH)
+	if !ok {
+		return
+	}
+	if score < best.Score {
+		*best = Result{Attr: j, Z: x, Score: score, Found: true}
+	}
+}
+
+// evalAllSamples is the exhaustive UDT search: every distinct pdf sample
+// location except the largest (which yields an empty right subset) is a
+// candidate.
+func (f *Finder) evalAllSamples(v *attrView, j int, parentH float64, best *Result) {
+	for i := 0; i+1 < len(v.xs); i++ {
+		f.evalCandidate(v, j, v.xs[i], parentH, best)
+	}
+}
+
+// evalEndPoints scores each end point in ends (except the last, which gives
+// an empty right subset).
+func (f *Finder) evalEndPoints(v *attrView, j int, ends []float64, parentH float64, best *Result) {
+	for i := 0; i+1 < len(ends); i++ {
+		f.evalCandidate(v, j, ends[i], parentH, best)
+	}
+}
+
+// evalIntervals walks the intervals defined by consecutive end points,
+// skipping empty and homogeneous interiors (Theorems 1-2; for gain ratio
+// only empty interiors are skippable, §7.4) and, when useBound is true,
+// bound-pruning the remaining intervals against the best score so far
+// (§5.2). Interval interiors that survive are evaluated exhaustively.
+func (f *Finder) evalIntervals(v *attrView, j int, ends []float64, parentH float64, useBound bool, best *Result) {
+	for i := 0; i+1 < len(ends); i++ {
+		a, b := ends[i], ends[i+1]
+		lo, hi := v.interiorRange(a, b)
+		if lo >= hi {
+			continue // no interior candidates
+		}
+		kTotal := v.massIn(a, b, f.kBuf)
+		kind := classify(f.kBuf)
+		if kind == emptyInterval {
+			continue // Theorem 1
+		}
+		if kind == homogeneousInterval && f.cfg.Measure != GainRatio {
+			continue // Theorem 2
+		}
+		if useBound && f.pruneByBound(v, a, b, kTotal, parentH, best) {
+			f.stats.PrunedIntervals++
+			continue
+		}
+		for x := lo; x < hi; x++ {
+			f.evalCandidate(v, j, v.xs[x], parentH, best)
+		}
+	}
+}
+
+// pruneByBound reports whether the interval (a, b] can be discarded because
+// its dispersion lower bound is no better than the best score found so far.
+// It counts one bound evaluation. f.kBuf must already hold the interval's
+// per-class masses.
+func (f *Finder) pruneByBound(v *attrView, a, b, kTotal, parentH float64, best *Result) bool {
+	if !best.Found {
+		return false
+	}
+	f.stats.BoundEvals++
+	nLa := v.leftCounts(a, f.nBuf)
+	for c := range f.mBuf {
+		f.mBuf[c] = v.totals[c] - f.nBuf[c] - f.kBuf[c]
+		if f.mBuf[c] < 0 {
+			f.mBuf[c] = 0
+		}
+	}
+	in := boundInput{n: f.nBuf, k: f.kBuf, m: f.mBuf}
+	var (
+		bound float64
+		ok    bool
+	)
+	switch f.cfg.Measure {
+	case Entropy:
+		bound, ok = entropyLowerBound(in), true
+	case Gini:
+		bound, ok = giniLowerBound(in), true
+	case GainRatio:
+		bound, ok = gainRatioScoreBound(in, parentH, nLa, nLa+kTotal, v.total)
+	}
+	return ok && bound >= best.Score-scoreEps
+}

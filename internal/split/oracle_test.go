@@ -1,0 +1,97 @@
+package split
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"udt/internal/data"
+)
+
+// naiveBest is an independent reference implementation of the exhaustive
+// split search: for every distinct sample location z of every attribute it
+// recomputes the left/right class masses directly from the tuple pdfs
+// (CDF calls, no prefix sums, no pruning) and evaluates Eq. (1) from
+// scratch. It shares no code with the production search beyond the
+// dispersion formulas.
+func naiveBest(tuples []*data.Tuple, numAttrs, numClasses int, m Measure) (Result, bool) {
+	best := Result{Score: math.Inf(1)}
+	for j := 0; j < numAttrs; j++ {
+		// Candidate split points: all sample locations.
+		var zs []float64
+		for _, t := range tuples {
+			p := t.Num[j]
+			if p == nil {
+				continue
+			}
+			for i := 0; i < p.NumSamples(); i++ {
+				zs = append(zs, p.X(i))
+			}
+		}
+		sort.Float64s(zs)
+		zs = dedupFloats(zs)
+		for _, z := range zs {
+			left := make([]float64, numClasses)
+			right := make([]float64, numClasses)
+			var nL, nR float64
+			for _, t := range tuples {
+				p := t.Num[j]
+				if p == nil {
+					continue
+				}
+				pl := p.CDF(z)
+				left[t.Class] += t.Weight * pl
+				right[t.Class] += t.Weight * (1 - pl)
+				nL += t.Weight * pl
+				nR += t.Weight * (1 - pl)
+			}
+			score, ok := binarySplitScore(m, left, right, nL, nR, 0)
+			if ok && score < best.Score {
+				best = Result{Attr: j, Z: z, Score: score, Found: true}
+			}
+		}
+	}
+	return best, best.Found
+}
+
+func dedupFloats(xs []float64) []float64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// TestBestMatchesNaiveOracle: the production search (all strategies) must
+// find the same optimal score as the from-scratch reference, for entropy
+// and Gini.
+func TestBestMatchesNaiveOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		classes := 2 + rng.Intn(3)
+		tuples := randomDataset(rng, 4+rng.Intn(16), 1+rng.Intn(2), classes, 1+rng.Intn(5))
+		k := len(tuples[0].Num)
+		for _, m := range []Measure{Entropy, Gini} {
+			want, wantFound := naiveBest(tuples, k, classes, m)
+			for _, strat := range []Strategy{UDT, BP, LP, GP, ES} {
+				got := NewFinder(Config{Measure: m, Strategy: strat}).Best(tuples, k, classes)
+				if got.Found != wantFound {
+					t.Logf("seed %d %v/%v: Found %v, oracle %v", seed, m, strat, got.Found, wantFound)
+					return false
+				}
+				if wantFound && math.Abs(got.Score-want.Score) > 1e-9 {
+					t.Logf("seed %d %v/%v: score %v, oracle %v", seed, m, strat, got.Score, want.Score)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package split
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"udt/internal/data"
+	"udt/internal/pdf"
+)
+
+// TestPercentileEndsAgreeWithExhaustive is the §7.3 safety property: with
+// artificial percentile end points, every pruned strategy must still return
+// a split with the exhaustive optimum's score (the interval partition
+// changes, the theorems' validity does not).
+func TestPercentileEndsAgreeWithExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		tuples := randomDataset(rng, 6+rng.Intn(20), 1+rng.Intn(2), 2+rng.Intn(3), 2+rng.Intn(8))
+		k := len(tuples[0].Num)
+		ref := NewFinder(Config{Measure: Entropy, Strategy: UDT}).Best(tuples, k, 5)
+		for _, strat := range []Strategy{BP, LP, GP, ES} {
+			got := NewFinder(Config{
+				Measure:   Entropy,
+				Strategy:  strat,
+				EndPoints: PercentileEnds,
+			}).Best(tuples, k, 5)
+			if got.Found != ref.Found {
+				t.Fatalf("percentile/%v trial %d: Found mismatch", strat, trial)
+			}
+			if ref.Found && math.Abs(got.Score-ref.Score) > 1e-9 {
+				t.Fatalf("percentile/%v trial %d: score %v != exhaustive %v",
+					strat, trial, got.Score, ref.Score)
+			}
+		}
+	}
+}
+
+// TestPercentileEndsCoverDomain: the artificial end points must include the
+// global extremes so that no candidate escapes the interval partition.
+func TestPercentileEndsCoverDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	tuples := randomDataset(rng, 20, 1, 3, 10)
+	v := buildAttrView(tuples, 0, 3)
+	f := NewFinder(Config{EndPoints: PercentileEnds, Percentiles: 9})
+	ends := f.endsFor(v)
+	if ends[0] != v.xs[0] {
+		t.Fatalf("first end %v != global min %v", ends[0], v.xs[0])
+	}
+	if ends[len(ends)-1] != v.xs[len(v.xs)-1] {
+		t.Fatalf("last end %v != global max %v", ends[len(ends)-1], v.xs[len(v.xs)-1])
+	}
+	for i := 1; i < len(ends); i++ {
+		if ends[i] <= ends[i-1] {
+			t.Fatal("ends not strictly increasing")
+		}
+	}
+	// At most 9 per class plus two extremes.
+	if len(ends) > 9*3+2 {
+		t.Fatalf("%d ends exceed bound", len(ends))
+	}
+}
+
+// TestPercentileEndsFewerThanDomainEnds: on wide overlapping pdfs the
+// percentile partition is much smaller than the ms domain-end partition
+// would make the candidate pool — that is its purpose.
+func TestPercentileEndsFewerThanDomainEnds(t *testing.T) {
+	tuples := make([]*data.Tuple, 50)
+	rng := rand.New(rand.NewSource(33))
+	for i := range tuples {
+		c := rng.NormFloat64()
+		p, _ := pdf.Gaussian(c, 2, c-6, c+6, 40)
+		tuples[i] = &data.Tuple{Num: []*pdf.PDF{p}, Class: i % 2, Weight: 1}
+	}
+	v := buildAttrView(tuples, 0, 2)
+	f := NewFinder(Config{EndPoints: PercentileEnds})
+	if len(f.endsFor(v)) >= len(v.ends) {
+		t.Fatalf("percentile ends (%d) should undercut domain ends (%d)",
+			len(f.endsFor(v)), len(v.ends))
+	}
+}
+
+func TestEndPointModeString(t *testing.T) {
+	if DomainEnds.String() != "domain" || PercentileEnds.String() != "percentile" {
+		t.Fatal("EndPointMode.String broken")
+	}
+}

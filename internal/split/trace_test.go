@@ -1,0 +1,111 @@
+package split
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTraceESNineRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	tuples := randomDataset(rng, 30, 1, 3, 12)
+	steps, err := TraceES(tuples, 0, 3, Config{Measure: Entropy, Strategy: ES})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 9 {
+		t.Fatalf("%d rows, want 9 (Fig 5)", len(steps))
+	}
+	for i, s := range steps {
+		if s.Row != i+1 {
+			t.Fatalf("row numbering broken at %d", i)
+		}
+		if s.Name == "" {
+			t.Fatal("unnamed row")
+		}
+	}
+	// Row 1: one domain interval per tuple.
+	if len(steps[0].Intervals) != 30 {
+		t.Fatalf("row 1 has %d domains, want 30", len(steps[0].Intervals))
+	}
+	// Row 2: end points are sorted and unique.
+	ends := steps[1].Points
+	for i := 1; i < len(ends); i++ {
+		if ends[i] <= ends[i-1] {
+			t.Fatal("end points not strictly increasing")
+		}
+	}
+	// Row 3 intervals = consecutive end point pairs.
+	if len(steps[2].Intervals) != len(ends)-1 {
+		t.Fatalf("row 3 has %d intervals for %d end points", len(steps[2].Intervals), len(ends))
+	}
+	// Row 4: sampled points are a subset of the end points, including both
+	// extremes.
+	sampled := steps[3].Points
+	if len(sampled) >= len(ends) {
+		t.Fatalf("sampling did not reduce the end point count: %d vs %d", len(sampled), len(ends))
+	}
+	if sampled[0] != ends[0] || sampled[len(sampled)-1] != ends[len(ends)-1] {
+		t.Fatal("sampled points must include the extremes")
+	}
+	// Row 6 survivors are coarse intervals (between sampled points).
+	for _, iv := range steps[5].Intervals {
+		if iv[0] >= iv[1] {
+			t.Fatal("degenerate surviving interval")
+		}
+	}
+	// Row 9 candidates are a subset of row 8's fine intervals.
+	fine := map[[2]float64]bool{}
+	for _, iv := range steps[7].Intervals {
+		fine[iv] = true
+	}
+	for _, iv := range steps[8].Intervals {
+		if !fine[iv] {
+			t.Fatalf("final interval %v not among re-expanded fine intervals", iv)
+		}
+	}
+}
+
+func TestTraceESPruningShrinksCandidates(t *testing.T) {
+	// On a clusterable dataset the final candidate set must be a strict
+	// subset of all fine intervals.
+	rng := rand.New(rand.NewSource(52))
+	tuples := randomDataset(rng, 60, 1, 2, 20)
+	steps, err := TraceES(tuples, 0, 2, Config{Measure: Entropy, Strategy: ES})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps[8].Intervals) >= len(steps[2].Intervals) {
+		t.Fatalf("no pruning visible: %d final vs %d fine intervals",
+			len(steps[8].Intervals), len(steps[2].Intervals))
+	}
+}
+
+func TestTraceESErrors(t *testing.T) {
+	tuples := randomDataset(rand.New(rand.NewSource(53)), 5, 1, 2, 3)
+	for _, tu := range tuples {
+		tu.Num[0] = nil
+	}
+	if _, err := TraceES(tuples, 0, 2, Config{}); err == nil {
+		t.Fatal("massless attribute accepted")
+	}
+}
+
+func TestFprintTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	tuples := randomDataset(rng, 10, 1, 2, 5)
+	steps, err := TraceES(tuples, 0, 2, Config{Measure: Entropy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	FprintTrace(&buf, steps)
+	out := buf.String()
+	if !strings.Contains(out, "row 1") || !strings.Contains(out, "row 9") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "Q'_j") {
+		t.Fatal("render missing sampled row label")
+	}
+}

@@ -1,0 +1,222 @@
+package split
+
+import (
+	"slices"
+	"sort"
+
+	"udt/internal/data"
+)
+
+// attrView is the per-attribute search index: the distinct pdf sample
+// locations of all tuples with per-class cumulative weighted mass, plus the
+// distinct pdf end points (the Q_j of §5.1). Prefix sums make every
+// class-count query — and hence every entropy evaluation — O(|C|).
+type attrView struct {
+	xs     []float64   // distinct sample locations, ascending
+	cum    [][]float64 // cum[c][i] = weighted mass of class c at locations <= xs[i]
+	totals []float64   // per-class total weighted mass
+	total  float64     // overall mass
+	ends   []float64   // distinct pdf end points (Q_j), ascending
+}
+
+// event is one weighted pdf sample point.
+type event struct {
+	x     float64
+	mass  float64
+	class int
+}
+
+// buildAttrView indexes numeric attribute j of the given fractional tuples.
+// Tuples whose pdf for j is nil (missing) are skipped. Returns nil when no
+// mass is present.
+func buildAttrView(tuples []*data.Tuple, j, numClasses int) *attrView {
+	nEvents := 0
+	for _, t := range tuples {
+		if p := t.Num[j]; p != nil {
+			nEvents += p.NumSamples()
+		}
+	}
+	if nEvents == 0 {
+		return nil
+	}
+	events := make([]event, 0, nEvents)
+	endSet := make([]float64, 0, 2*len(tuples))
+	for _, t := range tuples {
+		p := t.Num[j]
+		if p == nil {
+			continue
+		}
+		for i := 0; i < p.NumSamples(); i++ {
+			events = append(events, event{x: p.X(i), mass: t.Weight * p.Mass(i), class: t.Class})
+		}
+		endSet = append(endSet, p.Min(), p.Max())
+	}
+	slices.SortFunc(events, func(a, b event) int {
+		switch {
+		case a.x < b.x:
+			return -1
+		case a.x > b.x:
+			return 1
+		default:
+			return 0
+		}
+	})
+
+	v := &attrView{totals: make([]float64, numClasses)}
+	// Distinct locations with running per-class prefix sums, stored in one
+	// slab for locality.
+	distinct := 0
+	for i := range events {
+		if i == 0 || events[i].x != events[i-1].x {
+			distinct++
+		}
+	}
+	v.xs = make([]float64, 0, distinct)
+	slab := make([]float64, numClasses*distinct)
+	v.cum = make([][]float64, numClasses)
+	for c := range v.cum {
+		v.cum[c] = slab[c*distinct : (c+1)*distinct]
+	}
+	run := make([]float64, numClasses)
+	idx := -1
+	for i, e := range events {
+		if i == 0 || e.x != events[i-1].x {
+			idx++
+			v.xs = append(v.xs, e.x)
+		}
+		run[e.class] += e.mass
+		v.totals[e.class] += e.mass
+		v.total += e.mass
+		if i == len(events)-1 || events[i+1].x != e.x {
+			for c := range run {
+				v.cum[c][idx] = run[c]
+			}
+		}
+	}
+
+	sort.Float64s(endSet)
+	v.ends = endSet[:0]
+	for i, e := range endSet {
+		if i == 0 || e != v.ends[len(v.ends)-1] {
+			v.ends = append(v.ends, e)
+		}
+	}
+	return v
+}
+
+// locIndex returns the number of sample locations <= x, i.e. the exclusive
+// upper index of the left partition when splitting at x.
+func (v *attrView) locIndex(x float64) int {
+	return sort.Search(len(v.xs), func(i int) bool { return v.xs[i] > x })
+}
+
+// leftCounts fills out with the per-class mass at locations <= x and
+// returns the left total. out must have len == numClasses.
+func (v *attrView) leftCounts(x float64, out []float64) float64 {
+	idx := v.locIndex(x)
+	if idx == 0 {
+		for c := range out {
+			out[c] = 0
+		}
+		return 0
+	}
+	total := 0.0
+	for c := range out {
+		out[c] = v.cum[c][idx-1]
+		total += out[c]
+	}
+	return total
+}
+
+// massIn fills out with the per-class mass in the half-open interval (a, b]
+// and returns its total.
+func (v *attrView) massIn(a, b float64, out []float64) float64 {
+	ia, ib := v.locIndex(a), v.locIndex(b)
+	total := 0.0
+	for c := range out {
+		var lo, hi float64
+		if ia > 0 {
+			lo = v.cum[c][ia-1]
+		}
+		if ib > 0 {
+			hi = v.cum[c][ib-1]
+		}
+		out[c] = hi - lo
+		if out[c] < 0 {
+			out[c] = 0
+		}
+		total += out[c]
+	}
+	return total
+}
+
+// intervalKind classifies the interval (a, b] per Definitions 2-4.
+type intervalKind int
+
+const (
+	emptyInterval intervalKind = iota
+	homogeneousInterval
+	heterogeneousInterval
+)
+
+// classify inspects the per-class interval masses already computed into k.
+func classify(k []float64) intervalKind {
+	nonzero := 0
+	for _, m := range k {
+		if m > intervalEps {
+			nonzero++
+		}
+	}
+	switch nonzero {
+	case 0:
+		return emptyInterval
+	case 1:
+		return homogeneousInterval
+	default:
+		return heterogeneousInterval
+	}
+}
+
+// intervalEps treats vanishing interval mass as empty, guarding against
+// floating-point dust from pdf renormalisation.
+const intervalEps = 1e-12
+
+// interiorRange returns the index range [lo, hi) of v.xs strictly inside
+// the open interval (a, b).
+func (v *attrView) interiorRange(a, b float64) (lo, hi int) {
+	lo = sort.Search(len(v.xs), func(i int) bool { return v.xs[i] > a })
+	hi = sort.Search(len(v.xs), func(i int) bool { return v.xs[i] >= b })
+	return lo, hi
+}
+
+// viewCache memoises per-attribute views for the duration of one node's
+// split search, so the two-phase strategies (GP, ES) index each attribute
+// once instead of twice. The cache is dropped when the search returns, so
+// peak memory stays proportional to the tuples at a single node.
+type viewCache struct {
+	tuples     []*data.Tuple
+	numClasses int
+	views      []*attrView
+	built      []bool
+}
+
+func newViewCache(tuples []*data.Tuple, numClasses int) *viewCache {
+	return &viewCache{tuples: tuples, numClasses: numClasses}
+}
+
+// get returns the view for attribute j, building it on first use.
+func (c *viewCache) get(j int) *attrView {
+	if j >= len(c.views) {
+		grown := make([]*attrView, j+1)
+		copy(grown, c.views)
+		c.views = grown
+		grownB := make([]bool, j+1)
+		copy(grownB, c.built)
+		c.built = grownB
+	}
+	if !c.built[j] {
+		c.views[j] = buildAttrView(c.tuples, j, c.numClasses)
+		c.built[j] = true
+	}
+	return c.views[j]
+}

@@ -1,0 +1,102 @@
+package uci_test
+
+// Smoke tests: every Table 2 stand-in must survive the full pipeline —
+// generation, uncertainty injection, AVG and UDT construction, and
+// classification — at a tiny scale.
+
+import (
+	"testing"
+
+	"udt/internal/core"
+	"udt/internal/data"
+	"udt/internal/split"
+	"udt/internal/uci"
+)
+
+func TestAllDatasetsPipelineSmoke(t *testing.T) {
+	for _, spec := range uci.Specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			var train *data.Dataset
+			var err error
+			if spec.RawSamples {
+				train, _, err = uci.Raw(spec, 0.05, 11)
+			} else {
+				var pts *data.Points
+				pts, _, err = uci.Points(spec, 0.02, 11)
+				if err == nil {
+					train, err = data.Inject(pts, data.InjectConfig{W: 0.1, S: 8, Model: data.GaussianModel})
+				}
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := train.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			cfg := core.Config{Strategy: split.ES, MaxDepth: 6, PostPrune: true}
+			avg, err := core.BuildAveraging(train, cfg)
+			if err != nil {
+				t.Fatalf("AVG: %v", err)
+			}
+			tree, err := core.Build(train, cfg)
+			if err != nil {
+				t.Fatalf("UDT: %v", err)
+			}
+			if avg.Stats.Nodes == 0 || tree.Stats.Nodes == 0 {
+				t.Fatal("empty tree")
+			}
+			// Every tuple classifies to a proper distribution.
+			for _, tu := range train.Tuples {
+				dist := tree.Classify(tu)
+				sum := 0.0
+				for _, p := range dist {
+					if p < -1e-12 {
+						t.Fatal("negative probability")
+					}
+					sum += p
+				}
+				if sum < 0.999 || sum > 1.001 {
+					t.Fatalf("distribution sums to %v", sum)
+				}
+			}
+			// Chance-beating accuracy even at this tiny scale.
+			correct := 0
+			for _, tu := range train.Tuples {
+				if tree.Predict(tu) == tu.Class {
+					correct++
+				}
+			}
+			chance := 1.0 / float64(len(train.Classes))
+			if acc := float64(correct) / float64(train.Len()); acc <= chance {
+				t.Fatalf("accuracy %v not above chance %v", acc, chance)
+			}
+		})
+	}
+}
+
+func TestRawDeterministic(t *testing.T) {
+	spec, err := uci.ByName("JapaneseVowel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := uci.Raw(spec, 0.05, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := uci.Raw(spec, 0.05, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("raw generation not deterministic in size")
+	}
+	for i := range a.Tuples {
+		for j := range a.Tuples[i].Num {
+			if !a.Tuples[i].Num[j].Equal(b.Tuples[i].Num[j], 0) {
+				t.Fatal("raw generation not deterministic in values")
+			}
+		}
+	}
+}

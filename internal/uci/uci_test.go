@@ -1,0 +1,199 @@
+package uci
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpecsShapeMatchesTable2(t *testing.T) {
+	if len(Specs) != 10 {
+		t.Fatalf("Table 2 has 10 datasets, Specs has %d", len(Specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range Specs {
+		if seen[s.Name] {
+			t.Fatalf("duplicate spec %s", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Train <= 0 || s.Attrs <= 0 || s.Classes < 2 {
+			t.Fatalf("degenerate spec %+v", s)
+		}
+	}
+	iris, err := ByName("Iris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iris.Train != 150 || iris.Attrs != 4 || iris.Classes != 3 {
+		t.Fatalf("Iris shape wrong: %+v", iris)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+func TestPointsShapes(t *testing.T) {
+	for _, spec := range Specs {
+		if spec.RawSamples {
+			continue
+		}
+		train, test, err := Points(spec, 0.05, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if err := train.Validate(); err != nil {
+			t.Fatalf("%s train: %v", spec.Name, err)
+		}
+		if len(train.Attrs) != spec.Attrs {
+			t.Fatalf("%s: %d attrs, want %d", spec.Name, len(train.Attrs), spec.Attrs)
+		}
+		if len(train.Classes) != spec.Classes {
+			t.Fatalf("%s: %d classes, want %d", spec.Name, len(train.Classes), spec.Classes)
+		}
+		if (test == nil) != (spec.Test == 0) {
+			t.Fatalf("%s: test presence mismatch", spec.Name)
+		}
+		// Every class appears (balanced generation).
+		counts := make([]int, spec.Classes)
+		for _, l := range train.Labels {
+			counts[l]++
+		}
+		for c, n := range counts {
+			if n == 0 {
+				t.Fatalf("%s: class %d absent", spec.Name, c)
+			}
+		}
+	}
+}
+
+func TestPointsFullScaleMatchesTable2(t *testing.T) {
+	spec, _ := ByName("Iris")
+	train, test, err := Points(spec, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train.Rows) != 150 {
+		t.Fatalf("full-scale Iris has %d tuples, want 150", len(train.Rows))
+	}
+	if test != nil {
+		t.Fatal("Iris should have no test split")
+	}
+	spec2, _ := ByName("Satellite")
+	tr2, te2, err := Points(spec2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr2.Rows) != 4435 || len(te2.Rows) != 2000 {
+		t.Fatalf("Satellite = %d/%d, want 4435/2000", len(tr2.Rows), len(te2.Rows))
+	}
+}
+
+func TestPointsDeterministic(t *testing.T) {
+	spec, _ := ByName("Glass")
+	a, _, err := Points(spec, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Points(spec, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatal("generation not deterministic")
+			}
+		}
+	}
+	c, _, err := Points(spec, 0.2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != c.Rows[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical data")
+	}
+}
+
+func TestIntegerDomains(t *testing.T) {
+	spec, _ := ByName("PenDigits")
+	train, _, err := Points(spec, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range train.Rows {
+		for _, v := range row {
+			if v != math.Trunc(v) {
+				t.Fatalf("PenDigits value %v not integral", v)
+			}
+		}
+	}
+}
+
+func TestPointsErrors(t *testing.T) {
+	spec, _ := ByName("Iris")
+	if _, _, err := Points(spec, 0, 1); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+	if _, _, err := Points(spec, 2, 1); err == nil {
+		t.Fatal("scale 2 accepted")
+	}
+	jv, _ := ByName("JapaneseVowel")
+	if _, _, err := Points(jv, 0.5, 1); err == nil {
+		t.Fatal("Points on raw dataset accepted")
+	}
+}
+
+func TestRawJapaneseVowel(t *testing.T) {
+	spec, _ := ByName("JapaneseVowel")
+	train, test, err := Raw(spec, 0.15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := train.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if test == nil {
+		t.Fatal("JapaneseVowel should carry a test split")
+	}
+	if len(train.NumAttrs) != 12 || len(train.Classes) != 9 {
+		t.Fatalf("shape %dx%d, want 12 attrs 9 classes", len(train.NumAttrs), len(train.Classes))
+	}
+	// PDFs come from 7-29 raw observations.
+	for _, tu := range train.Tuples {
+		for _, p := range tu.Num {
+			if p.NumSamples() < 2 || p.NumSamples() > 29 {
+				t.Fatalf("raw pdf has %d samples, want 2..29", p.NumSamples())
+			}
+		}
+	}
+}
+
+func TestRawErrors(t *testing.T) {
+	iris, _ := ByName("Iris")
+	if _, _, err := Raw(iris, 0.5, 1); err == nil {
+		t.Fatal("Raw on point dataset accepted")
+	}
+	jv, _ := ByName("JapaneseVowel")
+	if _, _, err := Raw(jv, -1, 1); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+}
+
+func TestScaleCount(t *testing.T) {
+	if n := scaleCount(1000, 0.1, 3); n != 100 {
+		t.Fatalf("scaleCount = %d, want 100", n)
+	}
+	if n := scaleCount(1000, 0.001, 5); n != 15 {
+		t.Fatalf("tiny scale should clamp to 3*classes, got %d", n)
+	}
+	if n := scaleCount(10, 1, 2); n != 10 {
+		t.Fatalf("full scale changed count: %d", n)
+	}
+}

@@ -1,0 +1,182 @@
+package udt
+
+import (
+	"io"
+	"math/rand"
+
+	"udt/internal/core"
+	"udt/internal/data"
+	"udt/internal/eval"
+	"udt/internal/pdf"
+	"udt/internal/split"
+)
+
+// Core types re-exported from the implementation packages. The aliases make
+// the whole system usable through this single package.
+type (
+	// PDF is a bounded probability distribution approximated by discrete
+	// sample points; the uncertainty model for numerical attributes.
+	PDF = pdf.PDF
+	// Dataset is a collection of uncertain tuples plus schema metadata.
+	Dataset = data.Dataset
+	// Tuple is one example: pdfs for numeric attributes, discrete
+	// distributions for categorical ones, a class label and a weight.
+	Tuple = data.Tuple
+	// Attribute describes one feature (numeric or categorical).
+	Attribute = data.Attribute
+	// CatDist is a discrete distribution over a categorical domain.
+	CatDist = data.CatDist
+	// Fold is one train/test split of a cross-validation.
+	Fold = data.Fold
+	// Points is a point-valued matrix prior to uncertainty injection.
+	Points = data.Points
+	// InjectConfig controls uncertainty injection onto point data (§4.3).
+	InjectConfig = data.InjectConfig
+	// ErrorModel selects Gaussian or uniform synthetic error pdfs.
+	ErrorModel = data.ErrorModel
+	// Tree is a built decision tree classifier.
+	Tree = core.Tree
+	// Node is one tree node.
+	Node = core.Node
+	// Config controls tree construction.
+	Config = core.Config
+	// BuildStats summarises construction work.
+	BuildStats = core.BuildStats
+	// Rule is a root-to-leaf classification rule.
+	Rule = core.Rule
+	// Measure selects the dispersion function (entropy, Gini, gain ratio).
+	Measure = split.Measure
+	// Strategy selects the split-search pruning algorithm of §5.
+	Strategy = split.Strategy
+	// SearchStats counts split-search work (the paper's cost metric).
+	SearchStats = split.Stats
+	// Result aggregates an evaluation run.
+	Result = eval.Result
+)
+
+// Dispersion measures (§4.1, §7.4).
+const (
+	Entropy   = split.Entropy
+	Gini      = split.Gini
+	GainRatio = split.GainRatio
+)
+
+// Split-search strategies (§4.2, §5), in ascending pruning power.
+const (
+	StrategyUDT = split.UDT // exhaustive over all pdf sample points
+	StrategyBP  = split.BP  // prune empty/homogeneous interval interiors
+	StrategyLP  = split.LP  // + per-attribute bounding of heterogeneous intervals
+	StrategyGP  = split.GP  // + global pruning threshold across attributes
+	StrategyES  = split.ES  // + end-point sampling
+)
+
+// Error models for uncertainty injection (§4.3).
+const (
+	GaussianModel = data.GaussianModel
+	UniformModel  = data.UniformModel
+)
+
+// NewPDF builds a PDF from sample locations and masses (normalised).
+func NewPDF(xs, masses []float64) (*PDF, error) { return pdf.New(xs, masses) }
+
+// PointPDF returns the degenerate distribution at v.
+func PointPDF(v float64) *PDF { return pdf.Point(v) }
+
+// UniformPDF returns the uniform distribution on [a, b] with s samples —
+// the quantisation-error model of §4.3.
+func UniformPDF(a, b float64, s int) (*PDF, error) { return pdf.Uniform(a, b, s) }
+
+// GaussianPDF returns the Gaussian N(mean, sigma²) truncated to [a, b] and
+// renormalised, with s samples — the random-noise model of §4.3.
+func GaussianPDF(mean, sigma, a, b float64, s int) (*PDF, error) {
+	return pdf.Gaussian(mean, sigma, a, b, s)
+}
+
+// PDFFromSamples models a pdf directly from raw repeated measurements,
+// each observation receiving equal mass (the JapaneseVowel path of §4.3).
+func PDFFromSamples(obs []float64) (*PDF, error) { return pdf.FromSamples(obs) }
+
+// NewDataset allocates an empty dataset with numAttrs numeric attributes
+// and the given class labels.
+func NewDataset(name string, numAttrs int, classes []string) *Dataset {
+	return data.NewDataset(name, numAttrs, classes)
+}
+
+// NewCatPoint returns a categorical distribution concentrated on value v of
+// an n-value domain.
+func NewCatPoint(v, n int) CatDist { return data.NewCatPoint(v, n) }
+
+// Build constructs a Distribution-based (UDT) decision tree from the
+// uncertain dataset.
+func Build(ds *Dataset, cfg Config) (*Tree, error) { return core.Build(ds, cfg) }
+
+// BuildAveraging constructs an Averaging (AVG) decision tree: pdfs are
+// collapsed to their means before construction.
+func BuildAveraging(ds *Dataset, cfg Config) (*Tree, error) { return core.BuildAveraging(ds, cfg) }
+
+// Inject converts point-valued data into an uncertain dataset by fitting an
+// error model of relative width cfg.W with cfg.S sample points per pdf
+// (§4.3).
+func Inject(p *Points, cfg InjectConfig) (*Dataset, error) { return data.Inject(p, cfg) }
+
+// ReadCSV parses a dataset from the CSV interchange format (plain floats
+// for point values, "x@mass;x@mass;..." cells for pdfs).
+func ReadCSV(r io.Reader, name string) (*Dataset, error) { return data.ReadCSV(r, name) }
+
+// WriteCSV writes a dataset in the CSV interchange format.
+func WriteCSV(w io.Writer, ds *Dataset) error { return data.WriteCSV(w, ds) }
+
+// Accuracy returns the fraction of test tuples predicted correctly.
+func Accuracy(t *Tree, test *Dataset) float64 { return eval.Accuracy(t, test) }
+
+// Confusion returns the confusion matrix over the test set.
+func Confusion(t *Tree, test *Dataset) [][]float64 { return eval.Confusion(t, test) }
+
+// TrainTest builds on train and evaluates on test.
+func TrainTest(train, test *Dataset, cfg Config) (Result, error) {
+	return eval.TrainTest(train, test, cfg)
+}
+
+// CrossValidate runs stratified k-fold cross-validation (§4.3 protocol).
+func CrossValidate(ds *Dataset, k int, cfg Config, rng *rand.Rand) (Result, error) {
+	return eval.CrossValidate(ds, k, cfg, rng)
+}
+
+// ClassMetrics holds per-class precision, recall and F1.
+type ClassMetrics = eval.ClassMetrics
+
+// WidthPoint is one measured point of a §4.4 width-tuning sweep.
+type WidthPoint = eval.WidthPoint
+
+// PerClass derives per-class precision/recall/F1 from a confusion matrix.
+func PerClass(classes []string, confusion [][]float64) ([]ClassMetrics, error) {
+	return eval.PerClass(classes, confusion)
+}
+
+// MacroF1 averages per-class F1 scores.
+func MacroF1(metrics []ClassMetrics) float64 { return eval.MacroF1(metrics) }
+
+// Brier returns the mean Brier score of the tree's probabilistic
+// classifications over the test set (lower is better).
+func Brier(t *Tree, test *Dataset) float64 { return eval.Brier(t, test) }
+
+// LogLoss returns the mean negative log-likelihood of the true labels
+// under the tree's probabilistic classifications (lower is better).
+func LogLoss(t *Tree, test *Dataset) float64 { return eval.LogLoss(t, test) }
+
+// TuneWidth estimates a good uncertainty width w per §4.4: repeated
+// cross-validation over candidate widths, returning the midpoint of the
+// plateau statistically indistinguishable from the best.
+func TuneWidth(p *Points, ws []float64, s int, model ErrorModel, cfg Config, folds, repeats int, rng *rand.Rand) (float64, []WidthPoint, error) {
+	return eval.TuneWidth(p, ws, s, model, cfg, folds, repeats, rng)
+}
+
+// FillMissing substitutes each missing numeric value with the weighted
+// average pdf of the attribute's observed values (the §2 missing-value
+// technique).
+func FillMissing(ds *Dataset) (*Dataset, error) { return data.FillMissing(ds) }
+
+// MixPDF returns the weighted mixture of the given distributions.
+func MixPDF(components []*PDF, weights []float64) (*PDF, error) {
+	return pdf.Mix(components, weights)
+}

@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"udt/internal/cliutil"
 	"udt/internal/core"
 	"udt/internal/data"
 	"udt/internal/eval"
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: example|datasets|accuracy|noise|time|pruning|s-sweep|w-sweep|gini|point|es-ablation|endpoint-ablation|all")
+		exp      = flag.String("exp", "all", "experiment: example|datasets|accuracy|noise|time|pruning|s-sweep|w-sweep|gini|point|es-ablation|endpoint-ablation|speedup|all")
 		scale    = flag.Float64("scale", 0.1, "dataset scale in (0,1]; 1 = Table 2 sizes")
 		s        = flag.Int("s", 100, "sample points per pdf")
 		w        = flag.Float64("w", 0.10, "pdf width as a fraction of the attribute range")
@@ -38,16 +39,36 @@ func main() {
 		maxDepth = flag.Int("maxdepth", 0, "tree depth cap (0 = unlimited)")
 		noiseOn  = flag.String("noise-dataset", "Segment", "dataset for the Fig 4 noise experiment")
 		pointOn  = flag.String("point-dataset", "Segment", "dataset for the §7.5 point-data experiment")
+		workers  = flag.Int("workers", 1, "intra-node split-search workers (>= 1)")
+		parallel = flag.Int("parallel", 1, "concurrent subtree builds (>= 1)")
+		strategy = flag.String("strategy", "es", "strategy for the speedup experiment: udt|bp|lp|gp|es")
+		tuples   = flag.Int("tuples", 10000, "dataset size for the speedup experiment")
 	)
 	flag.Parse()
 
+	if err := cliutil.CheckPositive("-workers", *workers); err != nil {
+		fatal(err)
+	}
+	if err := cliutil.CheckPositive("-parallel", *parallel); err != nil {
+		fatal(err)
+	}
+	strat, err := cliutil.ParseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+	if err := cliutil.CheckPositive("-tuples", *tuples); err != nil {
+		fatal(err)
+	}
+
 	opts := experiments.Options{
-		Scale:    *scale,
-		S:        *s,
-		W:        *w,
-		Seed:     *seed,
-		Folds:    *folds,
-		MaxDepth: *maxDepth,
+		Scale:       *scale,
+		S:           *s,
+		W:           *w,
+		Seed:        *seed,
+		Folds:       *folds,
+		MaxDepth:    *maxDepth,
+		Parallelism: *parallel,
+		Workers:     *workers,
 	}
 	if *datasets != "" {
 		opts.Datasets = strings.Split(*datasets, ",")
@@ -128,6 +149,17 @@ func main() {
 				return err
 			}
 			experiments.FprintAblation(os.Stdout, rows)
+		case "speedup":
+			fmt.Println("== intra-node parallel split search: serial vs -workers ==")
+			counts := []int{1, *workers}
+			if *workers <= 1 {
+				counts = []int{1, 2, 4, 8}
+			}
+			rows, err := experiments.SplitSpeedup(opts, strat, counts, *tuples)
+			if err != nil {
+				return err
+			}
+			experiments.FprintSpeedup(os.Stdout, strat, *tuples, rows)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -136,15 +168,20 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"example", "datasets", "accuracy", "noise", "time", "s-sweep", "w-sweep", "gini", "point", "es-trace", "es-ablation", "endpoint-ablation"}
+		names = []string{"example", "datasets", "accuracy", "noise", "time", "s-sweep", "w-sweep", "gini", "point", "es-trace", "es-ablation", "endpoint-ablation", "speedup"}
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {
-			fmt.Fprintln(os.Stderr, "udtbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Println()
 	}
+}
+
+// fatal reports a usage or runtime error and exits non-zero.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "udtbench:", err)
+	os.Exit(1)
 }
 
 // runTrace prints the Fig 5 illustration: the nine steps of the UDT-ES

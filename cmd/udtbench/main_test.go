@@ -5,7 +5,9 @@ import (
 	"strings"
 	"testing"
 
+	"udt/internal/cliutil"
 	"udt/internal/experiments"
+	"udt/internal/split"
 )
 
 func captureStdout(t *testing.T, fn func() error) (string, error) {
@@ -56,5 +58,60 @@ func TestRunTraceNineRows(t *testing.T) {
 		if !strings.Contains(out, "row "+string(rune('0'+row))) {
 			t.Fatalf("Fig 5 row %d missing from trace:\n%s", row, out)
 		}
+	}
+}
+
+// TestCheckPositive: the parallelism knobs reject non-positive values with
+// a clear error instead of a silent zero-value run.
+func TestCheckPositive(t *testing.T) {
+	if err := cliutil.CheckPositive("-workers", 1); err != nil {
+		t.Fatalf("cliutil.CheckPositive(1) = %v", err)
+	}
+	for _, v := range []int{0, -4} {
+		err := cliutil.CheckPositive("-workers", v)
+		if err == nil {
+			t.Fatalf("cliutil.CheckPositive(%d) accepted", v)
+		}
+		if !strings.Contains(err.Error(), "-workers must be >= 1") {
+			t.Fatalf("cliutil.CheckPositive(%d): unclear error %q", v, err)
+		}
+	}
+}
+
+// TestParseStrategy: every ladder name parses; unknown names error clearly.
+func TestParseStrategy(t *testing.T) {
+	for name, want := range map[string]split.Strategy{
+		"udt": split.UDT, "bp": split.BP, "lp": split.LP, "gp": split.GP, "es": split.ES, "ES": split.ES,
+	} {
+		got, err := cliutil.ParseStrategy(name)
+		if err != nil || got != want {
+			t.Fatalf("cliutil.ParseStrategy(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := cliutil.ParseStrategy("bogus"); err == nil || !strings.Contains(err.Error(), "unknown strategy") {
+		t.Fatalf("cliutil.ParseStrategy(bogus): %v", err)
+	}
+}
+
+// TestSplitSpeedupExperiment: the speedup driver returns one row per worker
+// count, with identical results and preserved pruning power.
+func TestSplitSpeedupExperiment(t *testing.T) {
+	rows, err := experiments.SplitSpeedup(experiments.Options{S: 4, Seed: 1}, split.GP, []int{1, 4}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Match {
+			t.Fatalf("workers=%d returned a different split than serial", r.Workers)
+		}
+	}
+	if s, p := rows[0].Calcs, rows[1].Calcs; float64(p) > float64(s)*1.05+32 {
+		t.Fatalf("parallel weakened pruning: %d calcs vs serial %d", p, s)
+	}
+	if _, err := experiments.SplitSpeedup(experiments.Options{}, split.GP, nil, 10); err == nil {
+		t.Fatal("empty worker counts accepted")
 	}
 }

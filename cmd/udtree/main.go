@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"udt"
+	"udt/internal/cliutil"
 )
 
 func main() {
@@ -50,11 +51,11 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  udtree train   -in train.csv -out model.json [-avg] [-measure entropy|gini|gainratio] [-strategy udt|bp|lp|gp|es] [-maxdepth N] [-minweight W] [-postprune]
+  udtree train   -in train.csv -out model.json [-avg] [-measure entropy|gini|gainratio] [-strategy udt|bp|lp|gp|es] [-maxdepth N] [-minweight W] [-postprune] [-workers N] [-parallel N]
   udtree predict -model model.json -in test.csv
   udtree rules   -model model.json
   udtree eval    -model model.json -in test.csv
-  udtree cv      -in data.csv [-folds 10] [-avg] [-measure ...] [-strategy ...] [-seed N]`)
+  udtree cv      -in data.csv [-folds 10] [-avg] [-measure ...] [-strategy ...] [-seed N] [-workers N] [-parallel N]`)
 }
 
 func parseMeasure(s string) (udt.Measure, error) {
@@ -70,19 +71,7 @@ func parseMeasure(s string) (udt.Measure, error) {
 }
 
 func parseStrategy(s string) (udt.Strategy, error) {
-	switch s {
-	case "udt", "":
-		return udt.StrategyUDT, nil
-	case "bp":
-		return udt.StrategyBP, nil
-	case "lp":
-		return udt.StrategyLP, nil
-	case "gp":
-		return udt.StrategyGP, nil
-	case "es":
-		return udt.StrategyES, nil
-	}
-	return 0, fmt.Errorf("unknown strategy %q", s)
+	return cliutil.ParseStrategy(s)
 }
 
 func loadCSV(path string) (*udt.Dataset, error) {
@@ -116,11 +105,19 @@ func train(args []string) error {
 	maxDepth := fs.Int("maxdepth", 0, "maximum tree depth (0 = unlimited)")
 	minWeight := fs.Float64("minweight", 4, "minimum node weight to split")
 	postPrune := fs.Bool("postprune", true, "pessimistic post-pruning")
+	workers := fs.Int("workers", 1, "intra-node split-search workers (>= 1)")
+	parallel := fs.Int("parallel", 1, "concurrent subtree builds (>= 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("train: -in is required")
+	}
+	if err := cliutil.CheckPositive("train: -workers", *workers); err != nil {
+		return err
+	}
+	if err := cliutil.CheckPositive("train: -parallel", *parallel); err != nil {
+		return err
 	}
 	ds, err := loadCSV(*in)
 	if err != nil {
@@ -135,11 +132,13 @@ func train(args []string) error {
 		return err
 	}
 	cfg := udt.Config{
-		Measure:   m,
-		Strategy:  st,
-		MaxDepth:  *maxDepth,
-		MinWeight: *minWeight,
-		PostPrune: *postPrune,
+		Measure:     m,
+		Strategy:    st,
+		MaxDepth:    *maxDepth,
+		MinWeight:   *minWeight,
+		PostPrune:   *postPrune,
+		Workers:     *workers,
+		Parallelism: *parallel,
 	}
 	var tree *udt.Tree
 	if *avg {
@@ -257,11 +256,19 @@ func cvCmd(args []string) error {
 	strategy := fs.String("strategy", "es", "split search strategy")
 	maxDepth := fs.Int("maxdepth", 0, "maximum tree depth (0 = unlimited)")
 	seed := fs.Int64("seed", 1, "fold shuffling seed")
+	workers := fs.Int("workers", 1, "intra-node split-search workers (>= 1)")
+	parallel := fs.Int("parallel", 1, "concurrent subtree builds (>= 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("cv: -in is required")
+	}
+	if err := cliutil.CheckPositive("cv: -workers", *workers); err != nil {
+		return err
+	}
+	if err := cliutil.CheckPositive("cv: -parallel", *parallel); err != nil {
+		return err
 	}
 	ds, err := loadCSV(*in)
 	if err != nil {
@@ -275,7 +282,7 @@ func cvCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := udt.Config{Measure: m, Strategy: st, MaxDepth: *maxDepth, PostPrune: true}
+	cfg := udt.Config{Measure: m, Strategy: st, MaxDepth: *maxDepth, PostPrune: true, Workers: *workers, Parallelism: *parallel}
 	res, err := udt.CrossValidate(ds, *folds, cfg, rand.New(rand.NewSource(*seed)))
 	if err != nil {
 		return err

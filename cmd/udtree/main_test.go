@@ -209,3 +209,56 @@ func TestParseHelpers(t *testing.T) {
 		t.Error("bad strategy accepted")
 	}
 }
+
+// TestParallelismFlagValidation: non-positive -workers/-parallel must fail
+// with a clear error instead of silently running the serial zero-value path.
+func TestParallelismFlagValidation(t *testing.T) {
+	trainPath, _, modelPath := writeFixtures(t)
+	for _, args := range [][]string{
+		{"-in", trainPath, "-out", modelPath, "-workers", "0"},
+		{"-in", trainPath, "-out", modelPath, "-workers", "-3"},
+		{"-in", trainPath, "-out", modelPath, "-parallel", "0"},
+	} {
+		err := train(args)
+		if err == nil {
+			t.Errorf("train %v: non-positive knob not caught", args)
+		} else if !strings.Contains(err.Error(), "must be >= 1") {
+			t.Errorf("train %v: unclear error %q", args, err)
+		}
+	}
+	if err := cvCmd([]string{"-in", trainPath, "-folds", "2", "-workers", "0"}); err == nil || !strings.Contains(err.Error(), "must be >= 1") {
+		t.Errorf("cv -workers 0: got %v", err)
+	}
+	if err := cvCmd([]string{"-in", trainPath, "-folds", "2", "-parallel", "-1"}); err == nil || !strings.Contains(err.Error(), "must be >= 1") {
+		t.Errorf("cv -parallel -1: got %v", err)
+	}
+}
+
+// TestTrainWithWorkers: the parallel knobs must produce the same model as a
+// serial run.
+func TestTrainWithWorkers(t *testing.T) {
+	trainPath, _, modelPath := writeFixtures(t)
+	dir := filepath.Dir(modelPath)
+	serialPath := filepath.Join(dir, "serial.json")
+	if _, err := capture(t, func() error {
+		return train([]string{"-in", trainPath, "-out", serialPath, "-minweight", "1"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, func() error {
+		return train([]string{"-in", trainPath, "-out", modelPath, "-minweight", "1", "-workers", "4", "-parallel", "2"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(serialPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("parallel training produced a different model than serial")
+	}
+}

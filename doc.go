@@ -27,6 +27,20 @@
 // tuple's probability mass at every internal node and returns a probability
 // distribution over class labels (§3.2).
 //
+// Tree construction parallelises on two orthogonal axes, both off by
+// default and both deterministic (the built tree and every split's
+// tie-breaking are identical to the serial build):
+//
+//   - Config.Parallelism bounds the number of concurrent subtree builds —
+//     effective once the tree has branched.
+//   - Config.Workers bounds the number of concurrent split-search workers
+//     inside a single node — effective from the very first (root) split,
+//     where every tuple and attribute is scanned. Workers share the §5.2
+//     global pruning threshold atomically, so the pruning power of
+//     StrategyGP/StrategyES is preserved.
+//
+// Up to Parallelism × Workers goroutines may run during one build.
+//
 // # Quick start
 //
 //	ds := udt.NewDataset("fever", 1, []string{"healthy", "fever"})

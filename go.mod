@@ -1,0 +1,3 @@
+module udt
+
+go 1.24

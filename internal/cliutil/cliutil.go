@@ -1,0 +1,37 @@
+// Package cliutil holds flag parsing and validation shared by the udtree
+// and udtbench commands.
+package cliutil
+
+import (
+	"fmt"
+	"strings"
+
+	"udt/internal/split"
+)
+
+// CheckPositive rejects non-positive parallelism knobs with a clear error
+// instead of silently running the serial zero-value path.
+func CheckPositive(name string, v int) error {
+	if v < 1 {
+		return fmt.Errorf("%s must be >= 1 (got %d)", name, v)
+	}
+	return nil
+}
+
+// ParseStrategy maps the CLI strategy names onto the §5 ladder. The empty
+// string means the exhaustive baseline.
+func ParseStrategy(s string) (split.Strategy, error) {
+	switch strings.ToLower(s) {
+	case "udt", "":
+		return split.UDT, nil
+	case "bp":
+		return split.BP, nil
+	case "lp":
+		return split.LP, nil
+	case "gp":
+		return split.GP, nil
+	case "es":
+		return split.ES, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q (want udt|bp|lp|gp|es)", s)
+}

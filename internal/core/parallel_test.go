@@ -54,6 +54,80 @@ func TestParallelBuildRace(t *testing.T) {
 	}
 }
 
+// TestWorkersBuildMatchesSerial: intra-node parallel split search must
+// produce the identical tree (structure, split points, classifications) as
+// the serial search for every strategy — the node-level determinism
+// guarantee lifted to whole builds.
+func TestWorkersBuildMatchesSerial(t *testing.T) {
+	ds := buildRandomDataset(rand.New(rand.NewSource(44)), 300, 3, 4, 10)
+	for _, strat := range []split.Strategy{split.UDT, split.BP, split.LP, split.GP, split.ES} {
+		serial, err := Build(ds, Config{Strategy: strat, MinWeight: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := Build(ds, Config{Strategy: strat, MinWeight: 1, Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parallel.Stats.Nodes != serial.Stats.Nodes || parallel.Stats.Leaves != serial.Stats.Leaves || parallel.Stats.Depth != serial.Stats.Depth {
+			t.Fatalf("%v: tree shape differs: %d/%d nodes, %d/%d leaves",
+				strat, parallel.Stats.Nodes, serial.Stats.Nodes, parallel.Stats.Leaves, serial.Stats.Leaves)
+		}
+		if !sameSplits(parallel.Root, serial.Root) {
+			t.Fatalf("%v: trees pick different splits", strat)
+		}
+		for _, tu := range ds.Tuples {
+			a, b := serial.Classify(tu), parallel.Classify(tu)
+			for c := range a {
+				if math.Abs(a[c]-b[c]) > 1e-12 {
+					t.Fatalf("%v: workers tree classifies differently: %v vs %v", strat, b, a)
+				}
+			}
+		}
+	}
+}
+
+// sameSplits reports whether two trees test the same attributes at the same
+// split points everywhere.
+func sameSplits(a, b *Node) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.IsLeaf() != b.IsLeaf() {
+		return false
+	}
+	if a.IsLeaf() {
+		return true
+	}
+	if a.Attr != b.Attr || a.Split != b.Split || a.Cat != b.Cat || len(a.Kids) != len(b.Kids) {
+		return false
+	}
+	for i := range a.Kids {
+		if !sameSplits(a.Kids[i], b.Kids[i]) {
+			return false
+		}
+	}
+	return sameSplits(a.Left, b.Left) && sameSplits(a.Right, b.Right)
+}
+
+// TestWorkersBuildRace mirrors TestParallelBuildRace with both parallelism
+// knobs engaged: subtree goroutines each fanning out node-level workers.
+func TestWorkersBuildRace(t *testing.T) {
+	ds := buildRandomDataset(rand.New(rand.NewSource(42)), 200, 4, 5, 8)
+	for trial := 0; trial < 3; trial++ {
+		tr, err := Build(ds, Config{Strategy: split.ES, MinWeight: 1, Parallelism: 4, Workers: 4, PostPrune: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Stats.Nodes == 0 {
+			t.Fatal("empty tree")
+		}
+	}
+}
+
 // TestParallelismOneIsSerial: Parallelism <= 1 must not allocate the
 // semaphore (pure serial path).
 func TestParallelismOneIsSerial(t *testing.T) {

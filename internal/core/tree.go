@@ -24,6 +24,7 @@ type Config struct {
 	Percentiles  int                // per-class percentiles for PercentileEnds (default 9)
 	MaxDepth     int                // maximum tree depth; 0 means unlimited
 	Parallelism  int                // concurrent subtree builds; <= 1 means serial
+	Workers      int                // concurrent split-search workers within one node; <= 1 means serial. Up to Parallelism*Workers goroutines run during a build.
 	MinWeight    float64            // pre-pruning: do not split nodes lighter than this (default 4)
 	MinGain      float64            // pre-pruning: required dispersion gain (default 1e-9)
 	PostPrune    bool               // pessimistic error post-pruning (C4.5 style)
@@ -163,6 +164,7 @@ func (b *builder) getFinder() *split.Finder {
 		EndPointFrac: b.cfg.EndPointFrac,
 		EndPoints:    b.cfg.EndPoints,
 		Percentiles:  b.cfg.Percentiles,
+		Workers:      b.cfg.Workers,
 	})
 }
 

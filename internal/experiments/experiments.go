@@ -29,6 +29,9 @@ type Options struct {
 	Datasets []string // restrict to these dataset names; nil = all
 	Measure  split.Measure
 	MaxDepth int // optional tree depth cap to bound experiment cost
+
+	Parallelism int // concurrent subtree builds; <= 1 means serial
+	Workers     int // intra-node split-search workers; <= 1 means serial
 }
 
 // withDefaults fills the paper's default parameters.
@@ -65,10 +68,12 @@ func (o Options) wants(name string) bool {
 // the paper's C4.5 framework with pre- and post-pruning (footnote 3).
 func (o Options) treeConfig(strategy split.Strategy) core.Config {
 	return core.Config{
-		Measure:   o.Measure,
-		Strategy:  strategy,
-		PostPrune: true,
-		MaxDepth:  o.MaxDepth,
+		Measure:     o.Measure,
+		Strategy:    strategy,
+		PostPrune:   true,
+		MaxDepth:    o.MaxDepth,
+		Parallelism: o.Parallelism,
+		Workers:     o.Workers,
 	}
 }
 

@@ -67,6 +67,7 @@ type Config struct {
 	EndPointFrac float64      // ES end-point sample fraction; 0 means the paper's 10%
 	EndPoints    EndPointMode // interval end-point derivation (§7.3)
 	Percentiles  int          // per-class percentile count for PercentileEnds; 0 means 9
+	Workers      int          // concurrent workers within one Best call; <= 1 means serial
 }
 
 // Result is the outcome of a best-split search over the numeric attributes.
@@ -79,10 +80,23 @@ type Result struct {
 }
 
 // Finder locates optimal split points. It is not safe for concurrent use;
-// create one Finder per goroutine.
+// create one Finder per goroutine. When Config.Workers > 1 a Finder fans
+// one Best call out over a private pool of worker finders (see parallel.go)
+// — the Finder itself must still be driven from a single goroutine.
 type Finder struct {
 	cfg   Config
 	stats Stats
+
+	// shared, when non-nil, is the concurrently updated global pruning
+	// threshold of an in-flight parallel search (the §5.2 GP threshold
+	// shared across workers). It only ever tightens bound pruning; it
+	// never affects which split is returned.
+	shared *atomicScore
+
+	// workers are the cached per-worker finders of the parallel search.
+	// Each owns private scratch and stats, folded into the parent after
+	// every parallel region, so the hot path takes no locks.
+	workers []*Finder
 
 	// scratch buffers reused across evaluations
 	numClasses int
@@ -130,60 +144,19 @@ const scoreEps = 1e-12
 // All strategies return a split with the globally minimal dispersion; they
 // differ only in how many evaluations Stats records. Found is false when no
 // attribute admits a valid binary split.
+//
+// With Config.Workers > 1 the search runs on a worker pool (see
+// parallel.go) and returns the identical Result — same attribute, split
+// point and tie-breaking — as the serial search.
 func (f *Finder) Best(tuples []*data.Tuple, numAttrs, numClasses int) Result {
 	f.ensureScratch(numClasses)
 	parentH := f.parentEntropy(tuples, numClasses)
 	best := Result{Score: math.Inf(1)}
 
-	switch f.cfg.Strategy {
-	case UDT:
-		for j := 0; j < numAttrs; j++ {
-			v := buildAttrView(tuples, j, numClasses)
-			if v == nil {
-				continue
-			}
-			f.evalAllSamples(v, j, parentH, &best)
-		}
-	case BP, LP:
-		for j := 0; j < numAttrs; j++ {
-			v := buildAttrView(tuples, j, numClasses)
-			if v == nil {
-				continue
-			}
-			ends := f.endsFor(v)
-			f.evalEndPoints(v, j, ends, parentH, &best)
-			f.evalIntervals(v, j, ends, parentH, f.cfg.Strategy == LP, &best)
-		}
-	case GP:
-		// Phase 1: end points of every attribute establish the global
-		// pruning threshold. Phase 2: bound-prune heterogeneous intervals
-		// against it. Views are cached across the two phases; the cache
-		// lives only for this node's search.
-		cache := newViewCache(tuples, numClasses)
-		for j := 0; j < numAttrs; j++ {
-			v := cache.get(j)
-			if v == nil {
-				continue
-			}
-			f.evalEndPoints(v, j, f.endsFor(v), parentH, &best)
-		}
-		for j := 0; j < numAttrs; j++ {
-			v := cache.get(j)
-			if v == nil {
-				continue
-			}
-			f.evalIntervals(v, j, f.endsFor(v), parentH, true, &best)
-		}
-	case ES:
-		f.bestES(tuples, numAttrs, numClasses, parentH, &best)
-	default:
-		for j := 0; j < numAttrs; j++ {
-			v := buildAttrView(tuples, j, numClasses)
-			if v == nil {
-				continue
-			}
-			f.evalAllSamples(v, j, parentH, &best)
-		}
+	if f.cfg.Workers > 1 && len(tuples) >= parallelMinTuples {
+		f.bestParallel(tuples, numAttrs, numClasses, parentH, &best)
+	} else {
+		f.bestSerial(tuples, numAttrs, numClasses, parentH, &best)
 	}
 
 	if !best.Found {
@@ -201,6 +174,60 @@ func (f *Finder) Best(tuples []*data.Tuple, numAttrs, numClasses int) Result {
 		best.Gain = impurity(f.cfg.Measure, counts, total) - best.Score
 	}
 	return best
+}
+
+// bestSerial is the single-goroutine search over all strategies.
+func (f *Finder) bestSerial(tuples []*data.Tuple, numAttrs, numClasses int, parentH float64, best *Result) {
+	switch f.cfg.Strategy {
+	case UDT:
+		for j := 0; j < numAttrs; j++ {
+			v := buildAttrView(tuples, j, numClasses)
+			if v == nil {
+				continue
+			}
+			f.evalAllSamples(v, j, parentH, best)
+		}
+	case BP, LP:
+		for j := 0; j < numAttrs; j++ {
+			v := buildAttrView(tuples, j, numClasses)
+			if v == nil {
+				continue
+			}
+			ends := f.endsFor(v)
+			f.evalEndPoints(v, j, ends, parentH, best)
+			f.evalIntervals(v, j, ends, parentH, f.cfg.Strategy == LP, best)
+		}
+	case GP:
+		// Phase 1: end points of every attribute establish the global
+		// pruning threshold. Phase 2: bound-prune heterogeneous intervals
+		// against it. Views are cached across the two phases; the cache
+		// lives only for this node's search.
+		cache := newViewCache(tuples, numClasses)
+		for j := 0; j < numAttrs; j++ {
+			v := cache.get(j)
+			if v == nil {
+				continue
+			}
+			f.evalEndPoints(v, j, f.endsFor(v), parentH, best)
+		}
+		for j := 0; j < numAttrs; j++ {
+			v := cache.get(j)
+			if v == nil {
+				continue
+			}
+			f.evalIntervals(v, j, f.endsFor(v), parentH, true, best)
+		}
+	case ES:
+		f.bestES(tuples, numAttrs, numClasses, parentH, best)
+	default:
+		for j := 0; j < numAttrs; j++ {
+			v := buildAttrView(tuples, j, numClasses)
+			if v == nil {
+				continue
+			}
+			f.evalAllSamples(v, j, parentH, best)
+		}
+	}
 }
 
 // parentEntropy returns the parent node entropy needed by the gain-ratio
@@ -233,6 +260,9 @@ func (f *Finder) evalCandidate(v *attrView, j int, x, parentH float64, best *Res
 	}
 	if score < best.Score {
 		*best = Result{Attr: j, Z: x, Score: score, Found: true}
+		if f.shared != nil {
+			f.shared.update(score)
+		}
 	}
 }
 
@@ -283,12 +313,29 @@ func (f *Finder) evalIntervals(v *attrView, j int, ends []float64, parentH float
 	}
 }
 
+// pruneThreshold returns the score interval bounds are compared against:
+// the local best, tightened by the cross-worker shared threshold when a
+// parallel search is in flight. ok is false when no threshold exists yet.
+func (f *Finder) pruneThreshold(best *Result) (thr float64, ok bool) {
+	thr = math.Inf(1)
+	if best.Found {
+		thr, ok = best.Score, true
+	}
+	if f.shared != nil {
+		if g := f.shared.load(); g < thr {
+			thr, ok = g, true
+		}
+	}
+	return thr, ok
+}
+
 // pruneByBound reports whether the interval (a, b] can be discarded because
 // its dispersion lower bound is no better than the best score found so far.
 // It counts one bound evaluation. f.kBuf must already hold the interval's
 // per-class masses.
 func (f *Finder) pruneByBound(v *attrView, a, b, kTotal, parentH float64, best *Result) bool {
-	if !best.Found {
+	thr, haveThr := f.pruneThreshold(best)
+	if !haveThr {
 		return false
 	}
 	f.stats.BoundEvals++
@@ -312,5 +359,5 @@ func (f *Finder) pruneByBound(v *attrView, a, b, kTotal, parentH float64, best *
 	case GainRatio:
 		bound, ok = gainRatioScoreBound(in, parentH, nLa, nLa+kTotal, v.total)
 	}
-	return ok && bound >= best.Score-scoreEps
+	return ok && bound >= thr-scoreEps
 }

@@ -1,0 +1,214 @@
+package split
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+var allStrategies = []Strategy{UDT, BP, LP, GP, ES}
+
+// TestParallelBestMatchesSerial is the tentpole determinism guarantee: for
+// every strategy and measure, the parallel search must return the identical
+// Result — same attribute, same split point, same tie-breaking — as the
+// serial search, not merely an equal score.
+func TestParallelBestMatchesSerial(t *testing.T) {
+	for _, measure := range []Measure{Entropy, Gini, GainRatio} {
+		for seed := int64(0); seed < 8; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			classes := 2 + rng.Intn(3)
+			attrs := 1 + rng.Intn(4)
+			tuples := randomDataset(rng, parallelMinTuples+rng.Intn(200), attrs, classes, 2+rng.Intn(20))
+			for _, strat := range allStrategies {
+				for _, workers := range []int{2, 3, 8} {
+					serial := NewFinder(Config{Measure: measure, Strategy: strat}).Best(tuples, attrs, classes)
+					parallel := NewFinder(Config{Measure: measure, Strategy: strat, Workers: workers}).Best(tuples, attrs, classes)
+					if parallel != serial {
+						t.Fatalf("%v/%v seed %d workers %d: parallel %+v != serial %+v",
+							measure, strat, seed, workers, parallel, serial)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelBestPercentileEnds covers the §7.3 artificial end points,
+// whose derivation allocates inside the workers.
+func TestParallelBestPercentileEnds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tuples := randomDataset(rng, 150, 3, 3, 15)
+	for _, strat := range []Strategy{GP, ES} {
+		cfg := Config{Strategy: strat, EndPoints: PercentileEnds}
+		serial := NewFinder(cfg).Best(tuples, 3, 3)
+		cfg.Workers = 4
+		parallel := NewFinder(cfg).Best(tuples, 3, 3)
+		if parallel != serial {
+			t.Fatalf("%v percentile ends: parallel %+v != serial %+v", strat, parallel, serial)
+		}
+	}
+}
+
+// TestParallelSmallNodeFallsBackToSerial: below parallelMinTuples the
+// parallel path must not engage, so even Stats match the serial search
+// exactly.
+func TestParallelSmallNodeFallsBackToSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tuples := randomDataset(rng, parallelMinTuples-1, 2, 3, 8)
+	for _, strat := range allStrategies {
+		fs := NewFinder(Config{Strategy: strat})
+		fp := NewFinder(Config{Strategy: strat, Workers: 8})
+		rs, rp := fs.Best(tuples, 2, 3), fp.Best(tuples, 2, 3)
+		if rs != rp {
+			t.Fatalf("%v: small-node results differ: %+v vs %+v", strat, rp, rs)
+		}
+		if fs.Stats() != fp.Stats() {
+			t.Fatalf("%v: small-node stats differ: %+v vs %+v", strat, fp.Stats(), fs.Stats())
+		}
+	}
+}
+
+// TestParallelStatsPreservePruning pins the acceptance criterion that
+// intra-node parallelism does not weaken the §5 pruning.
+//
+//   - UDT and BP never bound-prune, so their counters must match the
+//     serial search exactly.
+//   - LP prunes per attribute only (its §5.2 definition): deterministic
+//     under parallelism, allowed slightly above serial LP (the serial walk
+//     leaks earlier attributes' thresholds into later ones) but still a
+//     real pruning gain over BP.
+//   - GP and ES share the phase-1 global threshold before any interval is
+//     bound-checked, so their entropy-calculation counts must stay within
+//     a few percent of the serial counts (timing can shift individual
+//     bound checks, never systematically).
+func TestParallelStatsPreservePruning(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tuples := randomDataset(rng, 400, 4, 3, 25)
+	serialCalcs := map[Strategy]int64{}
+	for _, strat := range allStrategies {
+		fs := NewFinder(Config{Strategy: strat})
+		fs.Best(tuples, 4, 3)
+		serialCalcs[strat] = fs.Stats().EntropyCalcs()
+
+		fp := NewFinder(Config{Strategy: strat, Workers: 8})
+		fp.Best(tuples, 4, 3)
+		parallel := fp.Stats()
+		fp2 := NewFinder(Config{Strategy: strat, Workers: 3})
+		fp2.Best(tuples, 4, 3)
+
+		switch strat {
+		case UDT, BP:
+			if fs.Stats() != parallel {
+				t.Fatalf("%v: deterministic stats differ: parallel %+v, serial %+v", strat, parallel, fs.Stats())
+			}
+		case LP:
+			if parallel != fp2.Stats() {
+				t.Fatalf("LP: stats not deterministic across worker counts: %+v vs %+v", parallel, fp2.Stats())
+			}
+			if p, bp := parallel.EntropyCalcs(), serialCalcs[BP]; p >= bp {
+				t.Fatalf("LP: parallel pruning gained nothing over BP: %d vs %d", p, bp)
+			}
+			if p, s := parallel.EntropyCalcs(), serialCalcs[LP]; float64(p) > float64(s)*1.15+32 {
+				t.Fatalf("LP: parallel per-attribute pruning too weak: %d calcs vs serial %d", p, s)
+			}
+		default: // GP, ES
+			if p, s := parallel.EntropyCalcs(), serialCalcs[strat]; float64(p) > float64(s)*1.05+32 {
+				t.Fatalf("%v: parallel search weakened pruning: %d entropy calcs vs serial %d", strat, p, s)
+			}
+		}
+	}
+}
+
+// TestParallelBestStress mirrors TestParallelBuildRace at the split level:
+// many concurrent Best calls (each fanning out its own workers) under the
+// race detector, with the results cross-checked against one serial answer.
+func TestParallelBestStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tuples := randomDataset(rng, 300, 3, 4, 12)
+	for _, strat := range allStrategies {
+		want := NewFinder(Config{Strategy: strat}).Best(tuples, 3, 4)
+		var wg sync.WaitGroup
+		results := make([]Result, 6)
+		for i := range results {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				f := NewFinder(Config{Strategy: strat, Workers: 4})
+				// Reuse the finder to exercise worker-pool recycling.
+				for trial := 0; trial < 3; trial++ {
+					results[i] = f.Best(tuples, 3, 4)
+				}
+			}(i)
+		}
+		wg.Wait()
+		for i, got := range results {
+			if got != want {
+				t.Fatalf("%v goroutine %d: %+v != serial %+v", strat, i, got, want)
+			}
+		}
+	}
+}
+
+// TestAtomicScore checks the CAS minimum, including negative (gain-ratio)
+// scores.
+func TestAtomicScore(t *testing.T) {
+	a := newAtomicScore()
+	if !math.IsInf(a.load(), 1) {
+		t.Fatalf("fresh score = %v, want +Inf", a.load())
+	}
+	a.update(0.5)
+	a.update(0.7) // larger: ignored
+	if a.load() != 0.5 {
+		t.Fatalf("score = %v, want 0.5", a.load())
+	}
+	a.update(-1.25)
+	if a.load() != -1.25 {
+		t.Fatalf("score = %v, want -1.25", a.load())
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 1000; k++ {
+				a.update(-1.25 - float64(i) - float64(k)/1000)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if a.load() != -1.25-7-0.999 {
+		t.Fatalf("concurrent minimum = %v", a.load())
+	}
+}
+
+// TestBatches checks the batch partition invariants: full coverage, order,
+// minimum length, and the worker cap.
+func TestBatches(t *testing.T) {
+	f := NewFinder(Config{Workers: 4})
+	for _, n := range []int{0, 1, 63, 64, 100, 1000, 4096} {
+		bs := f.batches(n, 64)
+		if n <= 0 {
+			if bs != nil {
+				t.Fatalf("batches(%d) = %v, want nil", n, bs)
+			}
+			continue
+		}
+		if len(bs) > 4 {
+			t.Fatalf("batches(%d): %d pieces exceeds Workers", n, len(bs))
+		}
+		prev := 0
+		for _, b := range bs {
+			if b[0] != prev || b[1] <= b[0] {
+				t.Fatalf("batches(%d) = %v: not a contiguous ordered partition", n, bs)
+			}
+			if len(bs) > 1 && b[1]-b[0] < 64/2 {
+				t.Fatalf("batches(%d) = %v: piece smaller than half the floor", n, bs)
+			}
+			prev = b[1]
+		}
+		if prev != n {
+			t.Fatalf("batches(%d) = %v: does not cover [0,%d)", n, bs, n)
+		}
+	}
+}

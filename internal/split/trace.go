@@ -59,11 +59,7 @@ func TraceES(tuples []*data.Tuple, attr, numClasses int, cfg Config) ([]TraceSte
 	add("fine intervals", nil, consecutive(ends))
 
 	// Row 4: the sampled end points Q'_j.
-	stride := int(math.Ceil(1 / f.cfg.EndPointFrac))
-	if stride < 1 {
-		stride = 1
-	}
-	sampledIdx := sampleIndices(len(ends), stride)
+	sampledIdx := sampleIndices(len(ends), f.esStride())
 	sampled := make([]float64, len(sampledIdx))
 	for i, idx := range sampledIdx {
 		sampled[i] = ends[idx]

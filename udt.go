@@ -38,7 +38,10 @@ type (
 	Tree = core.Tree
 	// Node is one tree node.
 	Node = core.Node
-	// Config controls tree construction.
+	// Config controls tree construction, including the two parallelism
+	// knobs: Parallelism (concurrent subtree builds) and Workers
+	// (concurrent split-search workers inside each node). Both default to
+	// serial; both preserve the exact serial tree and split tie-breaking.
 	Config = core.Config
 	// BuildStats summarises construction work.
 	BuildStats = core.BuildStats

@@ -110,8 +110,8 @@ func train(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *in == "" {
-		return fmt.Errorf("train: -in is required")
+	if err := cliutil.RequireString("train: -in", *in); err != nil {
+		return err
 	}
 	if err := cliutil.CheckPositive("train: -workers", *workers); err != nil {
 		return err
@@ -169,8 +169,8 @@ func predict(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *in == "" {
-		return fmt.Errorf("predict: -in is required")
+	if err := cliutil.RequireString("predict: -in", *in); err != nil {
+		return err
 	}
 	tree, err := loadModel(*model)
 	if err != nil {
@@ -215,8 +215,8 @@ func evalCmd(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *in == "" {
-		return fmt.Errorf("eval: -in is required")
+	if err := cliutil.RequireString("eval: -in", *in); err != nil {
+		return err
 	}
 	tree, err := loadModel(*model)
 	if err != nil {
@@ -261,8 +261,8 @@ func cvCmd(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *in == "" {
-		return fmt.Errorf("cv: -in is required")
+	if err := cliutil.RequireString("cv: -in", *in); err != nil {
+		return err
 	}
 	if err := cliutil.CheckPositive("cv: -workers", *workers); err != nil {
 		return err
@@ -302,7 +302,8 @@ func cvCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	metrics, err := udt.PerClass(ds.Classes, udt.Confusion(tree, ds))
+	conf, brier, logLoss := udt.Evaluate(tree, ds)
+	metrics, err := udt.PerClass(ds.Classes, conf)
 	if err != nil {
 		return err
 	}
@@ -311,7 +312,7 @@ func cvCmd(args []string) error {
 		fmt.Printf("%-12s %9.3f %9.3f %9.3f %9.1f\n", mm.Class, mm.Precision, mm.Recall, mm.F1, mm.Support)
 	}
 	fmt.Printf("macro F1: %.3f  Brier: %.4f  log-loss: %.4f\n",
-		udt.MacroF1(metrics), udt.Brier(tree, ds), udt.LogLoss(tree, ds))
+		udt.MacroF1(metrics), brier, logLoss)
 	return nil
 }
 

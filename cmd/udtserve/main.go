@@ -1,0 +1,326 @@
+// Command udtserve serves a trained uncertain-decision-tree model over HTTP.
+// It loads the model.json written by "udtree train", compiles it into the
+// flat-array inference engine, and classifies tuples from JSON requests in
+// batches.
+//
+// Usage:
+//
+//	udtserve -model model.json [-addr :8080] [-workers N]
+//
+// Endpoints:
+//
+//	POST /classify — classify one tuple or a batch.
+//	GET  /healthz  — liveness plus model metadata.
+//
+// A tuple is encoded as {"num": [...], "cat": [...]} with one entry per
+// model attribute, in model order. Numeric entries are a number (a point
+// value), an array of numbers (raw repeated measurements, equal mass), an
+// object {"xs": [...], "masses": [...]} (an explicit sampled pdf), or null
+// (missing). Categorical entries are a domain value string, an array of
+// per-value masses, or null (missing). A batch request wraps tuples in
+// {"tuples": [...]}; the response mirrors the shape of the request.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"udt"
+	"udt/internal/cliutil"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "udtserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("udtserve", flag.ExitOnError)
+	model := fs.String("model", "", "model file written by udtree train (required)")
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", runtime.NumCPU(), "concurrent classification workers per batch (>= 1)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := cliutil.RequireString("-model", *model); err != nil {
+		return err
+	}
+	if err := cliutil.CheckPositive("-workers", *workers); err != nil {
+		return err
+	}
+	s, err := newServer(*model, *workers)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("udtserve: %s (%d nodes, %d classes) on %s, workers=%d\n",
+		*model, s.compiled.NumNodes(), len(s.compiled.Classes), ln.Addr(), *workers)
+	srv := &http.Server{Handler: s.handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		// Graceful shutdown: stop accepting, drain in-flight requests.
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			return err
+		}
+		fmt.Println("udtserve: shut down")
+		return nil
+	}
+}
+
+// maxBody bounds a request body; a 16 MiB batch is far beyond any sane
+// classification request.
+const maxBody = 16 << 20
+
+type server struct {
+	compiled *udt.Compiled
+	model    string
+	workers  int
+	started  time.Time
+}
+
+// newServer loads and compiles the model file.
+func newServer(modelPath string, workers int) (*server, error) {
+	blob, err := os.ReadFile(modelPath)
+	if err != nil {
+		return nil, err
+	}
+	var tree udt.Tree
+	if err := json.Unmarshal(blob, &tree); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", modelPath, err)
+	}
+	compiled, err := tree.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("compile %s: %w", modelPath, err)
+	}
+	return &server{
+		compiled: compiled,
+		model:    modelPath,
+		workers:  workers,
+		started:  time.Now(),
+	}, nil
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /classify", s.classify)
+	mux.HandleFunc("GET /healthz", s.healthz)
+	return mux
+}
+
+type requestJSON struct {
+	Num    []json.RawMessage `json:"num"`
+	Cat    []json.RawMessage `json:"cat"`
+	Tuples []tupleJSON       `json:"tuples"`
+}
+
+type tupleJSON struct {
+	Num []json.RawMessage `json:"num"`
+	Cat []json.RawMessage `json:"cat"`
+}
+
+type resultJSON struct {
+	Class string             `json:"class"`
+	Dist  map[string]float64 `json:"dist"`
+}
+
+func (s *server) classify(w http.ResponseWriter, r *http.Request) {
+	var req requestJSON
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		fail(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	batch := req.Tuples != nil
+	if batch && (req.Num != nil || req.Cat != nil) {
+		fail(w, http.StatusBadRequest, errors.New(`use either "tuples" or a single "num"/"cat" body, not both`))
+		return
+	}
+	if !batch {
+		req.Tuples = []tupleJSON{{Num: req.Num, Cat: req.Cat}}
+	}
+	tuples := make([]*udt.Tuple, len(req.Tuples))
+	for i, tj := range req.Tuples {
+		tu, err := s.decodeTuple(tj)
+		if err != nil {
+			fail(w, http.StatusBadRequest, fmt.Errorf("tuple %d: %w", i, err))
+			return
+		}
+		tuples[i] = tu
+	}
+	dists := s.compiled.ClassifyBatch(tuples, s.workers)
+	results := make([]resultJSON, len(dists))
+	for i, dist := range dists {
+		best := 0
+		for c, p := range dist {
+			if p > dist[best] {
+				best = c
+			}
+		}
+		m := make(map[string]float64, len(dist))
+		for c, p := range dist {
+			m[s.compiled.Classes[c]] = p
+		}
+		results[i] = resultJSON{Class: s.compiled.Classes[best], Dist: m}
+	}
+	if batch {
+		reply(w, map[string]any{"results": results})
+		return
+	}
+	reply(w, results[0])
+}
+
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	reply(w, map[string]any{
+		"status":  "ok",
+		"model":   s.model,
+		"classes": s.compiled.Classes,
+		"nodes":   s.compiled.NumNodes(),
+		"uptime":  time.Since(s.started).Round(time.Second).String(),
+	})
+}
+
+// decodeTuple converts the wire representation into an uncertain tuple
+// matching the model schema.
+func (s *server) decodeTuple(tj tupleJSON) (*udt.Tuple, error) {
+	if len(tj.Num) != len(s.compiled.NumAttrs) {
+		return nil, fmt.Errorf("%d numeric values, model has %d numeric attributes", len(tj.Num), len(s.compiled.NumAttrs))
+	}
+	if len(tj.Cat) != len(s.compiled.CatAttrs) {
+		return nil, fmt.Errorf("%d categorical values, model has %d categorical attributes", len(tj.Cat), len(s.compiled.CatAttrs))
+	}
+	tu := &udt.Tuple{Weight: 1}
+	for j, raw := range tj.Num {
+		p, err := decodeNum(raw)
+		if err != nil {
+			return nil, fmt.Errorf("numeric attribute %q: %w", s.compiled.NumAttrs[j].Name, err)
+		}
+		tu.Num = append(tu.Num, p)
+	}
+	for j, raw := range tj.Cat {
+		d, err := decodeCat(raw, s.compiled.CatAttrs[j].Domain)
+		if err != nil {
+			return nil, fmt.Errorf("categorical attribute %q: %w", s.compiled.CatAttrs[j].Name, err)
+		}
+		tu.Cat = append(tu.Cat, d)
+	}
+	return tu, nil
+}
+
+// decodeNum parses one numeric attribute value: null (missing), a number (a
+// point), an array of raw measurements, or {"xs", "masses"}.
+func decodeNum(raw json.RawMessage) (*udt.PDF, error) {
+	if isNull(raw) {
+		return nil, nil
+	}
+	switch firstByte(raw) {
+	case '{':
+		var obj struct {
+			Xs     []float64 `json:"xs"`
+			Masses []float64 `json:"masses"`
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&obj); err != nil {
+			return nil, err
+		}
+		return udt.NewPDF(obj.Xs, obj.Masses)
+	case '[':
+		var obs []float64
+		if err := json.Unmarshal(raw, &obs); err != nil {
+			return nil, err
+		}
+		return udt.PDFFromSamples(obs)
+	default:
+		var v float64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, err
+		}
+		return udt.PointPDF(v), nil
+	}
+}
+
+// decodeCat parses one categorical attribute value: null (missing), a
+// domain value string, or an array of per-value masses.
+func decodeCat(raw json.RawMessage, domain []string) (udt.CatDist, error) {
+	if isNull(raw) {
+		return nil, nil
+	}
+	if firstByte(raw) == '[' {
+		var masses []float64
+		if err := json.Unmarshal(raw, &masses); err != nil {
+			return nil, err
+		}
+		if len(masses) != len(domain) {
+			return nil, fmt.Errorf("%d masses, domain has %d values", len(masses), len(domain))
+		}
+		d := udt.CatDist(masses)
+		if err := d.Normalize(); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	var v string
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, err
+	}
+	for i, name := range domain {
+		if name == v {
+			return udt.NewCatPoint(i, len(domain)), nil
+		}
+	}
+	return nil, fmt.Errorf("value %q not in domain %v", v, domain)
+}
+
+func isNull(raw json.RawMessage) bool {
+	return len(raw) == 0 || string(raw) == "null"
+}
+
+func firstByte(raw json.RawMessage) byte {
+	for _, b := range raw {
+		switch b {
+		case ' ', '\t', '\n', '\r':
+			continue
+		}
+		return b
+	}
+	return 0
+}
+
+func reply(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is already gone; nothing left to do but log.
+		fmt.Fprintln(os.Stderr, "udtserve: encode response:", err)
+	}
+}
+
+func fail(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,255 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"udt"
+)
+
+// trainCSV mirrors the cmd/udtree fixture: a mixed point/pdf dataset whose
+// two classes are cleanly separable.
+const trainCSV = `x,y,class
+0.1,1;2;3,lo
+0.2,2;3;4,lo
+0.3,1;3;5,lo
+0.4,2;2;3,lo
+9.1,11;12;13,hi
+9.2,12;13;14,hi
+9.3,11;13;15,hi
+9.4,12;12;13,hi
+`
+
+// trainModel performs exactly what "udtree train" does — CSV in, tree
+// built, JSON model out — and returns the model path.
+func trainModel(t *testing.T) string {
+	t.Helper()
+	ds, err := udt.ReadCSV(strings.NewReader(trainCSV), "train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := udt.Build(ds, udt.Config{MinWeight: 1, PostPrune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.MarshalIndent(tree, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTrainServeClassifyRoundTrip is the train -> serve -> classify
+// integration test: a model trained from CSV, written to disk in udtree's
+// JSON format, loaded and compiled by the server, and queried over HTTP
+// with single and batch bodies.
+func TestTrainServeClassifyRoundTrip(t *testing.T) {
+	s, err := newServer(trainModel(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	// Single tuple: a point x and a pdf y deep in "lo" territory.
+	res := postJSON(t, ts.URL+"/classify", `{"num": [0.2, {"xs": [1, 2, 4], "masses": [1, 1, 1]}]}`)
+	var single struct {
+		Class string             `json:"class"`
+		Dist  map[string]float64 `json:"dist"`
+	}
+	decodeBody(t, res, http.StatusOK, &single)
+	if single.Class != "lo" {
+		t.Fatalf("single classification = %q, want lo", single.Class)
+	}
+	if sum := single.Dist["lo"] + single.Dist["hi"]; sum < 0.999 || sum > 1.001 {
+		t.Fatalf("distribution does not sum to 1: %v", single.Dist)
+	}
+
+	// Batch: one per class, plus raw-measurement and missing-value styles.
+	res = postJSON(t, ts.URL+"/classify", `{"tuples": [
+		{"num": [0.15, [1, 2, 3, 2]]},
+		{"num": [9.2, 12.5]},
+		{"num": [null, [11, 13, 15]]}
+	]}`)
+	var batch struct {
+		Results []struct {
+			Class string             `json:"class"`
+			Dist  map[string]float64 `json:"dist"`
+		} `json:"results"`
+	}
+	decodeBody(t, res, http.StatusOK, &batch)
+	if len(batch.Results) != 3 {
+		t.Fatalf("batch returned %d results, want 3", len(batch.Results))
+	}
+	for i, want := range []string{"lo", "hi", "hi"} {
+		if got := batch.Results[i].Class; got != want {
+			t.Fatalf("batch tuple %d classified %q, want %q", i, got, want)
+		}
+	}
+
+	// Health endpoint reports the model.
+	hres, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status  string   `json:"status"`
+		Classes []string `json:"classes"`
+		Nodes   int      `json:"nodes"`
+	}
+	decodeBody(t, hres, http.StatusOK, &health)
+	if health.Status != "ok" || health.Nodes < 1 || len(health.Classes) != 2 {
+		t.Fatalf("healthz = %+v", health)
+	}
+}
+
+// TestServerMatchesLibrary: the HTTP path must agree with direct library
+// classification on the training tuples.
+func TestServerMatchesLibrary(t *testing.T) {
+	path := trainModel(t)
+	s, err := newServer(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	ds, err := udt.ReadCSV(strings.NewReader(trainCSV), "train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tree udt.Tree
+	if err := json.Unmarshal(blob, &tree); err != nil {
+		t.Fatal(err)
+	}
+	for i, tu := range ds.Tuples {
+		want := tree.Classes[tree.Predict(tu)]
+		// Re-encode the tuple through the wire format.
+		var parts []string
+		for _, p := range tu.Num {
+			if p.NumSamples() == 1 {
+				parts = append(parts, fmt.Sprintf("%g", p.Mean()))
+				continue
+			}
+			var xs []string
+			for k := 0; k < p.NumSamples(); k++ {
+				xs = append(xs, fmt.Sprintf("%g", p.X(k)))
+			}
+			parts = append(parts, "["+strings.Join(xs, ",")+"]")
+		}
+		body := `{"num": [` + strings.Join(parts, ",") + `]}`
+		res := postJSON(t, ts.URL+"/classify", body)
+		var got struct {
+			Class string `json:"class"`
+		}
+		decodeBody(t, res, http.StatusOK, &got)
+		if got.Class != want {
+			t.Fatalf("tuple %d: server says %q, library says %q", i, got.Class, want)
+		}
+	}
+}
+
+func TestClassifyBadRequests(t *testing.T) {
+	s, err := newServer(trainModel(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	cases := map[string]string{
+		"not json":           `{`,
+		"unknown field":      `{"bogus": 1}`,
+		"wrong arity":        `{"num": [1]}`,
+		"mixed single+batch": `{"num": [1, 2], "tuples": []}`,
+		"bad pdf object":     `{"num": [{"xs": [1], "masses": []}, 2]}`,
+		"non-number value":   `{"num": ["abc", 2]}`,
+	}
+	for name, body := range cases {
+		res := postJSON(t, ts.URL+"/classify", body)
+		var e struct {
+			Error string `json:"error"`
+		}
+		decodeBody(t, res, http.StatusBadRequest, &e)
+		if e.Error == "" {
+			t.Errorf("%s: no error message", name)
+		}
+	}
+	// Wrong method and wrong path 404/405.
+	res, err := http.Get(ts.URL + "/classify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode == http.StatusOK {
+		t.Error("GET /classify should not succeed")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	ctx := context.Background()
+	if err := run(ctx, []string{}); err == nil || !strings.Contains(err.Error(), "-model is required") {
+		t.Errorf("missing -model: %v", err)
+	}
+	if err := run(ctx, []string{"-model", "m.json", "-workers", "0"}); err == nil || !strings.Contains(err.Error(), "must be >= 1") {
+		t.Errorf("bad -workers: %v", err)
+	}
+	if err := run(ctx, []string{"-model", "/nonexistent/model.json"}); err == nil {
+		t.Error("missing model file not caught")
+	}
+}
+
+// TestRunServesAndShutsDown boots the real server on an ephemeral port and
+// cancels the context: run must return cleanly (graceful shutdown).
+func TestRunServesAndShutsDown(t *testing.T) {
+	path := trainModel(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, []string{"-model", path, "-addr", "127.0.0.1:0"}) }()
+	time.Sleep(200 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not shut down after cancel")
+	}
+}
+
+func postJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	res, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func decodeBody(t *testing.T, res *http.Response, wantCode int, v any) {
+	t.Helper()
+	defer res.Body.Close()
+	if res.StatusCode != wantCode {
+		t.Fatalf("status %d, want %d", res.StatusCode, wantCode)
+	}
+	if err := json.NewDecoder(res.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

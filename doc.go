@@ -41,6 +41,12 @@
 //
 // Up to Parallelism × Workers goroutines may run during one build.
 //
+// For serving, Tree.Compile flattens a built (or JSON-loaded) tree into a
+// Compiled engine: a contiguous array layout classified by an iterative,
+// allocation-free descent, with ClassifyBatch/PredictBatch spreading a
+// batch over a bounded number of workers. The compiled path returns exactly
+// the distributions of Tree.Classify; cmd/udtserve exposes it over HTTP.
+//
 // # Quick start
 //
 //	ds := udt.NewDataset("fever", 1, []string{"healthy", "fever"})
@@ -50,7 +56,6 @@
 //	tree, err := udt.Build(ds, udt.Config{Strategy: udt.StrategyES, PostPrune: true})
 //	dist := tree.Classify(testTuple) // probability per class
 //
-// See the examples directory for runnable programs, DESIGN.md for the
-// architecture and the paper-to-module map, and EXPERIMENTS.md for the
-// reproduction of every table and figure in the paper's evaluation.
+// See the examples directory for runnable programs and ARCHITECTURE.md for
+// the package layers, the concurrency model, and the train/serve flow.
 package udt

@@ -1,6 +1,7 @@
 package udt_test
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"udt"
@@ -50,6 +51,64 @@ func ExampleTree_Classify() {
 	// Output:
 	// P(low)+P(high) = 1
 	// P(high) > P(low) > 0: true
+}
+
+// ExampleTree_Compile shows the serving path: a built tree is flattened
+// into the compiled flat-array engine, whose batch APIs classify many
+// tuples concurrently and return exactly the recursive results.
+func ExampleTree_Compile() {
+	ds := udt.NewDataset("demo", 1, []string{"low", "high"})
+	for i := 0; i < 20; i++ {
+		v := float64(i % 2 * 10)
+		p, _ := udt.UniformPDF(v-1, v+1, 21)
+		ds.Add(i%2, p)
+	}
+	tree, _ := udt.Build(ds, udt.Config{MinWeight: 1})
+
+	compiled, _ := tree.Compile()
+	preds := compiled.PredictBatch(ds.Tuples, 4) // up to 4 workers
+	agree := 0
+	for i, tu := range ds.Tuples {
+		if preds[i] == tree.Predict(tu) {
+			agree++
+		}
+	}
+	fmt.Printf("nodes: %d\n", compiled.NumNodes())
+	fmt.Printf("batch agrees with recursive on %d/20 tuples\n", agree)
+	// Output:
+	// nodes: 3
+	// batch agrees with recursive on 20/20 tuples
+}
+
+// ExampleTree_MarshalJSON round-trips a model through its JSON document —
+// the format "udtree train" writes and "udtserve -model" loads. The
+// restored tree classifies identically without the training data.
+func ExampleTree_MarshalJSON() {
+	ds := udt.NewDataset("table1", 1, []string{"A", "B"})
+	ds.Add(0, udt.PointPDF(2))
+	ds.Add(0, mustPDF([]float64{-6, 2}, []float64{1, 1}))
+	ds.Add(0, mustPDF([]float64{-1, 1, 10}, []float64{5, 1, 2}))
+	ds.Add(1, udt.PointPDF(-2))
+	ds.Add(1, mustPDF([]float64{-2, 6}, []float64{1, 1}))
+	ds.Add(1, mustPDF([]float64{-4, 0}, []float64{1, 1}))
+	tree, _ := udt.Build(ds, udt.Config{MinWeight: 0.01})
+
+	blob, _ := json.Marshal(tree)
+	var restored udt.Tree
+	if err := json.Unmarshal(blob, &restored); err != nil {
+		panic(err)
+	}
+
+	same := true
+	for _, tu := range ds.Tuples {
+		if restored.Predict(tu) != tree.Predict(tu) {
+			same = false
+		}
+	}
+	fmt.Printf("restored %d nodes, identical predictions: %v\n",
+		restored.Stats.Nodes, same)
+	// Output:
+	// restored 13 nodes, identical predictions: true
 }
 
 // ExamplePDFFromSamples models an attribute directly from repeated

@@ -1,0 +1,86 @@
+// Serving: train a model, flatten it with Compile, and push a large batch
+// through the allocation-free inference engine — the same path cmd/udtserve
+// runs behind POST /classify. Writes model.json so the server can be tried
+// immediately afterwards:
+//
+//	go run ./examples/serving
+//	go run ./cmd/udtserve -model model.json &
+//	curl -s localhost:8080/classify -d '{"num": [0.5, [48, 52, 50]]}'
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"udt"
+)
+
+func main() {
+	// A sensor-fusion workload: two noisy channels, two classes.
+	rng := rand.New(rand.NewSource(7))
+	ds := udt.NewDataset("sensors", 2, []string{"nominal", "alarm"})
+	ds.NumAttrs[0].Name = "pressure"
+	ds.NumAttrs[1].Name = "temperature"
+	for i := 0; i < 400; i++ {
+		class := i % 2
+		p := float64(class) + rng.NormFloat64()*0.4
+		c1, err := udt.GaussianPDF(p, 0.2, p-0.8, p+0.8, 30)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := 50 + float64(class)*4 + rng.NormFloat64()
+		c2, err := udt.GaussianPDF(t, 0.5, t-2, t+2, 30)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds.Add(class, c1, c2)
+	}
+
+	tree, err := udt.Build(ds, udt.Config{Strategy: udt.StrategyES, PostPrune: true, MinWeight: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compile once at load time; classify forever after without chasing a
+	// pointer or touching the allocator.
+	compiled, err := tree.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %s -> %d flat nodes\n", tree, compiled.NumNodes())
+
+	// A 100k-tuple batch, first single-threaded, then on every core.
+	batch := make([]*udt.Tuple, 0, 100000)
+	for len(batch) < cap(batch) {
+		batch = append(batch, ds.Tuples[rng.Intn(ds.Len())])
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		start := time.Now()
+		preds := compiled.PredictBatch(batch, workers)
+		elapsed := time.Since(start)
+		alarms := 0
+		for _, p := range preds {
+			if p == 1 {
+				alarms++
+			}
+		}
+		fmt.Printf("workers=%-2d %d tuples in %v (%.0f tuples/s), %d alarms\n",
+			workers, len(batch), elapsed.Round(time.Millisecond),
+			float64(len(batch))/elapsed.Seconds(), alarms)
+	}
+
+	// Persist the model for udtserve.
+	blob, err := json.MarshalIndent(tree, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile("model.json", blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote model.json — serve it with: go run ./cmd/udtserve -model model.json")
+}

@@ -1,5 +1,5 @@
-// Package cliutil holds flag parsing and validation shared by the udtree
-// and udtbench commands.
+// Package cliutil holds flag parsing and validation shared by the udtree,
+// udtbench and udtserve commands.
 package cliutil
 
 import (
@@ -14,6 +14,14 @@ import (
 func CheckPositive(name string, v int) error {
 	if v < 1 {
 		return fmt.Errorf("%s must be >= 1 (got %d)", name, v)
+	}
+	return nil
+}
+
+// RequireString rejects an empty value for a required string flag.
+func RequireString(name, v string) error {
+	if v == "" {
+		return fmt.Errorf("%s is required", name)
 	}
 	return nil
 }

@@ -1,0 +1,58 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+
+	"udt/internal/split"
+)
+
+func TestCheckPositive(t *testing.T) {
+	if err := CheckPositive("-workers", 1); err != nil {
+		t.Errorf("1 rejected: %v", err)
+	}
+	if err := CheckPositive("-workers", 8); err != nil {
+		t.Errorf("8 rejected: %v", err)
+	}
+	for _, v := range []int{0, -1, -100} {
+		err := CheckPositive("-workers", v)
+		if err == nil {
+			t.Errorf("%d accepted", v)
+		} else if !strings.Contains(err.Error(), "-workers") {
+			t.Errorf("error does not name the flag: %v", err)
+		}
+	}
+}
+
+func TestRequireString(t *testing.T) {
+	if err := RequireString("-model", "model.json"); err != nil {
+		t.Errorf("non-empty rejected: %v", err)
+	}
+	err := RequireString("serve: -model", "")
+	if err == nil {
+		t.Error("empty accepted")
+	} else if !strings.Contains(err.Error(), "serve: -model") {
+		t.Errorf("error does not name the flag: %v", err)
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	want := map[string]split.Strategy{
+		"":    split.UDT,
+		"udt": split.UDT,
+		"UDT": split.UDT,
+		"bp":  split.BP,
+		"lp":  split.LP,
+		"gp":  split.GP,
+		"Es":  split.ES,
+	}
+	for in, st := range want {
+		got, err := ParseStrategy(in)
+		if err != nil || got != st {
+			t.Errorf("ParseStrategy(%q) = %v, %v; want %v", in, got, err, st)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+}

@@ -1,0 +1,403 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"udt/internal/data"
+	"udt/internal/pdf"
+)
+
+// This file implements the compiled inference engine: a Tree flattened into
+// contiguous arrays, classified by an iterative descent that performs no
+// steady-state heap allocation. The recursive Classify of classify.go remains
+// the semantic reference; TestCompiledMatchesRecursive pins the two paths to
+// each other over randomized trees and tuples.
+
+// Node kinds in the compiled layout.
+const (
+	ckLeaf uint8 = iota // terminal: dist row holds the class distribution
+	ckNum               // numeric test: attr, split, two children (left, right)
+	ckCat               // categorical test: attr, one child per domain value
+)
+
+// Compiled is a decision tree flattened into a struct-of-arrays layout for
+// fast inference. Node i's children are child[start[i]:start[i+1]] (CSR
+// indexing: left/right for numeric tests, one entry per domain value for
+// categorical tests), and node i owns row i of the dist arena — the leaf
+// class distribution for leaves, the per-class training weight (used by
+// missing-value routing) for internal nodes.
+//
+// A Compiled is immutable after construction and safe for concurrent use.
+type Compiled struct {
+	Classes  []string
+	NumAttrs []data.Attribute
+	CatAttrs []data.Attribute
+
+	kind  []uint8   // node kind (ckLeaf, ckNum, ckCat)
+	attr  []int32   // tested attribute index, by kind
+	split []float64 // numeric split point ("value <= split" goes left)
+	start []int32   // CSR row pointers into child; len = nodes+1
+	child []int32   // child node indices
+	w     []float64 // training weight that reached the node
+	dist  []float64 // arena of per-node class rows; row i is dist[i*C:(i+1)*C]
+}
+
+// Compile flattens the pointer-linked tree into the contiguous Compiled
+// layout, validating structural invariants (leaf distribution arity, both
+// children present on numeric tests, children matching the categorical
+// domain) that the recursive path would only surface as panics mid-descent.
+func (t *Tree) Compile() (*Compiled, error) {
+	if t == nil || t.Root == nil {
+		return nil, errors.New("core: cannot compile a tree without a root")
+	}
+	nc := len(t.Classes)
+	if nc == 0 {
+		return nil, errors.New("core: cannot compile a tree without classes")
+	}
+	c := &Compiled{
+		Classes:  t.Classes,
+		NumAttrs: t.NumAttrs,
+		CatAttrs: t.CatAttrs,
+	}
+	// Breadth-first flattening: while node i is processed its children are
+	// appended to the order, so siblings receive consecutive indices and the
+	// CSR child array gains its row structure for free.
+	order := []*Node{t.Root}
+	for i := 0; i < len(order); i++ {
+		n := order[i]
+		c.start = append(c.start, int32(len(c.child)))
+		c.w = append(c.w, n.W)
+		base := len(c.dist)
+		c.dist = append(c.dist, make([]float64, nc)...)
+		switch {
+		case n.IsLeaf():
+			if len(n.Dist) != nc {
+				return nil, fmt.Errorf("core: leaf has %d class probabilities, want %d", len(n.Dist), nc)
+			}
+			c.kind = append(c.kind, ckLeaf)
+			c.attr = append(c.attr, 0)
+			c.split = append(c.split, 0)
+			copy(c.dist[base:], n.Dist)
+		case n.Cat:
+			if n.Attr < 0 || n.Attr >= len(t.CatAttrs) {
+				return nil, fmt.Errorf("core: categorical test on attribute %d, schema has %d", n.Attr, len(t.CatAttrs))
+			}
+			if dom := len(t.CatAttrs[n.Attr].Domain); len(n.Kids) != dom {
+				return nil, fmt.Errorf("core: categorical test on %q has %d children, domain has %d values",
+					t.CatAttrs[n.Attr].Name, len(n.Kids), dom)
+			}
+			c.kind = append(c.kind, ckCat)
+			c.attr = append(c.attr, int32(n.Attr))
+			c.split = append(c.split, 0)
+			copy(c.dist[base:], n.ClassW)
+			for _, kid := range n.Kids {
+				if kid == nil {
+					return nil, errors.New("core: categorical test with a nil child")
+				}
+				c.child = append(c.child, int32(len(order)))
+				order = append(order, kid)
+			}
+		default:
+			if n.Left == nil || n.Right == nil {
+				return nil, errors.New("core: numeric test missing a child")
+			}
+			if n.Attr < 0 || n.Attr >= len(t.NumAttrs) {
+				return nil, fmt.Errorf("core: numeric test on attribute %d, schema has %d", n.Attr, len(t.NumAttrs))
+			}
+			c.kind = append(c.kind, ckNum)
+			c.attr = append(c.attr, int32(n.Attr))
+			c.split = append(c.split, n.Split)
+			copy(c.dist[base:], n.ClassW)
+			c.child = append(c.child, int32(len(order)))
+			order = append(order, n.Left)
+			c.child = append(c.child, int32(len(order)))
+			order = append(order, n.Right)
+		}
+	}
+	c.start = append(c.start, int32(len(c.child)))
+	return c, nil
+}
+
+// NumNodes reports the number of nodes in the compiled tree.
+func (c *Compiled) NumNodes() int { return len(c.kind) }
+
+// cframe is one pending branch of the iterative descent: a node to visit,
+// the probability mass arriving there, and the tuple's current attribute
+// views (conditional pdfs produced by splits along the path).
+type cframe struct {
+	node int32
+	w    float64
+	num  []*pdf.PDF
+	cat  []data.CatDist
+}
+
+// scratch holds the reusable state of one descent. All slices are slabs that
+// grow to the working-set size and are then recycled via scratchPool, so a
+// warm classify call allocates nothing. Views into a slab stay valid when
+// the slab later grows: append moves the backing array but the old one
+// remains reachable and is never written again.
+type scratch struct {
+	frames []cframe
+	nums   []*pdf.PDF     // slab for per-frame numeric attribute views
+	cats   []data.CatDist // slab for per-frame categorical attribute views
+	mass   []float64      // slab for collapsed point categorical distributions
+	out    []float64      // Predict's distribution buffer
+	arena  pdf.SplitArena
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func (s *scratch) reset() {
+	s.frames = s.frames[:0]
+	s.nums = s.nums[:0]
+	s.cats = s.cats[:0]
+	s.mass = s.mass[:0]
+	s.arena.Reset()
+}
+
+// numView returns a copy of num with attribute a replaced by p, drawn from
+// the scratch slab.
+func (s *scratch) numView(num []*pdf.PDF, a int, p *pdf.PDF) []*pdf.PDF {
+	base := len(s.nums)
+	s.nums = append(s.nums, num...)
+	view := s.nums[base : base+len(num)]
+	view[a] = p
+	return view
+}
+
+// catView returns a copy of cat with attribute a collapsed onto domain value
+// v (the NewCatPoint of the recursive path), drawn from the scratch slabs.
+func (s *scratch) catView(cat []data.CatDist, a, v, n int) []data.CatDist {
+	mb := len(s.mass)
+	for i := 0; i < n; i++ {
+		s.mass = append(s.mass, 0)
+	}
+	point := data.CatDist(s.mass[mb : mb+n])
+	point[v] = 1
+	base := len(s.cats)
+	s.cats = append(s.cats, cat...)
+	view := s.cats[base : base+len(cat)]
+	view[a] = point
+	return view
+}
+
+// outBuf returns a zeroed distribution buffer of the given arity.
+func (s *scratch) outBuf(nc int) []float64 {
+	if cap(s.out) < nc {
+		s.out = make([]float64, nc)
+	}
+	s.out = s.out[:nc]
+	for i := range s.out {
+		s.out[i] = 0
+	}
+	return s.out
+}
+
+// classify runs the iterative descent, accumulating the tuple's class
+// distribution into out (len == len(c.Classes), zeroed by the caller).
+// Children are pushed in reverse so the LIFO stack visits leaves in exactly
+// the recursive order, keeping the floating-point summation identical to
+// Tree.Classify.
+func (c *Compiled) classify(tu *data.Tuple, out []float64, s *scratch) {
+	nc := len(c.Classes)
+	s.reset()
+	s.frames = append(s.frames, cframe{node: 0, w: 1, num: tu.Num, cat: tu.Cat})
+	for len(s.frames) > 0 {
+		f := s.frames[len(s.frames)-1]
+		s.frames = s.frames[:len(s.frames)-1]
+		if f.w <= weightEps {
+			continue
+		}
+		node := int(f.node)
+		switch c.kind[node] {
+		case ckLeaf:
+			row := c.dist[node*nc : (node+1)*nc]
+			for ci, p := range row {
+				out[ci] += f.w * p
+			}
+		case ckCat:
+			a := int(c.attr[node])
+			d := f.cat[a]
+			if d == nil {
+				c.routeMissing(f, out, s, nc)
+				continue
+			}
+			lo := int(c.start[node])
+			for v := len(d) - 1; v >= 0; v-- {
+				p := d[v]
+				if p <= 0 {
+					continue
+				}
+				s.frames = append(s.frames, cframe{
+					node: c.child[lo+v],
+					w:    f.w * p,
+					num:  f.num,
+					cat:  s.catView(f.cat, a, v, len(d)),
+				})
+			}
+		case ckNum:
+			a := int(c.attr[node])
+			p := f.num[a]
+			if p == nil {
+				c.routeMissing(f, out, s, nc)
+				continue
+			}
+			pl, pr, pL := p.SplitAtArena(c.split[node], &s.arena)
+			lo := int(c.start[node])
+			if pL < 1 {
+				s.frames = append(s.frames, cframe{
+					node: c.child[lo+1],
+					w:    f.w * (1 - pL),
+					num:  s.numView(f.num, a, pr),
+					cat:  f.cat,
+				})
+			}
+			if pL > 0 {
+				s.frames = append(s.frames, cframe{
+					node: c.child[lo],
+					w:    f.w * pL,
+					num:  s.numView(f.num, a, pl),
+					cat:  f.cat,
+				})
+			}
+		}
+	}
+}
+
+// routeMissing handles a test on an attribute the tuple is missing: the
+// arriving mass is distributed across the children in proportion to the
+// training weight each received, falling back to the node's own class
+// weights when no child carries weight — the compiled twin of
+// classifyByTrainingWeights.
+func (c *Compiled) routeMissing(f cframe, out []float64, s *scratch, nc int) {
+	node := int(f.node)
+	lo, hi := int(c.start[node]), int(c.start[node+1])
+	total := 0.0
+	for i := lo; i < hi; i++ {
+		total += c.w[c.child[i]]
+	}
+	if total <= 0 {
+		if nodeW := c.w[node]; nodeW > 0 {
+			row := c.dist[node*nc : (node+1)*nc]
+			for ci, cw := range row {
+				out[ci] += f.w * cw / nodeW
+			}
+		}
+		return
+	}
+	for i := hi - 1; i >= lo; i-- {
+		kid := c.child[i]
+		s.frames = append(s.frames, cframe{
+			node: kid,
+			w:    f.w * c.w[kid] / total,
+			num:  f.num,
+			cat:  f.cat,
+		})
+	}
+}
+
+// Classify returns the probability distribution over class labels for the
+// tuple, identical to Tree.Classify on the source tree.
+func (c *Compiled) Classify(tu *data.Tuple) []float64 {
+	out := make([]float64, len(c.Classes))
+	s := scratchPool.Get().(*scratch)
+	c.classify(tu, out, s)
+	scratchPool.Put(s)
+	return out
+}
+
+// Predict returns the most probable class label index for the tuple, with
+// Tree.Predict's tie-breaking (lowest index wins).
+func (c *Compiled) Predict(tu *data.Tuple) int {
+	s := scratchPool.Get().(*scratch)
+	out := s.outBuf(len(c.Classes))
+	c.classify(tu, out, s)
+	best := argmax(out)
+	scratchPool.Put(s)
+	return best
+}
+
+func argmax(dist []float64) int {
+	best, bestP := 0, dist[0]
+	for ci, p := range dist {
+		if p > bestP {
+			best, bestP = ci, p
+		}
+	}
+	return best
+}
+
+// batchGrain is the number of tuples a batch worker claims at a time: large
+// enough to amortise the atomic counter, small enough to balance skewed
+// per-tuple costs.
+const batchGrain = 64
+
+// ClassifyBatch classifies every tuple and returns one distribution per
+// tuple, computed by up to workers concurrent goroutines (workers <= 1 means
+// serial). Results are positionally identical to calling Classify per tuple.
+func (c *Compiled) ClassifyBatch(tuples []*data.Tuple, workers int) [][]float64 {
+	out := make([][]float64, len(tuples))
+	c.forEach(tuples, workers, func(i int, s *scratch) {
+		d := make([]float64, len(c.Classes))
+		c.classify(tuples[i], d, s)
+		out[i] = d
+	})
+	return out
+}
+
+// PredictBatch returns the most probable class label index per tuple,
+// computed by up to workers concurrent goroutines (workers <= 1 means
+// serial).
+func (c *Compiled) PredictBatch(tuples []*data.Tuple, workers int) []int {
+	out := make([]int, len(tuples))
+	c.forEach(tuples, workers, func(i int, s *scratch) {
+		buf := s.outBuf(len(c.Classes))
+		c.classify(tuples[i], buf, s)
+		out[i] = argmax(buf)
+	})
+	return out
+}
+
+// forEach applies fn to every tuple index, each worker carrying its own
+// scratch. Work is claimed in batchGrain-sized blocks off an atomic cursor.
+func (c *Compiled) forEach(tuples []*data.Tuple, workers int, fn func(i int, s *scratch)) {
+	n := len(tuples)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		s := scratchPool.Get().(*scratch)
+		for i := 0; i < n; i++ {
+			fn(i, s)
+		}
+		scratchPool.Put(s)
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			s := scratchPool.Get().(*scratch)
+			defer scratchPool.Put(s)
+			for {
+				hi := int(cursor.Add(batchGrain))
+				lo := hi - batchGrain
+				if lo >= n {
+					return
+				}
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i, s)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"udt/internal/data"
+	"udt/internal/pdf"
+)
+
+// randomMixedDataset builds a dataset with k numeric pdf attributes, one
+// 4-value categorical attribute, and (when punch is true) missing values in
+// both — the full attribute surface of the classifier.
+func randomMixedDataset(rng *rand.Rand, m, k, classes, s int, punch bool) *data.Dataset {
+	ds := buildRandomDataset(rng, m, k, classes, s)
+	ds.CatAttrs = []data.Attribute{{Name: "region", Kind: data.Categorical, Domain: []string{"n", "s", "e", "w"}}}
+	for _, tu := range ds.Tuples {
+		d := make(data.CatDist, 4)
+		d[(tu.Class+rng.Intn(2))%4] = 0.6 + rng.Float64()*0.4
+		d[rng.Intn(4)] += 0.4
+		if err := d.Normalize(); err != nil {
+			panic(err)
+		}
+		tu.Cat = []data.CatDist{d}
+		if punch {
+			if rng.Float64() < 0.15 {
+				tu.Num[rng.Intn(k)] = nil
+			}
+			if rng.Float64() < 0.15 {
+				tu.Cat[0] = nil
+			}
+		}
+	}
+	return ds
+}
+
+// randomProbes derives fresh test tuples the tree has never seen: widened,
+// shifted, partially missing variants of the training tuples.
+func randomProbes(rng *rand.Rand, ds *data.Dataset, n int) []*data.Tuple {
+	probes := make([]*data.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		src := ds.Tuples[rng.Intn(len(ds.Tuples))]
+		tu := src.CloneShallow()
+		for j, p := range tu.Num {
+			switch {
+			case p == nil:
+			case rng.Float64() < 0.2:
+				tu.Num[j] = nil
+			case rng.Float64() < 0.5:
+				q, err := pdf.Uniform(p.Min()-rng.Float64()*2, p.Max()+rng.Float64()*2, 1+rng.Intn(20))
+				if err != nil {
+					panic(err)
+				}
+				tu.Num[j] = q
+			default:
+				tu.Num[j] = p.Shift(rng.NormFloat64())
+			}
+		}
+		for j, d := range tu.Cat {
+			switch {
+			case d == nil:
+			case rng.Float64() < 0.2:
+				tu.Cat[j] = nil
+			default:
+				nd := make(data.CatDist, len(d))
+				for v := range nd {
+					nd[v] = rng.Float64()
+				}
+				if err := nd.Normalize(); err != nil {
+					panic(err)
+				}
+				tu.Cat[j] = nd
+			}
+		}
+		probes = append(probes, tu)
+	}
+	return probes
+}
+
+// TestCompiledMatchesRecursive is the equality oracle of the compiled
+// engine: over randomized trees (numeric and categorical splits, post-
+// pruning on and off) and randomized tuples (fresh pdfs, collapsed cat
+// distributions, missing values), the flat iterative descent must reproduce
+// the recursive Classify and Predict exactly.
+func TestCompiledMatchesRecursive(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ds := randomMixedDataset(rng, 150, 3, 3, 10, seed%2 == 0)
+		cfg := Config{MinWeight: 1, PostPrune: seed%3 == 0}
+		tree, err := Build(ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := tree.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.NumNodes() != tree.Stats.Nodes {
+			t.Fatalf("seed %d: compiled %d nodes, tree has %d", seed, c.NumNodes(), tree.Stats.Nodes)
+		}
+		probes := append(append([]*data.Tuple{}, ds.Tuples...), randomProbes(rng, ds, 200)...)
+		for i, tu := range probes {
+			want := tree.Classify(tu)
+			got := c.Classify(tu)
+			for ci := range want {
+				if math.Abs(want[ci]-got[ci]) > 1e-12 {
+					t.Fatalf("seed %d probe %d: compiled dist %v, recursive %v", seed, i, got, want)
+				}
+			}
+			if wp, gp := tree.Predict(tu), c.Predict(tu); wp != gp {
+				t.Fatalf("seed %d probe %d: compiled predicts %d, recursive %d", seed, i, gp, wp)
+			}
+		}
+	}
+}
+
+// TestCompiledBatchMatchesSerial: the batch APIs must return positionally
+// identical results for any worker count, including workers exceeding the
+// batch size.
+func TestCompiledBatchMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ds := randomMixedDataset(rng, 200, 3, 4, 8, true)
+	tree, err := Build(ds, Config{MinWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tree.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := randomProbes(rng, ds, 500)
+	wantDist := c.ClassifyBatch(probes, 1)
+	wantPred := c.PredictBatch(probes, 1)
+	for _, workers := range []int{2, 4, 1000} {
+		gotDist := c.ClassifyBatch(probes, workers)
+		gotPred := c.PredictBatch(probes, workers)
+		for i := range probes {
+			for ci := range wantDist[i] {
+				if wantDist[i][ci] != gotDist[i][ci] {
+					t.Fatalf("workers=%d tuple %d: dist %v vs serial %v", workers, i, gotDist[i], wantDist[i])
+				}
+			}
+			if wantPred[i] != gotPred[i] {
+				t.Fatalf("workers=%d tuple %d: pred %d vs serial %d", workers, i, gotPred[i], wantPred[i])
+			}
+		}
+	}
+}
+
+// TestCompiledScratchReuse classifies many tuples through the same pooled
+// scratch path; slab recycling across calls must not leak state between
+// classifications.
+func TestCompiledScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := randomMixedDataset(rng, 100, 2, 3, 12, true)
+	tree, err := Build(ds, Config{MinWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tree.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := ds.Tuples[0]
+	first := c.Classify(tu)
+	for i := 0; i < 100; i++ {
+		c.Classify(ds.Tuples[i%ds.Len()])
+	}
+	again := c.Classify(tu)
+	for ci := range first {
+		if first[ci] != again[ci] {
+			t.Fatalf("classification drifted across scratch reuse: %v vs %v", again, first)
+		}
+	}
+}
+
+// TestCompileErrors: malformed trees must fail compilation with a clear
+// error instead of panicking mid-descent.
+func TestCompileErrors(t *testing.T) {
+	var nilTree *Tree
+	if _, err := nilTree.Compile(); err == nil {
+		t.Error("nil tree compiled")
+	}
+	if _, err := (&Tree{Classes: []string{"a"}}).Compile(); err == nil {
+		t.Error("rootless tree compiled")
+	}
+	if _, err := (&Tree{Root: &Node{Dist: []float64{1}}}).Compile(); err == nil {
+		t.Error("classless tree compiled")
+	}
+	leaf := func() *Node { return &Node{Dist: []float64{0.5, 0.5}} }
+	cases := map[string]*Tree{
+		"leaf arity": {
+			Classes: []string{"a", "b"},
+			Root:    &Node{Dist: []float64{1}},
+		},
+		"numeric missing child": {
+			Classes:  []string{"a", "b"},
+			NumAttrs: []data.Attribute{{Name: "x"}},
+			Root:     &Node{Attr: 0, Split: 1, Left: leaf()},
+		},
+		"numeric attr out of range": {
+			Classes: []string{"a", "b"},
+			Root:    &Node{Attr: 0, Split: 1, Left: leaf(), Right: leaf()},
+		},
+		"categorical attr out of range": {
+			Classes: []string{"a", "b"},
+			Root:    &Node{Cat: true, Attr: 2, Kids: []*Node{leaf(), leaf()}},
+		},
+		"categorical domain mismatch": {
+			Classes:  []string{"a", "b"},
+			CatAttrs: []data.Attribute{{Name: "c", Kind: data.Categorical, Domain: []string{"x", "y", "z"}}},
+			Root:     &Node{Cat: true, Attr: 0, Kids: []*Node{leaf(), leaf()}},
+		},
+		"categorical nil child": {
+			Classes:  []string{"a", "b"},
+			CatAttrs: []data.Attribute{{Name: "c", Kind: data.Categorical, Domain: []string{"x", "y"}}},
+			Root:     &Node{Cat: true, Attr: 0, Kids: []*Node{leaf(), nil}},
+		},
+		"malformed deep node": {
+			Classes:  []string{"a", "b"},
+			NumAttrs: []data.Attribute{{Name: "x"}},
+			Root:     &Node{Attr: 0, Split: 1, Left: leaf(), Right: &Node{Attr: 0, Split: 2, Left: leaf()}},
+		},
+	}
+	for name, tree := range cases {
+		if _, err := tree.Compile(); err == nil {
+			t.Errorf("%s: compiled without error", name)
+		}
+	}
+}
+
+// TestCompiledMissingFallback covers the no-information branch: a tuple
+// missing the tested attribute at a node whose children carry no training
+// weight falls back to the node's own class-weight distribution.
+func TestCompiledMissingFallback(t *testing.T) {
+	zero := &Node{Dist: []float64{0.5, 0.5}, W: 0, ClassW: []float64{0, 0}}
+	tree := &Tree{
+		Classes:  []string{"a", "b"},
+		NumAttrs: []data.Attribute{{Name: "x"}},
+		Root: &Node{
+			Attr: 0, Split: 1,
+			Left: zero, Right: &Node{Dist: []float64{0.5, 0.5}, W: 0, ClassW: []float64{0, 0}},
+			W: 10, ClassW: []float64{7, 3},
+		},
+	}
+	c, err := tree.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := &data.Tuple{Num: []*pdf.PDF{nil}, Weight: 1}
+	want := tree.Classify(tu)
+	got := c.Classify(tu)
+	for ci := range want {
+		if math.Abs(want[ci]-got[ci]) > 1e-15 {
+			t.Fatalf("fallback dist %v, recursive %v", got, want)
+		}
+	}
+	if got[0] != 0.7 || got[1] != 0.3 {
+		t.Fatalf("fallback should be the node class weights: %v", got)
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestTreeJSONRoundTrip: a built tree survives the marshal/unmarshal cycle
+// with identical classifications, through both the recursive and the
+// compiled engines.
+func TestTreeJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds := randomMixedDataset(rng, 80, 2, 3, 8, true)
+	tree, err := Build(ds, Config{MinWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tree
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Stats.Nodes != tree.Stats.Nodes {
+		t.Fatalf("round trip changed node count: %d vs %d", back.Stats.Nodes, tree.Stats.Nodes)
+	}
+	c, err := back.Compile()
+	if err != nil {
+		t.Fatalf("restored tree does not compile: %v", err)
+	}
+	for i, tu := range ds.Tuples {
+		want := tree.Predict(tu)
+		if got := back.Predict(tu); got != want {
+			t.Fatalf("tuple %d: restored tree predicts %d, original %d", i, got, want)
+		}
+		if got := c.Predict(tu); got != want {
+			t.Fatalf("tuple %d: restored compiled predicts %d, original %d", i, got, want)
+		}
+	}
+}
+
+// TestTreeJSONTruncated: every strict prefix of a valid document must be
+// rejected, never panic or silently produce a partial tree.
+func TestTreeJSONTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tree, err := Build(buildRandomDataset(rng, 30, 2, 2, 6), Config{MinWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(blob); cut += 7 {
+		var back Tree
+		if err := json.Unmarshal(blob[:cut], &back); err == nil {
+			t.Fatalf("truncated document of %d/%d bytes accepted", cut, len(blob))
+		}
+	}
+}
+
+// TestTreeJSONErrors covers the malformed-document paths of UnmarshalJSON:
+// missing root, class-count mismatches, and nodes that are neither leaves
+// nor well-formed tests.
+func TestTreeJSONErrors(t *testing.T) {
+	cases := map[string]struct {
+		doc  string
+		want string
+	}{
+		"no root": {
+			doc:  `{"classes": ["a", "b"]}`,
+			want: "no root",
+		},
+		"leaf with wrong class count": {
+			doc:  `{"classes": ["a", "b"], "root": {"dist": [1], "w": 1}}`,
+			want: "class probabilities",
+		},
+		"leaf with unknown class count": {
+			doc:  `{"root": {"dist": [0.5, 0.5], "w": 1}}`,
+			want: "class probabilities",
+		},
+		"node neither leaf nor test": {
+			doc:  `{"classes": ["a", "b"], "root": {"w": 1}}`,
+			want: "missing a child",
+		},
+		"numeric node with one child": {
+			doc: `{"classes": ["a", "b"], "root": {"attr": 0, "split": 1,
+				"left": {"dist": [1, 0], "w": 1}, "w": 2}}`,
+			want: "missing a child",
+		},
+		"categorical node without children": {
+			doc:  `{"classes": ["a", "b"], "root": {"cat": true, "w": 1}}`,
+			want: "without children",
+		},
+		"malformed nested node": {
+			doc: `{"classes": ["a", "b"], "root": {"attr": 0, "split": 1,
+				"left": {"dist": [1, 0], "w": 1},
+				"right": {"cat": true, "kids": [{"w": 1}], "w": 1}, "w": 2}}`,
+			want: "missing a child",
+		},
+	}
+	for name, tc := range cases {
+		var tree Tree
+		err := json.Unmarshal([]byte(tc.doc), &tree)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.want)
+		}
+	}
+}

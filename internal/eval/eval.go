@@ -27,13 +27,22 @@ type Result struct {
 
 // Accuracy returns the fraction of test tuples whose predicted label
 // (argmax of the classification distribution, §3.2) matches the true label.
+// The test set runs through the compiled inference engine.
 func Accuracy(t *core.Tree, test *data.Dataset) float64 {
 	if test.Len() == 0 {
 		return 0
 	}
+	return accuracyOf(predictions(t, test), test)
+}
+
+// accuracyOf is the fraction of tuples whose prediction matches the label.
+func accuracyOf(preds []int, test *data.Dataset) float64 {
+	if test.Len() == 0 {
+		return 0
+	}
 	correct := 0
-	for _, tu := range test.Tuples {
-		if t.Predict(tu) == tu.Class {
+	for i, tu := range test.Tuples {
+		if preds[i] == tu.Class {
 			correct++
 		}
 	}
@@ -42,12 +51,32 @@ func Accuracy(t *core.Tree, test *data.Dataset) float64 {
 
 // Confusion returns the weight-weighted confusion matrix over the test set.
 func Confusion(t *core.Tree, test *data.Dataset) [][]float64 {
-	m := make([][]float64, len(test.Classes))
-	for i := range m {
-		m[i] = make([]float64, len(test.Classes))
+	return confusion(test.Classes, predictions(t, test), test)
+}
+
+// predictions runs the whole test set through the compiled engine (with the
+// tree's Workers knob bounding batch concurrency), falling back to the
+// recursive descent for trees that do not compile.
+func predictions(t *core.Tree, test *data.Dataset) []int {
+	if c, err := t.Compile(); err == nil {
+		return c.PredictBatch(test.Tuples, t.Config.Workers)
 	}
-	for _, tu := range test.Tuples {
-		m[tu.Class][t.Predict(tu)] += tu.Weight
+	out := make([]int, test.Len())
+	for i, tu := range test.Tuples {
+		out[i] = t.Predict(tu)
+	}
+	return out
+}
+
+// confusion folds per-tuple predictions into a weight-weighted confusion
+// matrix.
+func confusion(classes []string, preds []int, test *data.Dataset) [][]float64 {
+	m := make([][]float64, len(classes))
+	for i := range m {
+		m[i] = make([]float64, len(classes))
+	}
+	for i, tu := range test.Tuples {
+		m[tu.Class][preds[i]] += tu.Weight
 	}
 	return m
 }
@@ -61,13 +90,15 @@ func TrainTest(train, test *data.Dataset, cfg core.Config) (Result, error) {
 	}
 	build := time.Since(start)
 
+	// One compiled batch pass yields both the accuracy and the confusion
+	// matrix.
 	start = time.Now()
-	acc := Accuracy(tree, test)
+	preds := predictions(tree, test)
 	classify := time.Since(start)
 
 	return Result{
-		Accuracy:     acc,
-		Confusion:    Confusion(tree, test),
+		Accuracy:     accuracyOf(preds, test),
+		Confusion:    confusion(test.Classes, preds, test),
 		BuildTime:    build,
 		ClassifyTime: classify,
 		Search:       tree.Stats.Search,

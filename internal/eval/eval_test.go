@@ -156,3 +156,85 @@ func TestUDTBeatsAVGOnMeanAliasedData(t *testing.T) {
 		t.Fatalf("UDT accuracy = %v, want >= 0.9", udt.Accuracy)
 	}
 }
+
+// TestEvalCompiledPathMatchesRecursive pins the batch compiled path the
+// evaluation protocol now runs on to per-tuple recursive inference: same
+// accuracy, same confusion matrix, same scores, for serial and parallel
+// Workers settings.
+func TestEvalCompiledPathMatchesRecursive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ds := separableDataset(80, rng)
+	// Overlap the classes a little so predictions are not all trivially
+	// correct.
+	for i := 0; i < 10; i++ {
+		p, _ := pdf.Uniform(-1, 11, 9)
+		ds.Add(i%2, p)
+	}
+	for _, workers := range []int{0, 1, 4} {
+		tree, err := core.Build(ds, core.Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		correct := 0
+		for _, tu := range ds.Tuples {
+			if tree.Predict(tu) == tu.Class {
+				correct++
+			}
+		}
+		wantAcc := float64(correct) / float64(ds.Len())
+		if acc := Accuracy(tree, ds); acc != wantAcc {
+			t.Fatalf("workers=%d: compiled-path accuracy %v, recursive %v", workers, acc, wantAcc)
+		}
+		m := Confusion(tree, ds)
+		want := make([][]float64, len(ds.Classes))
+		for i := range want {
+			want[i] = make([]float64, len(ds.Classes))
+		}
+		for _, tu := range ds.Tuples {
+			want[tu.Class][tree.Predict(tu)] += tu.Weight
+		}
+		for i := range want {
+			for j := range want[i] {
+				if m[i][j] != want[i][j] {
+					t.Fatalf("workers=%d: confusion[%d][%d] = %v, recursive %v", workers, i, j, m[i][j], want[i][j])
+				}
+			}
+		}
+		recBrier, recLog := 0.0, 0.0
+		for _, tu := range ds.Tuples {
+			dist := tree.Classify(tu)
+			for c, p := range dist {
+				target := 0.0
+				if c == tu.Class {
+					target = 1
+				}
+				recBrier += (p - target) * (p - target)
+			}
+			p := dist[tu.Class]
+			if p < 1e-15 {
+				p = 1e-15
+			}
+			recLog -= math.Log(p)
+		}
+		recBrier /= float64(ds.Len())
+		recLog /= float64(ds.Len())
+		if got := Brier(tree, ds); math.Abs(got-recBrier) > 1e-12 {
+			t.Fatalf("workers=%d: Brier %v, recursive %v", workers, got, recBrier)
+		}
+		if got := LogLoss(tree, ds); math.Abs(got-recLog) > 1e-12 {
+			t.Fatalf("workers=%d: LogLoss %v, recursive %v", workers, got, recLog)
+		}
+		// The single-pass Evaluate must agree with the individual metrics.
+		conf, brier, logLoss := Evaluate(tree, ds)
+		if brier != Brier(tree, ds) || logLoss != LogLoss(tree, ds) {
+			t.Fatalf("workers=%d: Evaluate scores (%v, %v) diverge from Brier/LogLoss", workers, brier, logLoss)
+		}
+		for i := range conf {
+			for j := range conf[i] {
+				if conf[i][j] != m[i][j] {
+					t.Fatalf("workers=%d: Evaluate confusion[%d][%d] = %v, Confusion %v", workers, i, j, conf[i][j], m[i][j])
+				}
+			}
+		}
+	}
+}

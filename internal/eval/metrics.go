@@ -74,13 +74,16 @@ func MacroF1(metrics []ClassMetrics) float64 {
 // predicted distribution and the one-hot true label, averaged over tuples.
 // Lower is better; 0 is perfect.
 func Brier(t *core.Tree, test *data.Dataset) float64 {
+	return brierOf(distributions(t, test), test)
+}
+
+func brierOf(dists [][]float64, test *data.Dataset) float64 {
 	if test.Len() == 0 {
 		return 0
 	}
 	sum := 0.0
-	for _, tu := range test.Tuples {
-		dist := t.Classify(tu)
-		for c, p := range dist {
+	for i, tu := range test.Tuples {
+		for c, p := range dists[i] {
 			target := 0.0
 			if c == tu.Class {
 				target = 1
@@ -96,17 +99,54 @@ func Brier(t *core.Tree, test *data.Dataset) float64 {
 // the true labels, with probabilities clamped away from zero to keep the
 // score finite. Lower is better.
 func LogLoss(t *core.Tree, test *data.Dataset) float64 {
+	return logLossOf(distributions(t, test), test)
+}
+
+func logLossOf(dists [][]float64, test *data.Dataset) float64 {
 	if test.Len() == 0 {
 		return 0
 	}
 	const floor = 1e-15
 	sum := 0.0
-	for _, tu := range test.Tuples {
-		p := t.Classify(tu)[tu.Class]
+	for i, tu := range test.Tuples {
+		p := dists[i][tu.Class]
 		if p < floor {
 			p = floor
 		}
 		sum -= math.Log(p)
 	}
 	return sum / float64(test.Len())
+}
+
+// Evaluate classifies the test set once through the compiled engine and
+// derives the confusion matrix, Brier score and log-loss from that single
+// batch of distributions — what a report needs without classifying the set
+// three times.
+func Evaluate(t *core.Tree, test *data.Dataset) (conf [][]float64, brier, logLoss float64) {
+	dists := distributions(t, test)
+	preds := make([]int, len(dists))
+	for i, d := range dists {
+		best := 0
+		for c, p := range d {
+			if p > d[best] {
+				best = c
+			}
+		}
+		preds[i] = best
+	}
+	return confusion(test.Classes, preds, test), brierOf(dists, test), logLossOf(dists, test)
+}
+
+// distributions classifies the whole test set through the compiled engine
+// (bounded by the tree's Workers knob), falling back to the recursive
+// descent for trees that do not compile.
+func distributions(t *core.Tree, test *data.Dataset) [][]float64 {
+	if c, err := t.Compile(); err == nil {
+		return c.ClassifyBatch(test.Tuples, t.Config.Workers)
+	}
+	out := make([][]float64, test.Len())
+	for i, tu := range test.Tuples {
+		out[i] = t.Classify(tu)
+	}
+	return out
 }

@@ -1,0 +1,73 @@
+package pdf
+
+import (
+	"math"
+	"sort"
+)
+
+// SplitArena recycles the PDF structs and cumulative-mass slices produced by
+// SplitAtArena, so that a hot classification loop splits pdfs without any
+// steady-state heap allocation: after a few warm-up calls the arena's slabs
+// have grown to the working-set size and every subsequent split reuses them.
+//
+// Pointers handed out before a slab grows keep referring to the earlier
+// backing array, which stays reachable and is never written again, so
+// previously returned PDFs remain valid until Reset. An arena must not be
+// shared between goroutines; give each worker its own and Reset it between
+// classification calls.
+type SplitArena struct {
+	pdfs []PDF
+	cums []float64
+}
+
+// Reset reclaims all storage handed out since the previous Reset. PDFs
+// obtained from the arena must not be used afterwards.
+func (a *SplitArena) Reset() {
+	a.pdfs = a.pdfs[:0]
+	a.cums = a.cums[:0]
+}
+
+// SplitAtArena is SplitAt with the result storage drawn from the arena. The
+// returned PDFs are valid until the next call to a.Reset. A nil arena falls
+// back to the allocating SplitAt.
+func (p *PDF) SplitAtArena(z float64, a *SplitArena) (left, right *PDF, pL float64) {
+	if a == nil {
+		return p.SplitAt(z)
+	}
+	idx := sort.SearchFloat64s(p.xs, math.Nextafter(z, math.Inf(1)))
+	if idx == 0 {
+		return nil, p, 0
+	}
+	if idx == len(p.xs) {
+		return p, nil, 1
+	}
+	pL = p.cum[idx-1]
+	if pL <= massEps {
+		return nil, p, 0
+	}
+	if pL >= 1-massEps {
+		return p, nil, 1
+	}
+	// Both sides carry mass: renormalise the two halves of the cumulative
+	// array into arena storage. The sample locations are shared subslices of
+	// the (immutable) parent, as in SplitAt.
+	n := len(p.xs)
+	base := len(a.cums)
+	a.cums = append(a.cums, p.cum...)
+	buf := a.cums[base : base+n]
+	lcum, rcum := buf[:idx], buf[idx:]
+	for i := range lcum {
+		lcum[i] /= pL
+	}
+	lcum[idx-1] = 1
+	pR := 1 - pL
+	for i := range rcum {
+		rcum[i] = (rcum[i] - pL) / pR
+	}
+	rcum[len(rcum)-1] = 1
+	pb := len(a.pdfs)
+	a.pdfs = append(a.pdfs,
+		PDF{xs: p.xs[:idx], cum: lcum},
+		PDF{xs: p.xs[idx:], cum: rcum})
+	return &a.pdfs[pb], &a.pdfs[pb+1], pL
+}

@@ -1,0 +1,135 @@
+package pdf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSplitAtArenaMatchesSplitAt pins arena splitting to the allocating
+// reference over random pdfs and split points, including the one-sided and
+// out-of-range cases.
+func TestSplitAtArenaMatchesSplitAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var a SplitArena
+	for trial := 0; trial < 200; trial++ {
+		a.Reset()
+		s := 1 + rng.Intn(30)
+		xs := make([]float64, s)
+		ms := make([]float64, s)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+			ms[i] = rng.Float64() + 0.01
+		}
+		p := MustNew(xs, ms)
+		for k := 0; k < 10; k++ {
+			var z float64
+			switch k {
+			case 0:
+				z = p.Min() - 1 // everything right
+			case 1:
+				z = p.Max() + 1 // everything left
+			case 2:
+				z = p.X(rng.Intn(p.NumSamples())) // exactly on a sample
+			default:
+				z = p.Min() + rng.Float64()*(p.Max()-p.Min())
+			}
+			wl, wr, wpL := p.SplitAt(z)
+			gl, gr, gpL := p.SplitAtArena(z, &a)
+			if wpL != gpL {
+				t.Fatalf("pL mismatch at z=%v: %v vs %v", z, gpL, wpL)
+			}
+			checkSamePDF(t, gl, wl)
+			checkSamePDF(t, gr, wr)
+		}
+	}
+}
+
+// TestSplitAtArenaSurvivesGrowth splits many pdfs without Reset so the
+// slabs must grow, then re-verifies every previously returned PDF: growth
+// must not corrupt earlier results.
+func TestSplitAtArenaSurvivesGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var a SplitArena
+	type want struct {
+		got *PDF
+		ref *PDF
+	}
+	var all []want
+	for trial := 0; trial < 300; trial++ {
+		xs := make([]float64, 20)
+		ms := make([]float64, 20)
+		for i := range xs {
+			xs[i] = float64(i) + rng.Float64()*0.5
+			ms[i] = 1
+		}
+		p := MustNew(xs, ms)
+		z := 2 + rng.Float64()*15
+		wl, wr, _ := p.SplitAt(z)
+		gl, gr, _ := p.SplitAtArena(z, &a)
+		all = append(all, want{gl, wl}, want{gr, wr})
+	}
+	for i, w := range all {
+		if (w.got == nil) != (w.ref == nil) {
+			t.Fatalf("result %d nilness diverged", i)
+		}
+		if w.got != nil && !w.got.Equal(w.ref, 0) {
+			t.Fatalf("result %d corrupted after arena growth", i)
+		}
+	}
+}
+
+// TestSplitAtArenaNil: a nil arena must behave exactly like SplitAt.
+func TestSplitAtArenaNil(t *testing.T) {
+	p := MustNew([]float64{1, 2, 3}, []float64{1, 1, 1})
+	l, r, pL := p.SplitAtArena(1.5, nil)
+	if l == nil || r == nil || math.Abs(pL-1.0/3) > 1e-12 {
+		t.Fatalf("nil-arena split: %v %v %v", l, r, pL)
+	}
+}
+
+func checkSamePDF(t *testing.T, got, want *PDF) {
+	t.Helper()
+	if (got == nil) != (want == nil) {
+		t.Fatalf("nilness diverged: got %v want %v", got, want)
+	}
+	if got == nil {
+		return
+	}
+	if !got.Equal(want, 0) {
+		t.Fatalf("split part diverged: got %v want %v", got, want)
+	}
+}
+
+func BenchmarkSplitAtArena(b *testing.B) {
+	p := MustNew(
+		func() []float64 {
+			xs := make([]float64, 50)
+			for i := range xs {
+				xs[i] = float64(i)
+			}
+			return xs
+		}(),
+		func() []float64 {
+			ms := make([]float64, 50)
+			for i := range ms {
+				ms[i] = 1
+			}
+			return ms
+		}())
+	b.Run("alloc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.SplitAt(24.5)
+		}
+	})
+	b.Run("arena", func(b *testing.B) {
+		var a SplitArena
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if i%128 == 0 {
+				a.Reset()
+			}
+			p.SplitAtArena(24.5, &a)
+		}
+	})
+}

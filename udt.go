@@ -38,6 +38,10 @@ type (
 	Tree = core.Tree
 	// Node is one tree node.
 	Node = core.Node
+	// Compiled is a tree flattened into contiguous arrays by Tree.Compile
+	// for fast, allocation-free batch inference — the serving path of
+	// cmd/udtserve. It is immutable and safe for concurrent use.
+	Compiled = core.Compiled
 	// Config controls tree construction, including the two parallelism
 	// knobs: Parallelism (concurrent subtree builds) and Workers
 	// (concurrent split-search workers inside each node). Both default to
@@ -162,6 +166,13 @@ func MacroF1(metrics []ClassMetrics) float64 { return eval.MacroF1(metrics) }
 // Brier returns the mean Brier score of the tree's probabilistic
 // classifications over the test set (lower is better).
 func Brier(t *Tree, test *Dataset) float64 { return eval.Brier(t, test) }
+
+// Evaluate classifies the test set once through the compiled engine and
+// returns the confusion matrix, Brier score and log-loss from that single
+// pass.
+func Evaluate(t *Tree, test *Dataset) (conf [][]float64, brier, logLoss float64) {
+	return eval.Evaluate(t, test)
+}
 
 // LogLoss returns the mean negative log-likelihood of the true labels
 // under the tree's probabilistic classifications (lower is better).

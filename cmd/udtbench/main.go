@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: example|datasets|accuracy|noise|time|pruning|s-sweep|w-sweep|gini|point|es-ablation|endpoint-ablation|speedup|all")
+		exp      = flag.String("exp", "all", "experiment: example|datasets|accuracy|noise|time|pruning|s-sweep|w-sweep|gini|point|es-ablation|endpoint-ablation|speedup|forest|all")
 		scale    = flag.Float64("scale", 0.1, "dataset scale in (0,1]; 1 = Table 2 sizes")
 		s        = flag.Int("s", 100, "sample points per pdf")
 		w        = flag.Float64("w", 0.10, "pdf width as a fraction of the attribute range")
@@ -43,8 +43,13 @@ func main() {
 		parallel = flag.Int("parallel", 1, "concurrent subtree builds (>= 1)")
 		strategy = flag.String("strategy", "es", "strategy for the speedup experiment: udt|bp|lp|gp|es")
 		tuples   = flag.Int("tuples", 10000, "dataset size for the speedup experiment")
+		trees    = flag.Int("trees", 25, "ensemble size for the forest experiment (>= 1)")
 	)
 	flag.Parse()
+
+	if err := cliutil.CheckPositive("-trees", *trees); err != nil {
+		fatal(err)
+	}
 
 	if err := cliutil.CheckPositive("-workers", *workers); err != nil {
 		fatal(err)
@@ -149,6 +154,13 @@ func main() {
 				return err
 			}
 			experiments.FprintAblation(os.Stdout, rows)
+		case "forest":
+			fmt.Println("== bagged forest vs single tree: accuracy and throughput ==")
+			rows, err := experiments.ForestVsTree(opts, *trees)
+			if err != nil {
+				return err
+			}
+			experiments.FprintForest(os.Stdout, rows)
 		case "speedup":
 			fmt.Println("== intra-node parallel split search: serial vs -workers ==")
 			counts := []int{1, *workers}
@@ -168,7 +180,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"example", "datasets", "accuracy", "noise", "time", "s-sweep", "w-sweep", "gini", "point", "es-trace", "es-ablation", "endpoint-ablation", "speedup"}
+		names = []string{"example", "datasets", "accuracy", "noise", "time", "s-sweep", "w-sweep", "gini", "point", "es-trace", "es-ablation", "endpoint-ablation", "speedup", "forest"}
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {

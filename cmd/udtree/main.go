@@ -5,9 +5,13 @@
 // Usage:
 //
 //	udtree train   -in train.csv -out model.json [-avg] [-measure entropy] [-strategy es]
+//	udtree train   -in train.csv -out model.json -forest [-trees 25] [-sample-ratio 1] [-attrs K]
 //	udtree predict -model model.json -in test.csv
 //	udtree rules   -model model.json
 //	udtree eval    -model model.json -in test.csv
+//
+// predict and eval accept both single-tree models and the forest containers
+// written by train -forest.
 package main
 
 import (
@@ -16,10 +20,13 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
 	"udt"
 	"udt/internal/cliutil"
+	"udt/internal/eval"
+	"udt/internal/modelio"
 )
 
 func main() {
@@ -52,6 +59,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   udtree train   -in train.csv -out model.json [-avg] [-measure entropy|gini|gainratio] [-strategy udt|bp|lp|gp|es] [-maxdepth N] [-minweight W] [-postprune] [-workers N] [-parallel N]
+                 [-forest] [-trees 25] [-sample-ratio 1] [-attrs K] [-seed N]
   udtree predict -model model.json -in test.csv
   udtree rules   -model model.json
   udtree eval    -model model.json -in test.csv
@@ -83,16 +91,13 @@ func loadCSV(path string) (*udt.Dataset, error) {
 	return udt.ReadCSV(f, path)
 }
 
-func loadModel(path string) (*udt.Tree, error) {
-	blob, err := os.ReadFile(path)
+// writeModel marshals any model document (tree or forest) to disk.
+func writeModel(path string, model any) error {
+	blob, err := json.MarshalIndent(model, "", "  ")
 	if err != nil {
-		return nil, err
+		return err
 	}
-	var tree udt.Tree
-	if err := json.Unmarshal(blob, &tree); err != nil {
-		return nil, err
-	}
-	return &tree, nil
+	return os.WriteFile(path, blob, 0o644)
 }
 
 func train(args []string) error {
@@ -107,6 +112,11 @@ func train(args []string) error {
 	postPrune := fs.Bool("postprune", true, "pessimistic post-pruning")
 	workers := fs.Int("workers", 1, "intra-node split-search workers (>= 1)")
 	parallel := fs.Int("parallel", 1, "concurrent subtree builds (>= 1)")
+	forestMode := fs.Bool("forest", false, "train a bagged ensemble instead of a single tree")
+	trees := fs.Int("trees", 25, "forest: ensemble size (>= 1)")
+	sampleRatio := fs.Float64("sample-ratio", 1, "forest: bootstrap sample size as a fraction of the training set, in (0, 1]")
+	attrs := fs.Int("attrs", 0, "forest: random attribute subset size per tree (0 = all)")
+	seed := fs.Int64("seed", 1, "forest: base RNG seed for bootstrap and attribute sampling")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -118,6 +128,19 @@ func train(args []string) error {
 	}
 	if err := cliutil.CheckPositive("train: -parallel", *parallel); err != nil {
 		return err
+	}
+	if *forestMode {
+		if err := cliutil.CheckPositive("train: -trees", *trees); err != nil {
+			return err
+		}
+		// Rejected here because the library treats 0 as "use the default";
+		// an explicit 0 on the command line is a mistake, not a default.
+		if !(*sampleRatio > 0 && *sampleRatio <= 1) {
+			return fmt.Errorf("train: -sample-ratio %v out of (0, 1]", *sampleRatio)
+		}
+		if *avg {
+			return fmt.Errorf("train: -forest and -avg are mutually exclusive")
+		}
 	}
 	ds, err := loadCSV(*in)
 	if err != nil {
@@ -140,6 +163,44 @@ func train(args []string) error {
 		Workers:     *workers,
 		Parallelism: *parallel,
 	}
+	if *forestMode {
+		// -parallel drives concurrent member builds; members build their own
+		// subtrees serially so the goroutine budget stays -parallel × -workers,
+		// the same contract as a single-tree build.
+		memberCfg := cfg
+		memberCfg.Parallelism = 1
+		// Bagging prefers unpruned low-bias members, so the single-tree
+		// -postprune default of true is flipped off unless the user set the
+		// flag explicitly.
+		postPruneSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "postprune" {
+				postPruneSet = true
+			}
+		})
+		if !postPruneSet {
+			memberCfg.PostPrune = false
+		}
+		f, err := udt.TrainForest(ds, udt.ForestConfig{
+			Trees:        *trees,
+			SampleRatio:  *sampleRatio,
+			AttrsPerTree: *attrs,
+			Seed:         *seed,
+			Workers:      *parallel,
+			TreeConfig:   memberCfg,
+		})
+		if err != nil {
+			return err
+		}
+		if err := writeModel(*out, f); err != nil {
+			return err
+		}
+		s := f.Stats()
+		fmt.Printf("trained forest on %d tuples: %d trees, %d nodes, depth %d, OOB accuracy %.2f%% (Brier %.4f, %d tuples) -> %s\n",
+			ds.Len(), f.NumTrees(), s.Nodes, s.Depth,
+			f.OOB.Accuracy*100, f.OOB.Brier, f.OOB.Evaluated, *out)
+		return nil
+	}
 	var tree *udt.Tree
 	if *avg {
 		tree, err = udt.BuildAveraging(ds, cfg)
@@ -149,11 +210,7 @@ func train(args []string) error {
 	if err != nil {
 		return err
 	}
-	blob, err := json.MarshalIndent(tree, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+	if err := writeModel(*out, tree); err != nil {
 		return err
 	}
 	fmt.Printf("trained on %d tuples: %d nodes, %d leaves, depth %d, %d entropy calcs -> %s\n",
@@ -172,7 +229,7 @@ func predict(args []string) error {
 	if err := cliutil.RequireString("predict: -in", *in); err != nil {
 		return err
 	}
-	tree, err := loadModel(*model)
+	mdl, err := modelio.Load(*model)
 	if err != nil {
 		return err
 	}
@@ -180,12 +237,12 @@ func predict(args []string) error {
 	if err != nil {
 		return err
 	}
+	classes, _, _ := mdl.Schema()
 	for i, tu := range ds.Tuples {
-		dist := tree.Classify(tu)
-		best := tree.Predict(tu)
-		fmt.Printf("tuple %d: %s", i+1, tree.Classes[best])
+		dist := mdl.Classify(tu)
+		fmt.Printf("tuple %d: %s", i+1, classes[eval.Argmax(dist)])
 		for c, p := range dist {
-			fmt.Printf("  P(%s)=%.4f", tree.Classes[c], p)
+			fmt.Printf("  P(%s)=%.4f", classes[c], p)
 		}
 		fmt.Println()
 	}
@@ -198,11 +255,15 @@ func rules(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	tree, err := loadModel(*model)
+	mdl, err := modelio.Load(*model)
 	if err != nil {
 		return err
 	}
-	for _, r := range tree.Rules() {
+	tm, ok := mdl.(*modelio.TreeModel)
+	if !ok {
+		return fmt.Errorf("rules: %s is a %s; rule extraction needs a single-tree model", *model, mdl.Describe())
+	}
+	for _, r := range tm.Tree.Rules() {
 		fmt.Println(r)
 	}
 	return nil
@@ -218,7 +279,7 @@ func evalCmd(args []string) error {
 	if err := cliutil.RequireString("eval: -in", *in); err != nil {
 		return err
 	}
-	tree, err := loadModel(*model)
+	mdl, err := modelio.Load(*model)
 	if err != nil {
 		return err
 	}
@@ -226,19 +287,22 @@ func evalCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	classes, _, _ := mdl.Schema()
 	// Align the test set's class indices with the model's label order.
-	if err := alignClasses(tree, ds); err != nil {
+	if err := alignClasses(classes, ds); err != nil {
 		return err
 	}
-	fmt.Printf("accuracy: %.2f%% on %d tuples\n", udt.Accuracy(tree, ds)*100, ds.Len())
-	m := udt.Confusion(tree, ds)
+	preds := mdl.PredictBatch(ds.Tuples, runtime.NumCPU())
+	m := eval.ConfusionOf(classes, preds, ds)
+	fmt.Printf("model: %s\n", mdl.Describe())
+	fmt.Printf("accuracy: %.2f%% on %d tuples\n", eval.AccuracyOf(preds, ds)*100, ds.Len())
 	fmt.Printf("%-12s", "true\\pred")
-	for _, c := range tree.Classes {
+	for _, c := range classes {
 		fmt.Printf("%10s", c)
 	}
 	fmt.Println()
 	for i, row := range m {
-		fmt.Printf("%-12s", tree.Classes[i])
+		fmt.Printf("%-12s", classes[i])
 		for _, v := range row {
 			fmt.Printf("%10.1f", v)
 		}
@@ -318,9 +382,9 @@ func cvCmd(args []string) error {
 
 // alignClasses remaps the dataset's class indices onto the model's class
 // order, failing on labels the model has never seen.
-func alignClasses(tree *udt.Tree, ds *udt.Dataset) error {
+func alignClasses(classes []string, ds *udt.Dataset) error {
 	idx := map[string]int{}
-	for i, c := range tree.Classes {
+	for i, c := range classes {
 		idx[c] = i
 	}
 	remap := make([]int, len(ds.Classes))
@@ -334,6 +398,6 @@ func alignClasses(tree *udt.Tree, ds *udt.Dataset) error {
 	for _, tu := range ds.Tuples {
 		tu.Class = remap[tu.Class]
 	}
-	ds.Classes = tree.Classes
+	ds.Classes = classes
 	return nil
 }

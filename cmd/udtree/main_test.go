@@ -102,6 +102,88 @@ func TestTrainPredictEvalRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTrainForestRoundTrip: train -forest writes a forest container that
+// predict and eval both load transparently, while rules rejects it.
+func TestTrainForestRoundTrip(t *testing.T) {
+	trainPath, testPath, modelPath := writeFixtures(t)
+
+	out, err := capture(t, func() error {
+		return train([]string{"-in", trainPath, "-out", modelPath, "-forest", "-trees", "7", "-minweight", "1", "-seed", "3"})
+	})
+	if err != nil {
+		t.Fatalf("train -forest: %v", err)
+	}
+	if !strings.Contains(out, "7 trees") || !strings.Contains(out, "OOB accuracy") {
+		t.Fatalf("train -forest output: %q", out)
+	}
+
+	out, err = capture(t, func() error {
+		return predict([]string{"-model", modelPath, "-in", testPath})
+	})
+	if err != nil {
+		t.Fatalf("predict on forest: %v", err)
+	}
+	if !strings.Contains(out, "tuple 1: lo") || !strings.Contains(out, "tuple 2: hi") {
+		t.Fatalf("forest predict output: %q", out)
+	}
+
+	out, err = capture(t, func() error {
+		return evalCmd([]string{"-model", modelPath, "-in", testPath})
+	})
+	if err != nil {
+		t.Fatalf("eval on forest: %v", err)
+	}
+	if !strings.Contains(out, "forest (7 trees") || !strings.Contains(out, "accuracy: 100.00%") {
+		t.Fatalf("forest eval output: %q", out)
+	}
+
+	if err := rules([]string{"-model", modelPath}); err == nil || !strings.Contains(err.Error(), "single-tree model") {
+		t.Fatalf("rules on forest: %v", err)
+	}
+}
+
+// TestTrainForestDeterministicAcrossParallel: -parallel drives the forest's
+// member-build workers and must not change the written container.
+func TestTrainForestDeterministicAcrossParallel(t *testing.T) {
+	trainPath, _, modelPath := writeFixtures(t)
+	serialPath := filepath.Join(filepath.Dir(modelPath), "serial-forest.json")
+	for path, parallel := range map[string]string{serialPath: "1", modelPath: "4"} {
+		if _, err := capture(t, func() error {
+			return train([]string{"-in", trainPath, "-out", path, "-forest", "-trees", "5", "-minweight", "1", "-parallel", parallel})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := os.ReadFile(serialPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("-parallel changed the trained forest")
+	}
+}
+
+// TestTrainForestErrors: forest knob validation.
+func TestTrainForestErrors(t *testing.T) {
+	trainPath, _, modelPath := writeFixtures(t)
+	for name, args := range map[string][]string{
+		"zero trees":        {"-in", trainPath, "-out", modelPath, "-forest", "-trees", "0"},
+		"bad sample ratio":  {"-in", trainPath, "-out", modelPath, "-forest", "-sample-ratio", "2"},
+		"zero sample ratio": {"-in", trainPath, "-out", modelPath, "-forest", "-sample-ratio", "0"},
+		"NaN sample ratio":  {"-in", trainPath, "-out", modelPath, "-forest", "-sample-ratio", "NaN"},
+		"bad attrs":         {"-in", trainPath, "-out", modelPath, "-forest", "-attrs", "99"},
+		"forest with avg":   {"-in", trainPath, "-out", modelPath, "-forest", "-avg"},
+	} {
+		if err := train(args); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
 func TestTrainAveragingFlag(t *testing.T) {
 	trainPath, _, modelPath := writeFixtures(t)
 	if _, err := capture(t, func() error {

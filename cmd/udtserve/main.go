@@ -1,16 +1,23 @@
 // Command udtserve serves a trained uncertain-decision-tree model over HTTP.
-// It loads the model.json written by "udtree train", compiles it into the
-// flat-array inference engine, and classifies tuples from JSON requests in
-// batches.
+// It loads the model.json written by "udtree train" — a legacy single-tree
+// document or the versioned forest container of "udtree train -forest" —
+// compiles it into the flat-array inference engine, and classifies tuples
+// from JSON requests in batches.
 //
 // Usage:
 //
 //	udtserve -model model.json [-addr :8080] [-workers N]
+//	         [-read-timeout 10s] [-write-timeout 30s]
 //
 // Endpoints:
 //
 //	POST /classify — classify one tuple or a batch.
-//	GET  /healthz  — liveness plus model metadata.
+//	POST /reload   — re-read the model file and swap it in atomically;
+//	                 in-flight requests finish on the model they started with.
+//	GET  /healthz  — liveness plus active model metadata (format, generation,
+//	                 tree count and out-of-bag stats for forests).
+//	GET  /metrics  — request counts, error counts, per-endpoint latency and a
+//	                 batch-size histogram, all plain atomic counters.
 //
 // A tuple is encoded as {"num": [...], "cat": [...]} with one entry per
 // model attribute, in model order. Numeric entries are a number (a point
@@ -22,22 +29,27 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"math/bits"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"udt"
 	"udt/internal/cliutil"
+	"udt/internal/eval"
+	"udt/internal/forest"
+	"udt/internal/modelio"
 )
 
 func main() {
@@ -54,6 +66,8 @@ func run(ctx context.Context, args []string) error {
 	model := fs.String("model", "", "model file written by udtree train (required)")
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", runtime.NumCPU(), "concurrent classification workers per batch (>= 1)")
+	readTimeout := fs.Duration("read-timeout", 10*time.Second, "HTTP server read timeout")
+	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,6 +77,9 @@ func run(ctx context.Context, args []string) error {
 	if err := cliutil.CheckPositive("-workers", *workers); err != nil {
 		return err
 	}
+	if *readTimeout <= 0 || *writeTimeout <= 0 {
+		return errors.New("-read-timeout and -write-timeout must be positive")
+	}
 	s, err := newServer(*model, *workers)
 	if err != nil {
 		return err
@@ -71,9 +88,13 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("udtserve: %s (%d nodes, %d classes) on %s, workers=%d\n",
-		*model, s.compiled.NumNodes(), len(s.compiled.Classes), ln.Addr(), *workers)
-	srv := &http.Server{Handler: s.handler()}
+	fmt.Printf("udtserve: %s [%s] on %s, workers=%d\n",
+		*model, s.active.Load().model.Describe(), ln.Addr(), *workers)
+	srv := &http.Server{
+		Handler:      s.handler(),
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -95,39 +116,59 @@ func run(ctx context.Context, args []string) error {
 // classification request.
 const maxBody = 16 << 20
 
+// activeModel is one loaded model plus its serving metadata. The server
+// publishes it through an atomic pointer, so /reload swaps models without
+// locks and requests already running keep the instance they loaded.
+type activeModel struct {
+	model      modelio.Model
+	generation int64 // 1 at startup, +1 per successful reload
+	loadedAt   time.Time
+}
+
 type server struct {
-	compiled *udt.Compiled
-	model    string
-	workers  int
-	started  time.Time
+	modelPath  string
+	workers    int
+	started    time.Time
+	reloadMu   sync.Mutex // serialises reloads: file read + generation + swap
+	generation atomic.Int64
+	active     atomic.Pointer[activeModel]
+	mtr        metrics
 }
 
 // newServer loads and compiles the model file.
 func newServer(modelPath string, workers int) (*server, error) {
-	blob, err := os.ReadFile(modelPath)
+	s := &server{
+		modelPath: modelPath,
+		workers:   workers,
+		started:   time.Now(),
+	}
+	am, err := s.loadModel()
 	if err != nil {
 		return nil, err
 	}
-	var tree udt.Tree
-	if err := json.Unmarshal(blob, &tree); err != nil {
-		return nil, fmt.Errorf("parse %s: %w", modelPath, err)
-	}
-	compiled, err := tree.Compile()
+	s.active.Store(am)
+	return s, nil
+}
+
+// loadModel reads the model file and stamps the next generation number.
+func (s *server) loadModel() (*activeModel, error) {
+	m, err := modelio.Load(s.modelPath)
 	if err != nil {
-		return nil, fmt.Errorf("compile %s: %w", modelPath, err)
+		return nil, err
 	}
-	return &server{
-		compiled: compiled,
-		model:    modelPath,
-		workers:  workers,
-		started:  time.Now(),
+	return &activeModel{
+		model:      m,
+		generation: s.generation.Add(1),
+		loadedAt:   time.Now(),
 	}, nil
 }
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /classify", s.classify)
-	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("POST /classify", s.instrument(&s.mtr.classify, s.classify))
+	mux.HandleFunc("POST /reload", s.instrument(&s.mtr.reload, s.reload))
+	mux.HandleFunc("GET /healthz", s.instrument(&s.mtr.healthz, s.healthz))
+	mux.HandleFunc("GET /metrics", s.instrument(&s.mtr.metricsEP, s.metricsHandler))
 	return mux
 }
 
@@ -148,6 +189,11 @@ type resultJSON struct {
 }
 
 func (s *server) classify(w http.ResponseWriter, r *http.Request) {
+	// One load: the whole request is served by this model instance even if
+	// a concurrent /reload swaps the pointer mid-flight.
+	am := s.active.Load()
+	classes, numAttrs, catAttrs := am.model.Schema()
+
 	var req requestJSON
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
 	dec.DisallowUnknownFields()
@@ -165,27 +211,22 @@ func (s *server) classify(w http.ResponseWriter, r *http.Request) {
 	}
 	tuples := make([]*udt.Tuple, len(req.Tuples))
 	for i, tj := range req.Tuples {
-		tu, err := s.decodeTuple(tj)
+		tu, err := modelio.DecodeTuple(tj.Num, tj.Cat, numAttrs, catAttrs)
 		if err != nil {
 			fail(w, http.StatusBadRequest, fmt.Errorf("tuple %d: %w", i, err))
 			return
 		}
 		tuples[i] = tu
 	}
-	dists := s.compiled.ClassifyBatch(tuples, s.workers)
+	s.mtr.observeBatch(len(tuples))
+	dists := am.model.ClassifyBatch(tuples, s.workers)
 	results := make([]resultJSON, len(dists))
 	for i, dist := range dists {
-		best := 0
-		for c, p := range dist {
-			if p > dist[best] {
-				best = c
-			}
-		}
 		m := make(map[string]float64, len(dist))
 		for c, p := range dist {
-			m[s.compiled.Classes[c]] = p
+			m[classes[c]] = p
 		}
-		results[i] = resultJSON{Class: s.compiled.Classes[best], Dist: m}
+		results[i] = resultJSON{Class: classes[eval.Argmax(dist)], Dist: m}
 	}
 	if batch {
 		reply(w, map[string]any{"results": results})
@@ -194,121 +235,164 @@ func (s *server) classify(w http.ResponseWriter, r *http.Request) {
 	reply(w, results[0])
 }
 
-func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+// reload re-reads the model file and swaps it in atomically. On failure the
+// previous model keeps serving. Reloads are serialised so a slow file read
+// can never overwrite a newer model with an older one (generation moves
+// strictly forward).
+func (s *server) reload(w http.ResponseWriter, r *http.Request) {
+	s.reloadMu.Lock()
+	am, err := s.loadModel()
+	if err != nil {
+		s.reloadMu.Unlock()
+		fail(w, http.StatusInternalServerError, fmt.Errorf("reload: %w", err))
+		return
+	}
+	s.active.Store(am)
+	s.reloadMu.Unlock()
 	reply(w, map[string]any{
-		"status":  "ok",
-		"model":   s.model,
-		"classes": s.compiled.Classes,
-		"nodes":   s.compiled.NumNodes(),
-		"uptime":  time.Since(s.started).Round(time.Second).String(),
+		"status":      "reloaded",
+		"model":       s.modelPath,
+		"generation":  am.generation,
+		"description": am.model.Describe(),
 	})
 }
 
-// decodeTuple converts the wire representation into an uncertain tuple
-// matching the model schema.
-func (s *server) decodeTuple(tj tupleJSON) (*udt.Tuple, error) {
-	if len(tj.Num) != len(s.compiled.NumAttrs) {
-		return nil, fmt.Errorf("%d numeric values, model has %d numeric attributes", len(tj.Num), len(s.compiled.NumAttrs))
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	am := s.active.Load()
+	classes, _, _ := am.model.Schema()
+	resp := map[string]any{
+		"status":      "ok",
+		"model":       s.modelPath,
+		"description": am.model.Describe(),
+		"generation":  am.generation,
+		"loadedAt":    am.loadedAt.UTC().Format(time.RFC3339),
+		"classes":     classes,
+		"uptime":      time.Since(s.started).Round(time.Second).String(),
 	}
-	if len(tj.Cat) != len(s.compiled.CatAttrs) {
-		return nil, fmt.Errorf("%d categorical values, model has %d categorical attributes", len(tj.Cat), len(s.compiled.CatAttrs))
-	}
-	tu := &udt.Tuple{Weight: 1}
-	for j, raw := range tj.Num {
-		p, err := decodeNum(raw)
-		if err != nil {
-			return nil, fmt.Errorf("numeric attribute %q: %w", s.compiled.NumAttrs[j].Name, err)
+	switch m := am.model.(type) {
+	case *forest.Forest:
+		resp["format"] = "forest"
+		resp["formatVersion"] = forest.Version
+		resp["trees"] = m.NumTrees()
+		resp["nodes"] = m.Stats().Nodes
+		if m.OOB.Evaluated > 0 {
+			resp["oob"] = m.OOB
 		}
-		tu.Num = append(tu.Num, p)
+	case *modelio.TreeModel:
+		resp["format"] = "tree"
+		resp["nodes"] = m.Tree.Stats.Nodes
 	}
-	for j, raw := range tj.Cat {
-		d, err := decodeCat(raw, s.compiled.CatAttrs[j].Domain)
-		if err != nil {
-			return nil, fmt.Errorf("categorical attribute %q: %w", s.compiled.CatAttrs[j].Name, err)
-		}
-		tu.Cat = append(tu.Cat, d)
-	}
-	return tu, nil
+	reply(w, resp)
 }
 
-// decodeNum parses one numeric attribute value: null (missing), a number (a
-// point), an array of raw measurements, or {"xs", "masses"}.
-func decodeNum(raw json.RawMessage) (*udt.PDF, error) {
-	if isNull(raw) {
-		return nil, nil
-	}
-	switch firstByte(raw) {
-	case '{':
-		var obj struct {
-			Xs     []float64 `json:"xs"`
-			Masses []float64 `json:"masses"`
-		}
-		dec := json.NewDecoder(bytes.NewReader(raw))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&obj); err != nil {
-			return nil, err
-		}
-		return udt.NewPDF(obj.Xs, obj.Masses)
-	case '[':
-		var obs []float64
-		if err := json.Unmarshal(raw, &obs); err != nil {
-			return nil, err
-		}
-		return udt.PDFFromSamples(obs)
-	default:
-		var v float64
-		if err := json.Unmarshal(raw, &v); err != nil {
-			return nil, err
-		}
-		return udt.PointPDF(v), nil
-	}
+// --- metrics -------------------------------------------------------------
+
+// endpointMetrics counts one endpoint's traffic with plain atomics.
+type endpointMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64 // responses with status >= 400
+	nanos    atomic.Int64 // total handler latency
 }
 
-// decodeCat parses one categorical attribute value: null (missing), a
-// domain value string, or an array of per-value masses.
-func decodeCat(raw json.RawMessage, domain []string) (udt.CatDist, error) {
-	if isNull(raw) {
-		return nil, nil
+func (e *endpointMetrics) snapshot() map[string]any {
+	n := e.requests.Load()
+	out := map[string]any{
+		"requests": n,
+		"errors":   e.errors.Load(),
 	}
-	if firstByte(raw) == '[' {
-		var masses []float64
-		if err := json.Unmarshal(raw, &masses); err != nil {
-			return nil, err
-		}
-		if len(masses) != len(domain) {
-			return nil, fmt.Errorf("%d masses, domain has %d values", len(masses), len(domain))
-		}
-		d := udt.CatDist(masses)
-		if err := d.Normalize(); err != nil {
-			return nil, err
-		}
-		return d, nil
+	if n > 0 {
+		total := time.Duration(e.nanos.Load())
+		out["totalLatency"] = total.String()
+		out["avgLatency"] = (total / time.Duration(n)).String()
 	}
-	var v string
-	if err := json.Unmarshal(raw, &v); err != nil {
-		return nil, err
-	}
-	for i, name := range domain {
-		if name == v {
-			return udt.NewCatPoint(i, len(domain)), nil
-		}
-	}
-	return nil, fmt.Errorf("value %q not in domain %v", v, domain)
+	return out
 }
 
-func isNull(raw json.RawMessage) bool {
-	return len(raw) == 0 || string(raw) == "null"
+// batchBuckets is the number of power-of-two batch-size histogram buckets:
+// 1, 2, 3-4, 5-8, ..., the last bucket collecting everything beyond 2^13.
+const batchBuckets = 15
+
+type metrics struct {
+	classify  endpointMetrics
+	reload    endpointMetrics
+	healthz   endpointMetrics
+	metricsEP endpointMetrics
+	tuples    atomic.Int64
+	batch     [batchBuckets]atomic.Int64
 }
 
-func firstByte(raw json.RawMessage) byte {
-	for _, b := range raw {
-		switch b {
-		case ' ', '\t', '\n', '\r':
-			continue
-		}
-		return b
+// observeBatch records one classify call of n tuples.
+func (m *metrics) observeBatch(n int) {
+	if n <= 0 {
+		return
 	}
-	return 0
+	m.tuples.Add(int64(n))
+	b := bits.Len(uint(n - 1)) // 1→0, 2→1, 3-4→2, 5-8→3, ...
+	if b >= batchBuckets {
+		b = batchBuckets - 1
+	}
+	m.batch[b].Add(1)
+}
+
+// bucketLabel renders histogram bucket b's tuple-count range.
+func bucketLabel(b int) string {
+	if b == 0 {
+		return "1"
+	}
+	if b == batchBuckets-1 {
+		return fmt.Sprintf("%d+", (1<<(b-1))+1)
+	}
+	lo, hi := (1<<(b-1))+1, 1<<b
+	if lo == hi {
+		return fmt.Sprintf("%d", lo)
+	}
+	return fmt.Sprintf("%d-%d", lo, hi)
+}
+
+func (s *server) metricsHandler(w http.ResponseWriter, r *http.Request) {
+	hist := map[string]int64{}
+	for b := range s.mtr.batch {
+		if n := s.mtr.batch[b].Load(); n > 0 {
+			hist[bucketLabel(b)] = n
+		}
+	}
+	reply(w, map[string]any{
+		"uptime":           time.Since(s.started).Round(time.Second).String(),
+		"generation":       s.active.Load().generation,
+		"tuplesClassified": s.mtr.tuples.Load(),
+		"batchSizes":       hist,
+		"endpoints": map[string]any{
+			"classify": s.mtr.classify.snapshot(),
+			"reload":   s.mtr.reload.snapshot(),
+			"healthz":  s.mtr.healthz.snapshot(),
+			"metrics":  s.mtr.metricsEP.snapshot(),
+		},
+	})
+}
+
+// statusRecorder captures the response status for error counting.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request/error/latency accounting.
+func (s *server) instrument(em *endpointMetrics, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		em.requests.Add(1)
+		em.nanos.Add(time.Since(start).Nanoseconds())
+		if rec.status >= 400 {
+			em.errors.Add(1)
+		}
+	}
 }
 
 func reply(w http.ResponseWriter, v any) {

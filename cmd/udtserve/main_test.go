@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -231,6 +232,260 @@ func TestRunServesAndShutsDown(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("run did not shut down after cancel")
+	}
+}
+
+// trainForestModel trains a bagged forest on the shared CSV fixture and
+// writes the versioned container to dir.
+func trainForestModel(t *testing.T, dir string, trees int) string {
+	t.Helper()
+	ds, err := udt.ReadCSV(strings.NewReader(trainCSV), "train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := udt.TrainForest(ds, udt.ForestConfig{
+		Trees: trees, Seed: 5, TreeConfig: udt.Config{MinWeight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "forest.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestServeForestModel: the server must load a forest container
+// transparently, classify through the ensemble, and report forest metadata
+// in /healthz.
+func TestServeForestModel(t *testing.T) {
+	s, err := newServer(trainForestModel(t, t.TempDir(), 7), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	res := postJSON(t, ts.URL+"/classify", `{"tuples": [
+		{"num": [0.2, [1, 2, 3]]},
+		{"num": [9.2, [12, 13, 14]]}
+	]}`)
+	var batch struct {
+		Results []struct {
+			Class string `json:"class"`
+		} `json:"results"`
+	}
+	decodeBody(t, res, http.StatusOK, &batch)
+	if len(batch.Results) != 2 || batch.Results[0].Class != "lo" || batch.Results[1].Class != "hi" {
+		t.Fatalf("forest batch = %+v", batch.Results)
+	}
+
+	hres, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Format        string `json:"format"`
+		FormatVersion int    `json:"formatVersion"`
+		Trees         int    `json:"trees"`
+		Generation    int64  `json:"generation"`
+		OOB           *struct {
+			Accuracy  float64 `json:"accuracy"`
+			Evaluated int     `json:"evaluated"`
+		} `json:"oob"`
+	}
+	decodeBody(t, hres, http.StatusOK, &health)
+	if health.Format != "forest" || health.FormatVersion != 1 || health.Trees != 7 || health.Generation != 1 {
+		t.Fatalf("healthz = %+v", health)
+	}
+	if health.OOB == nil || health.OOB.Evaluated == 0 {
+		t.Fatalf("healthz reports no OOB stats: %+v", health)
+	}
+}
+
+// TestReloadSwapsModel: POST /reload must swap from a tree to a forest
+// model atomically while concurrent classifications keep succeeding — no
+// dropped or mixed responses.
+func TestReloadSwapsModel(t *testing.T) {
+	dir := t.TempDir()
+	treePath := trainModel(t)
+	modelPath := filepath.Join(dir, "model.json")
+	copyFile(t, treePath, modelPath)
+
+	s, err := newServer(modelPath, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	// Hammer /classify from several goroutines while models swap below.
+	stop := make(chan struct{})
+	errs := make(chan error, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := http.Post(ts.URL+"/classify", "application/json",
+					bytes.NewReader([]byte(`{"num": [0.2, [1, 2, 3]]}`)))
+				if err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+				var got struct {
+					Class string `json:"class"`
+				}
+				err = json.NewDecoder(res.Body).Decode(&got)
+				res.Body.Close()
+				if err != nil || res.StatusCode != http.StatusOK || got.Class != "lo" {
+					select {
+					case errs <- fmt.Errorf("status %d class %q err %v", res.StatusCode, got.Class, err):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+
+	// Swap tree -> forest -> tree while traffic flows.
+	forestPath := trainForestModel(t, dir, 5)
+	wantGen := int64(1)
+	for i, src := range []string{forestPath, treePath, forestPath} {
+		copyFile(t, src, modelPath)
+		res := postJSON(t, ts.URL+"/reload", `{}`)
+		var rl struct {
+			Status     string `json:"status"`
+			Generation int64  `json:"generation"`
+		}
+		decodeBody(t, res, http.StatusOK, &rl)
+		wantGen++
+		if rl.Status != "reloaded" || rl.Generation != wantGen {
+			t.Fatalf("reload %d: %+v, want generation %d", i, rl, wantGen)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatalf("classification failed during reloads: %v", err)
+	default:
+	}
+
+	// The active model is now the forest.
+	hres, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Format     string `json:"format"`
+		Generation int64  `json:"generation"`
+	}
+	decodeBody(t, hres, http.StatusOK, &health)
+	if health.Format != "forest" || health.Generation != 4 {
+		t.Fatalf("after reloads healthz = %+v", health)
+	}
+}
+
+// TestReloadFailureKeepsModel: a broken model file must fail the reload with
+// a 500 and leave the previous model serving.
+func TestReloadFailureKeepsModel(t *testing.T) {
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.json")
+	copyFile(t, trainModel(t), modelPath)
+	s, err := newServer(modelPath, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	if err := os.WriteFile(modelPath, []byte(`{"version": 99, "trees": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res := postJSON(t, ts.URL+"/reload", `{}`)
+	var e struct {
+		Error string `json:"error"`
+	}
+	decodeBody(t, res, http.StatusInternalServerError, &e)
+	if !strings.Contains(e.Error, "version") {
+		t.Fatalf("reload error = %q", e.Error)
+	}
+
+	res = postJSON(t, ts.URL+"/classify", `{"num": [0.2, [1, 2, 3]]}`)
+	var got struct {
+		Class string `json:"class"`
+	}
+	decodeBody(t, res, http.StatusOK, &got)
+	if got.Class != "lo" {
+		t.Fatalf("old model no longer serving after failed reload: %+v", got)
+	}
+}
+
+// TestMetricsEndpoint: counters must reflect the traffic, including the
+// batch-size histogram and error counts.
+func TestMetricsEndpoint(t *testing.T) {
+	s, err := newServer(trainModel(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	// 2 single classifications, 1 batch of 3, 1 bad request.
+	postJSON(t, ts.URL+"/classify", `{"num": [0.2, [1, 2, 3]]}`).Body.Close()
+	postJSON(t, ts.URL+"/classify", `{"num": [9.2, [12, 13]]}`).Body.Close()
+	postJSON(t, ts.URL+"/classify", `{"tuples": [{"num": [1, 2]}, {"num": [2, 3]}, {"num": [3, 4]}]}`).Body.Close()
+	postJSON(t, ts.URL+"/classify", `{"bogus": true}`).Body.Close()
+
+	res, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		TuplesClassified int64            `json:"tuplesClassified"`
+		BatchSizes       map[string]int64 `json:"batchSizes"`
+		Endpoints        map[string]struct {
+			Requests int64 `json:"requests"`
+			Errors   int64 `json:"errors"`
+		} `json:"endpoints"`
+	}
+	decodeBody(t, res, http.StatusOK, &m)
+	if m.TuplesClassified != 5 {
+		t.Fatalf("tuplesClassified = %d, want 5", m.TuplesClassified)
+	}
+	if m.BatchSizes["1"] != 2 || m.BatchSizes["3-4"] != 1 {
+		t.Fatalf("batchSizes = %v", m.BatchSizes)
+	}
+	cl := m.Endpoints["classify"]
+	if cl.Requests != 4 || cl.Errors != 1 {
+		t.Fatalf("classify endpoint stats = %+v", cl)
+	}
+}
+
+func copyFile(t *testing.T, src, dst string) {
+	t.Helper()
+	blob, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, blob, 0o644); err != nil {
+		t.Fatal(err)
 	}
 }
 

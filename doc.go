@@ -47,6 +47,15 @@
 // batch over a bounded number of workers. The compiled path returns exactly
 // the distributions of Tree.Classify; cmd/udtserve exposes it over HTTP.
 //
+// TrainForest builds a bagged ensemble of compiled trees: bootstrap
+// resamples, optional per-tree random attribute subsets, deterministic
+// per-tree RNG streams (the forest is identical at any ForestConfig.Workers
+// value), and out-of-bag accuracy/Brier estimates computed during training.
+// Ensemble classification averages the member distributions — the paper's
+// distribution semantics lifted across trees — and forests serialise to a
+// versioned multi-tree JSON container that cmd/udtserve loads
+// interchangeably with single-tree models.
+//
 // # Quick start
 //
 //	ds := udt.NewDataset("fever", 1, []string{"healthy", "fever"})

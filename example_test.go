@@ -111,6 +111,45 @@ func ExampleTree_MarshalJSON() {
 	// restored 13 nodes, identical predictions: true
 }
 
+// ExampleTrainForest shows the ensemble path: a bagged forest of compiled
+// trees is trained with a fixed seed (deterministic at any Workers value),
+// classifies a batch, and round-trips through the versioned multi-tree JSON
+// container that "udtserve" loads alongside legacy single-tree models.
+func ExampleTrainForest() {
+	ds := udt.NewDataset("demo", 1, []string{"low", "high"})
+	for i := 0; i < 40; i++ {
+		v := float64(i % 2 * 10)
+		p, _ := udt.UniformPDF(v-1, v+1, 21)
+		ds.Add(i%2, p)
+	}
+	f, _ := udt.TrainForest(ds, udt.ForestConfig{
+		Trees:      7,
+		Seed:       1,
+		Workers:    4,
+		TreeConfig: udt.Config{MinWeight: 1},
+	})
+
+	preds := f.PredictBatch(ds.Tuples, 4)
+	blob, _ := json.Marshal(f)
+	var restored udt.Forest
+	if err := json.Unmarshal(blob, &restored); err != nil {
+		panic(err)
+	}
+	same := true
+	for i, tu := range ds.Tuples {
+		if restored.Predict(tu) != preds[i] {
+			same = false
+		}
+	}
+	fmt.Printf("trees: %d\n", restored.NumTrees())
+	fmt.Printf("restored predictions identical: %v\n", same)
+	fmt.Printf("out-of-bag estimate available: %v\n", f.OOB.Evaluated > ds.Len()/2)
+	// Output:
+	// trees: 7
+	// restored predictions identical: true
+	// out-of-bag estimate available: true
+}
+
 // ExamplePDFFromSamples models an attribute directly from repeated
 // measurements, the JapaneseVowel pattern of §4.3.
 func ExamplePDFFromSamples() {

@@ -309,6 +309,16 @@ func (c *Compiled) Classify(tu *data.Tuple) []float64 {
 	return out
 }
 
+// ClassifyInto accumulates the tuple's class distribution into out, which
+// must have len(c.Classes) entries and is NOT zeroed first. A warm call
+// allocates nothing, which lets an ensemble of trees sum their
+// distributions into one shared buffer on the serving path.
+func (c *Compiled) ClassifyInto(tu *data.Tuple, out []float64) {
+	s := scratchPool.Get().(*scratch)
+	c.classify(tu, out, s)
+	scratchPool.Put(s)
+}
+
 // Predict returns the most probable class label index for the tuple, with
 // Tree.Predict's tie-breaking (lowest index wins).
 func (c *Compiled) Predict(tu *data.Tuple) int {

@@ -35,6 +35,17 @@ func Accuracy(t *core.Tree, test *data.Dataset) float64 {
 	return accuracyOf(predictions(t, test), test)
 }
 
+// AccuracyOf is the fraction of tuples whose precomputed prediction matches
+// the label (0 on an empty test set) — for callers that already hold a batch
+// of predictions from any model.
+func AccuracyOf(preds []int, test *data.Dataset) float64 { return accuracyOf(preds, test) }
+
+// ConfusionOf folds precomputed per-tuple predictions into a
+// weight-weighted confusion matrix.
+func ConfusionOf(classes []string, preds []int, test *data.Dataset) [][]float64 {
+	return confusion(classes, preds, test)
+}
+
 // accuracyOf is the fraction of tuples whose prediction matches the label.
 func accuracyOf(preds []int, test *data.Dataset) float64 {
 	if test.Len() == 0 {
@@ -119,38 +130,24 @@ func TrainTestAveraging(train, test *data.Dataset, cfg core.Config) (Result, err
 // CrossValidate runs stratified k-fold cross-validation and returns the
 // pooled result (accuracy weighted by fold size, summed work counters).
 func CrossValidate(ds *data.Dataset, k int, cfg core.Config, rng *rand.Rand) (Result, error) {
-	if rng == nil {
-		return Result{}, errors.New("eval: nil rng")
-	}
-	folds, err := ds.StratifiedKFold(k, rng)
-	if err != nil {
-		return Result{}, err
-	}
-	var pooled Result
-	var correctW, totalW float64
-	for _, f := range folds {
-		r, err := TrainTest(f.Train, f.Test, cfg)
-		if err != nil {
-			return Result{}, err
-		}
-		correctW += r.Accuracy * float64(f.Test.Len())
-		totalW += float64(f.Test.Len())
-		pooled.BuildTime += r.BuildTime
-		pooled.ClassifyTime += r.ClassifyTime
-		pooled.Search.Add(r.Search)
-		pooled.Nodes += r.Nodes
-		pooled.Leaves += r.Leaves
-		if r.Depth > pooled.Depth {
-			pooled.Depth = r.Depth
-		}
-	}
-	pooled.Accuracy = correctW / totalW
-	return pooled, nil
+	return crossValidate(ds, k, rng, func(train, test *data.Dataset) (Result, error) {
+		return TrainTest(train, test, cfg)
+	})
 }
 
 // CrossValidateAveraging is CrossValidate with mean-collapsed training
 // folds (test folds keep their pdfs).
 func CrossValidateAveraging(ds *data.Dataset, k int, cfg core.Config, rng *rand.Rand) (Result, error) {
+	return crossValidate(ds, k, rng, func(train, test *data.Dataset) (Result, error) {
+		return TrainTest(train.Means(), test, cfg)
+	})
+}
+
+// crossValidate is the shared k-fold protocol: stratified folds from rng,
+// one run per fold, accuracy pooled by test-fold size, work counters
+// summed, depth maximised. Every CV variant (UDT, Averaging, forest) routes
+// through it so the pooling math lives once.
+func crossValidate(ds *data.Dataset, k int, rng *rand.Rand, run func(train, test *data.Dataset) (Result, error)) (Result, error) {
 	if rng == nil {
 		return Result{}, errors.New("eval: nil rng")
 	}
@@ -161,7 +158,7 @@ func CrossValidateAveraging(ds *data.Dataset, k int, cfg core.Config, rng *rand.
 	var pooled Result
 	var correctW, totalW float64
 	for _, f := range folds {
-		r, err := TrainTest(f.Train.Means(), f.Test, cfg)
+		r, err := run(f.Train, f.Test)
 		if err != nil {
 			return Result{}, err
 		}

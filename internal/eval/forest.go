@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"math/rand"
+	"time"
+
+	"udt/internal/data"
+	"udt/internal/forest"
+)
+
+// Forest variants of the evaluation protocols: the same metrics as the
+// single-tree paths, computed over the ensemble's averaged distributions
+// through the compiled batch engine.
+
+// forestWorkers bounds batch concurrency by the forest's training Workers
+// knob, defaulting to serial for loaded models that carry no configuration.
+func forestWorkers(f *forest.Forest) int {
+	if w := f.Config.Workers; w > 1 {
+		return w
+	}
+	return 1
+}
+
+// ForestAccuracy returns the fraction of test tuples whose predicted label
+// (argmax of the averaged distribution) matches the true label.
+func ForestAccuracy(f *forest.Forest, test *data.Dataset) float64 {
+	if test.Len() == 0 {
+		return 0
+	}
+	return accuracyOf(f.PredictBatch(test.Tuples, forestWorkers(f)), test)
+}
+
+// ForestConfusion returns the weight-weighted confusion matrix over the
+// test set.
+func ForestConfusion(f *forest.Forest, test *data.Dataset) [][]float64 {
+	return confusion(test.Classes, f.PredictBatch(test.Tuples, forestWorkers(f)), test)
+}
+
+// ForestEvaluate classifies the test set once and derives the confusion
+// matrix, Brier score and log-loss from that single batch of averaged
+// distributions — the forest twin of Evaluate.
+func ForestEvaluate(f *forest.Forest, test *data.Dataset) (conf [][]float64, brier, logLoss float64) {
+	dists := f.ClassifyBatch(test.Tuples, forestWorkers(f))
+	preds := make([]int, len(dists))
+	for i, d := range dists {
+		preds[i] = Argmax(d)
+	}
+	return confusion(test.Classes, preds, test), brierOf(dists, test), logLossOf(dists, test)
+}
+
+// ForestTrainTest trains a bagged ensemble on train and evaluates on test,
+// aggregating the members' build statistics into the Result.
+func ForestTrainTest(train, test *data.Dataset, cfg forest.Config) (Result, error) {
+	start := time.Now()
+	f, err := forest.Train(train, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	build := time.Since(start)
+
+	start = time.Now()
+	preds := f.PredictBatch(test.Tuples, forestWorkers(f))
+	classify := time.Since(start)
+
+	stats := f.Stats()
+	return Result{
+		Accuracy:     accuracyOf(preds, test),
+		Confusion:    confusion(test.Classes, preds, test),
+		BuildTime:    build,
+		ClassifyTime: classify,
+		Search:       stats.Search,
+		Nodes:        stats.Nodes,
+		Leaves:       stats.Leaves,
+		Depth:        stats.Depth,
+	}, nil
+}
+
+// ForestCrossValidate runs stratified k-fold cross-validation of the bagged
+// ensemble and returns the pooled result, sharing CrossValidate's fold
+// protocol so forest and single-tree accuracy compare on identical folds.
+func ForestCrossValidate(ds *data.Dataset, k int, cfg forest.Config, rng *rand.Rand) (Result, error) {
+	return crossValidate(ds, k, rng, func(train, test *data.Dataset) (Result, error) {
+		return ForestTrainTest(train, test, cfg)
+	})
+}

@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"udt/internal/core"
+	"udt/internal/data"
+	"udt/internal/forest"
+	"udt/internal/pdf"
+)
+
+// forestDataset builds a separable two-attribute dataset for forest
+// evaluation tests.
+func forestDataset(n int) *data.Dataset {
+	ds := data.NewDataset("fe", 2, []string{"a", "b", "c"})
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < n; i++ {
+		c := i % 3
+		base := float64(c * 8)
+		p1, _ := pdf.Uniform(base-1.5+rng.Float64(), base+1.5+rng.Float64(), 7)
+		ds.Add(c, p1, pdf.Point(base+2*rng.Float64()))
+	}
+	return ds
+}
+
+// TestForestMetricsAgainstManual pins ForestAccuracy/ForestConfusion/
+// ForestEvaluate to manual recomputation from per-tuple forest calls.
+func TestForestMetricsAgainstManual(t *testing.T) {
+	ds := forestDataset(90)
+	f, err := forest.Train(ds, forest.Config{Trees: 7, Seed: 3, Workers: 4, TreeConfig: core.Config{MinWeight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	correct := 0
+	manual := make([][]float64, len(ds.Classes))
+	for i := range manual {
+		manual[i] = make([]float64, len(ds.Classes))
+	}
+	var brier, logLoss float64
+	for _, tu := range ds.Tuples {
+		pred := f.Predict(tu)
+		if pred == tu.Class {
+			correct++
+		}
+		manual[tu.Class][pred] += tu.Weight
+		dist := f.Classify(tu)
+		for c, p := range dist {
+			target := 0.0
+			if c == tu.Class {
+				target = 1
+			}
+			brier += (p - target) * (p - target)
+		}
+		p := dist[tu.Class]
+		if p < 1e-15 {
+			p = 1e-15
+		}
+		logLoss -= math.Log(p)
+	}
+	brier /= float64(ds.Len())
+	logLoss /= float64(ds.Len())
+	wantAcc := float64(correct) / float64(ds.Len())
+
+	if got := ForestAccuracy(f, ds); got != wantAcc {
+		t.Fatalf("ForestAccuracy %v, manual %v", got, wantAcc)
+	}
+	conf := ForestConfusion(f, ds)
+	for i := range manual {
+		for j := range manual[i] {
+			if conf[i][j] != manual[i][j] {
+				t.Fatalf("confusion[%d][%d] = %v, manual %v", i, j, conf[i][j], manual[i][j])
+			}
+		}
+	}
+	econf, ebrier, elog := ForestEvaluate(f, ds)
+	if math.Abs(ebrier-brier) > 1e-12 || math.Abs(elog-logLoss) > 1e-12 {
+		t.Fatalf("ForestEvaluate scores (%v, %v), manual (%v, %v)", ebrier, elog, brier, logLoss)
+	}
+	for i := range econf {
+		for j := range econf[i] {
+			if econf[i][j] != conf[i][j] {
+				t.Fatalf("Evaluate confusion diverges at [%d][%d]", i, j)
+			}
+		}
+	}
+}
+
+// TestForestTrainTest: the result must carry aggregate member statistics and
+// a sane accuracy on separable data.
+func TestForestTrainTest(t *testing.T) {
+	ds := forestDataset(120)
+	rng := rand.New(rand.NewSource(5))
+	train, test := ds.Split(0.7, rng)
+	r, err := ForestTrainTest(train, test, forest.Config{Trees: 9, Seed: 2, TreeConfig: core.Config{MinWeight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accuracy < 0.8 {
+		t.Fatalf("forest train/test accuracy %v too low for separable data", r.Accuracy)
+	}
+	if r.Nodes < 9 || r.Leaves < 9 || r.Depth < 1 {
+		t.Fatalf("missing aggregate stats: %+v", r)
+	}
+	if len(r.Confusion) != len(ds.Classes) {
+		t.Fatalf("confusion matrix has %d rows", len(r.Confusion))
+	}
+}
+
+// TestForestCrossValidate mirrors the single-tree protocol: pooled accuracy
+// over identical folds, errors surfaced.
+func TestForestCrossValidate(t *testing.T) {
+	ds := forestDataset(90)
+	cfg := forest.Config{Trees: 5, Seed: 1, TreeConfig: core.Config{MinWeight: 1}}
+	r, err := ForestCrossValidate(ds, 3, cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accuracy <= 0.5 || r.Accuracy > 1 {
+		t.Fatalf("pooled CV accuracy %v implausible", r.Accuracy)
+	}
+	if _, err := ForestCrossValidate(ds, 3, cfg, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}

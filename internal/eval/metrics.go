@@ -118,6 +118,19 @@ func logLossOf(dists [][]float64, test *data.Dataset) float64 {
 	return sum / float64(test.Len())
 }
 
+// Argmax returns the index of the largest probability, lowest index winning
+// ties — the prediction convention of Tree.Predict, shared by every
+// consumer that already holds a classification distribution.
+func Argmax(dist []float64) int {
+	best := 0
+	for c, p := range dist {
+		if p > dist[best] {
+			best = c
+		}
+	}
+	return best
+}
+
 // Evaluate classifies the test set once through the compiled engine and
 // derives the confusion matrix, Brier score and log-loss from that single
 // batch of distributions — what a report needs without classifying the set
@@ -126,13 +139,7 @@ func Evaluate(t *core.Tree, test *data.Dataset) (conf [][]float64, brier, logLos
 	dists := distributions(t, test)
 	preds := make([]int, len(dists))
 	for i, d := range dists {
-		best := 0
-		for c, p := range d {
-			if p > d[best] {
-				best = c
-			}
-		}
-		preds[i] = best
+		preds[i] = Argmax(d)
 	}
 	return confusion(test.Classes, preds, test), brierOf(dists, test), logLossOf(dists, test)
 }

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"udt/internal/core"
+	"udt/internal/data"
+	"udt/internal/eval"
+	"udt/internal/forest"
+	"udt/internal/split"
+	"udt/internal/uci"
+)
+
+// ForestRow is one dataset of a ForestVsTree run: single-tree vs bagged
+// ensemble accuracy under the same protocol and identical folds, the
+// ensemble's out-of-bag estimate, and batch inference throughput for both
+// models.
+type ForestRow struct {
+	Dataset    string
+	Trees      int
+	TreeAcc    float64 // single UDT tree accuracy (CV or train/test per spec)
+	ForestAcc  float64 // ensemble accuracy under the same protocol
+	OOBAcc     float64 // out-of-bag accuracy of a forest on the full training set
+	OOBBrier   float64
+	TreeTput   float64 // tuples/s, compiled single tree, batch inference
+	ForestTput float64 // tuples/s, compiled forest, batch inference
+	BuildTime  time.Duration
+}
+
+// forestDefaults lists the datasets the forest experiment runs when no
+// -datasets filter is given: small enough to finish quickly, varied enough
+// (attribute count, class count) to show where bagging helps.
+var forestDefaults = []string{"Iris", "Glass", "Vehicle", "Segment"}
+
+// ForestVsTree compares a bagged ensemble of the given size against a
+// single UDT tree on the bundled datasets: the paper's protocol (train/test
+// or k-fold CV on identical folds) for accuracy, plus out-of-bag statistics
+// and compiled batch throughput. workers bounds both training and inference
+// concurrency.
+func ForestVsTree(o Options, trees int) ([]ForestRow, error) {
+	o = o.withDefaults()
+	if trees <= 0 {
+		trees = 25
+	}
+	selected := o.Datasets
+	if len(selected) == 0 {
+		selected = forestDefaults
+	}
+	var rows []ForestRow
+	for _, name := range selected {
+		spec, err := uci.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		train, test, err := loadInjected(spec, o, o.W, data.GaussianModel)
+		if err != nil {
+			return nil, err
+		}
+		treeCfg := o.treeConfig(split.ES)
+		// Members build concurrently at the forest level, so each builds its
+		// own subtrees serially — the goroutine budget stays
+		// Parallelism × Workers, as in a single-tree build. Members are
+		// unpruned (low bias), matching the udtree train -forest default.
+		memberCfg := treeCfg
+		memberCfg.Parallelism = 1
+		memberCfg.PostPrune = false
+		fCfg := forest.Config{
+			Trees:      trees,
+			Seed:       o.Seed,
+			Workers:    max(o.Parallelism, 1),
+			TreeConfig: memberCfg,
+		}
+
+		row := ForestRow{Dataset: spec.Name, Trees: trees}
+		if test != nil {
+			tr, err := eval.TrainTest(train, test, treeCfg)
+			if err != nil {
+				return nil, err
+			}
+			fr, err := eval.ForestTrainTest(train, test, fCfg)
+			if err != nil {
+				return nil, err
+			}
+			row.TreeAcc, row.ForestAcc, row.BuildTime = tr.Accuracy, fr.Accuracy, fr.BuildTime
+		} else {
+			tr, err := eval.CrossValidate(train, o.Folds, treeCfg, rand.New(rand.NewSource(o.Seed+1)))
+			if err != nil {
+				return nil, err
+			}
+			// Identical folds: same rng seed, same deal order.
+			fr, err := eval.ForestCrossValidate(train, o.Folds, fCfg, rand.New(rand.NewSource(o.Seed+1)))
+			if err != nil {
+				return nil, err
+			}
+			row.TreeAcc, row.ForestAcc, row.BuildTime = tr.Accuracy, fr.Accuracy, fr.BuildTime
+		}
+
+		// OOB statistics and throughput come from models over the full
+		// training set — the models a production trainer would ship.
+		f, err := forest.Train(train, fCfg)
+		if err != nil {
+			return nil, err
+		}
+		row.OOBAcc, row.OOBBrier = f.OOB.Accuracy, f.OOB.Brier
+		tree, err := core.Build(train, treeCfg)
+		if err != nil {
+			return nil, err
+		}
+		compiled, err := tree.Compile()
+		if err != nil {
+			return nil, err
+		}
+		workers := max(o.Workers, 1)
+		row.TreeTput = throughput(train.Len(), func() { compiled.PredictBatch(train.Tuples, workers) })
+		row.ForestTput = throughput(train.Len(), func() { f.PredictBatch(train.Tuples, workers) })
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FprintForest renders a ForestVsTree run.
+func FprintForest(w io.Writer, rows []ForestRow) {
+	fmt.Fprintf(w, "%-14s %6s %9s %10s %8s %9s %12s %12s %10s\n",
+		"dataset", "trees", "tree acc", "forest acc", "OOB acc", "OOB Brier", "tree tup/s", "forest tup/s", "build")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %6d %8.2f%% %9.2f%% %7.2f%% %9.4f %12.0f %12.0f %10v\n",
+			r.Dataset, r.Trees, r.TreeAcc*100, r.ForestAcc*100, r.OOBAcc*100, r.OOBBrier,
+			r.TreeTput, r.ForestTput, r.BuildTime.Round(time.Millisecond))
+	}
+}
+
+// throughput times one batch pass and converts it to tuples per second.
+func throughput(tuples int, fn func()) float64 {
+	start := time.Now()
+	fn()
+	elapsed := max(time.Since(start), time.Nanosecond)
+	return float64(tuples) / elapsed.Seconds()
+}

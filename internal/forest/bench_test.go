@@ -1,0 +1,50 @@
+package forest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"udt/internal/core"
+	"udt/internal/split"
+)
+
+// benchTreeConfig keeps member training cheap (the ES strategy with a depth
+// cap) so the benchmarks measure inference, not setup, and the CI
+// -benchtime 1x smoke stays fast.
+var benchTreeConfig = core.Config{Strategy: split.ES, MaxDepth: 8, MinWeight: 4}
+
+// BenchmarkForestPredictBatch measures ensemble batch inference across a
+// worker sweep — the forest serving path of cmd/udtserve. Run with
+// -benchtime 1x in CI as a smoke test.
+func BenchmarkForestPredictBatch(b *testing.B) {
+	ds := mixedDataset(rand.New(rand.NewSource(31)), 1000, 4, 3)
+	f, err := Train(ds, Config{Trees: 25, Seed: 1, Workers: 8, TreeConfig: benchTreeConfig})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f.PredictBatch(ds.Tuples, workers)
+			}
+			b.ReportMetric(float64(ds.Len()*b.N)/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
+}
+
+// BenchmarkForestTrain measures bagged training throughput at the forest
+// Workers knob (member builds are independent).
+func BenchmarkForestTrain(b *testing.B) {
+	ds := mixedDataset(rand.New(rand.NewSource(37)), 400, 4, 3)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Train(ds, Config{Trees: 10, Seed: 1, Workers: workers, TreeConfig: benchTreeConfig}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,205 @@
+package forest
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"udt/internal/core"
+	"udt/internal/data"
+	"udt/internal/pdf"
+)
+
+// mixedDataset builds a dataset with numeric pdf attributes, one categorical
+// attribute, a sprinkle of missing values, and class-dependent structure so
+// trees have signal to find.
+func mixedDataset(rng *rand.Rand, n, numAttrs, classes int) *data.Dataset {
+	ds := &data.Dataset{Name: "mixed", Classes: make([]string, classes)}
+	for c := range ds.Classes {
+		ds.Classes[c] = string(rune('a' + c))
+	}
+	for j := 0; j < numAttrs; j++ {
+		ds.NumAttrs = append(ds.NumAttrs, data.Attribute{Name: "N" + string(rune('1'+j)), Kind: data.Numeric})
+	}
+	ds.CatAttrs = append(ds.CatAttrs, data.Attribute{
+		Name: "C1", Kind: data.Categorical, Domain: []string{"x", "y", "z"},
+	})
+	for i := 0; i < n; i++ {
+		c := i % classes
+		tu := &data.Tuple{Class: c, Weight: 1}
+		for j := 0; j < numAttrs; j++ {
+			center := float64(c*10 + j)
+			if rng.Float64() < 0.05 {
+				tu.Num = append(tu.Num, nil) // missing
+				continue
+			}
+			p, err := pdf.Uniform(center-2+rng.Float64(), center+2+rng.Float64(), 9)
+			if err != nil {
+				panic(err)
+			}
+			tu.Num = append(tu.Num, p)
+		}
+		d := data.CatDist{0.2, 0.2, 0.2}
+		d[c%3] += 0.4
+		tu.Cat = append(tu.Cat, d)
+		ds.Tuples = append(ds.Tuples, tu)
+	}
+	return ds
+}
+
+func trainForest(t *testing.T, ds *data.Dataset, cfg Config) *Forest {
+	t.Helper()
+	f, err := Train(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestForestDeterministicAcrossWorkers pins the reproducibility contract:
+// the serialized forest (trees, index maps, OOB stats) is byte-for-byte
+// identical at any Workers value for a fixed Seed.
+func TestForestDeterministicAcrossWorkers(t *testing.T) {
+	ds := mixedDataset(rand.New(rand.NewSource(7)), 120, 3, 3)
+	cfg := Config{Trees: 9, Seed: 42, AttrsPerTree: 2, TreeConfig: core.Config{MinWeight: 2}}
+	var blobs [][]byte
+	for _, workers := range []int{1, 4, 13} {
+		c := cfg
+		c.Workers = workers
+		f := trainForest(t, ds, c)
+		blob, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, blob)
+	}
+	for i := 1; i < len(blobs); i++ {
+		if string(blobs[i]) != string(blobs[0]) {
+			t.Fatalf("forest JSON differs between workers=1 and the %d-th workers value", i)
+		}
+	}
+}
+
+// TestForestBatchMatchesSerial: ClassifyBatch and PredictBatch must be
+// positionally identical to per-tuple calls at every worker count.
+func TestForestBatchMatchesSerial(t *testing.T) {
+	ds := mixedDataset(rand.New(rand.NewSource(3)), 150, 3, 3)
+	f := trainForest(t, ds, Config{Trees: 7, Seed: 1, TreeConfig: core.Config{MinWeight: 2}})
+	wantDists := make([][]float64, ds.Len())
+	wantPreds := make([]int, ds.Len())
+	for i, tu := range ds.Tuples {
+		wantDists[i] = f.Classify(tu)
+		wantPreds[i] = f.Predict(tu)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		dists := f.ClassifyBatch(ds.Tuples, workers)
+		preds := f.PredictBatch(ds.Tuples, workers)
+		for i := range ds.Tuples {
+			if preds[i] != wantPreds[i] {
+				t.Fatalf("workers=%d tuple %d: batch predicts %d, serial %d", workers, i, preds[i], wantPreds[i])
+			}
+			for c := range wantDists[i] {
+				if dists[i][c] != wantDists[i][c] {
+					t.Fatalf("workers=%d tuple %d class %d: batch %v, serial %v",
+						workers, i, c, dists[i][c], wantDists[i][c])
+				}
+			}
+		}
+	}
+}
+
+// TestForestDistributions: averaged distributions are probability
+// distributions, and Predict agrees with Classify's argmax.
+func TestForestDistributions(t *testing.T) {
+	ds := mixedDataset(rand.New(rand.NewSource(5)), 90, 2, 2)
+	f := trainForest(t, ds, Config{Trees: 5, Seed: 2, TreeConfig: core.Config{MinWeight: 2}})
+	for i, tu := range ds.Tuples {
+		dist := f.Classify(tu)
+		sum := 0.0
+		for _, p := range dist {
+			if p < -1e-12 {
+				t.Fatalf("tuple %d: negative probability %v", i, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("tuple %d: distribution sums to %v", i, sum)
+		}
+		if got, want := f.Predict(tu), argmax(dist); got != want {
+			t.Fatalf("tuple %d: Predict %d, argmax of Classify %d", i, got, want)
+		}
+	}
+}
+
+// TestForestOOB: with full-size bootstrap samples and enough trees, nearly
+// every tuple should be out of bag for some member, and the stats must be
+// well-formed.
+func TestForestOOB(t *testing.T) {
+	ds := mixedDataset(rand.New(rand.NewSource(11)), 100, 3, 2)
+	f := trainForest(t, ds, Config{Trees: 15, Seed: 3, TreeConfig: core.Config{MinWeight: 2}})
+	if f.OOB.Evaluated < ds.Len()*9/10 {
+		t.Fatalf("only %d/%d tuples evaluated out of bag", f.OOB.Evaluated, ds.Len())
+	}
+	if f.OOB.Accuracy < 0 || f.OOB.Accuracy > 1 {
+		t.Fatalf("OOB accuracy %v out of [0,1]", f.OOB.Accuracy)
+	}
+	if f.OOB.Brier < 0 || f.OOB.Brier > 2 {
+		t.Fatalf("OOB Brier %v out of [0,2]", f.OOB.Brier)
+	}
+	// The dataset is cleanly separable; OOB accuracy should be far above
+	// chance.
+	if f.OOB.Accuracy < 0.7 {
+		t.Fatalf("OOB accuracy %v suspiciously low for separable data", f.OOB.Accuracy)
+	}
+}
+
+// TestForestAttrSubsets: restricting members to random attribute subsets
+// must still classify through the projection maps, including after a JSON
+// round trip.
+func TestForestAttrSubsets(t *testing.T) {
+	ds := mixedDataset(rand.New(rand.NewSource(13)), 120, 3, 3)
+	f := trainForest(t, ds, Config{Trees: 12, Seed: 4, AttrsPerTree: 2, TreeConfig: core.Config{MinWeight: 2}})
+	correct := 0
+	for _, tu := range ds.Tuples {
+		if f.Predict(tu) == tu.Class {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(ds.Len()); frac < 0.6 {
+		t.Fatalf("attribute-subset forest training accuracy %v too low", frac)
+	}
+}
+
+// TestForestTrainErrors covers configuration and dataset validation.
+func TestForestTrainErrors(t *testing.T) {
+	ds := mixedDataset(rand.New(rand.NewSource(1)), 40, 2, 2)
+	cases := map[string]Config{
+		"negative sample ratio": {Trees: 3, SampleRatio: -0.5},
+		"sample ratio above 1":  {Trees: 3, SampleRatio: 1.5},
+		"NaN sample ratio":      {Trees: 3, SampleRatio: math.NaN()},
+		"attrs out of range":    {Trees: 3, AttrsPerTree: 99},
+		"negative attrs":        {Trees: 3, AttrsPerTree: -1},
+	}
+	for name, cfg := range cases {
+		if _, err := Train(ds, cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := Train(&data.Dataset{Classes: []string{"a"}}, Config{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+// TestForestStats: aggregate stats cover every member.
+func TestForestStats(t *testing.T) {
+	ds := mixedDataset(rand.New(rand.NewSource(9)), 80, 2, 2)
+	f := trainForest(t, ds, Config{Trees: 4, Seed: 5, TreeConfig: core.Config{MinWeight: 2}})
+	s := f.Stats()
+	if f.NumTrees() != 4 {
+		t.Fatalf("NumTrees = %d, want 4", f.NumTrees())
+	}
+	if s.Nodes < 4 || s.Leaves < 4 || s.Depth < 1 {
+		t.Fatalf("implausible aggregate stats %+v", s)
+	}
+}

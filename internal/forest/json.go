@@ -1,0 +1,219 @@
+package forest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"udt/internal/core"
+	"udt/internal/data"
+)
+
+// Forests serialise to a versioned multi-tree JSON container,
+// {"version": N, "trees": [...]}. Version 1 is the current format. Each
+// member entry carries the tree's own single-tree document (the exact
+// format "udtree train" writes for one tree) plus the index maps from the
+// member's projected attribute schema back onto the forest schema, so a
+// container is a strict superset of the legacy format and legacy loaders of
+// single trees are unaffected.
+
+// Version is the forest container format version this package writes and
+// the only one it accepts.
+const Version = 1
+
+type forestJSON struct {
+	Version  int          `json:"version"`
+	Classes  []string     `json:"classes"`
+	NumAttrs []attrJSON   `json:"numAttrs"`
+	CatAttrs []attrJSON   `json:"catAttrs,omitempty"`
+	OOB      *OOBStats    `json:"oob,omitempty"`
+	Trees    []memberJSON `json:"trees"`
+}
+
+type attrJSON struct {
+	Name   string   `json:"name"`
+	Domain []string `json:"domain,omitempty"`
+}
+
+type memberJSON struct {
+	// NumIdx/CatIdx map member attribute positions onto forest schema
+	// positions; null means identity (the member sees every attribute). An
+	// empty array is meaningful — the member sees none of that kind — so
+	// these fields must not use omitempty.
+	NumIdx []int      `json:"numIdx"`
+	CatIdx []int      `json:"catIdx"`
+	Tree   *core.Tree `json:"tree"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (f *Forest) MarshalJSON() ([]byte, error) {
+	doc := forestJSON{
+		Version: Version,
+		Classes: f.Classes,
+		Trees:   make([]memberJSON, len(f.members)),
+	}
+	for _, a := range f.NumAttrs {
+		doc.NumAttrs = append(doc.NumAttrs, attrJSON{Name: a.Name})
+	}
+	for _, a := range f.CatAttrs {
+		doc.CatAttrs = append(doc.CatAttrs, attrJSON{Name: a.Name, Domain: a.Domain})
+	}
+	if f.OOB.Evaluated > 0 {
+		oob := f.OOB
+		doc.OOB = &oob
+	}
+	for t := range f.members {
+		m := &f.members[t]
+		doc.Trees[t] = memberJSON{NumIdx: m.numIdx, CatIdx: m.catIdx, Tree: m.tree}
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, validating the container
+// version, member schemas and class vocabularies, and compiling every
+// member so the loaded forest serves immediately.
+func (f *Forest) UnmarshalJSON(b []byte) error {
+	var doc forestJSON
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return err
+	}
+	if doc.Version != Version {
+		return fmt.Errorf("forest: unknown container version %d (want %d)", doc.Version, Version)
+	}
+	if len(doc.Trees) == 0 {
+		return errors.New("forest: container has zero trees")
+	}
+	if len(doc.Classes) == 0 {
+		return errors.New("forest: container has no classes")
+	}
+	f.Classes = doc.Classes
+	f.NumAttrs = nil
+	for _, a := range doc.NumAttrs {
+		f.NumAttrs = append(f.NumAttrs, data.Attribute{Name: a.Name, Kind: data.Numeric})
+	}
+	f.CatAttrs = nil
+	for _, a := range doc.CatAttrs {
+		f.CatAttrs = append(f.CatAttrs, data.Attribute{Name: a.Name, Kind: data.Categorical, Domain: a.Domain})
+	}
+	if doc.OOB != nil {
+		f.OOB = *doc.OOB
+	} else {
+		f.OOB = OOBStats{}
+	}
+	f.Config = Config{}
+	f.members = make([]member, len(doc.Trees))
+	for t, mj := range doc.Trees {
+		m, err := f.restoreMember(mj)
+		if err != nil {
+			return fmt.Errorf("forest: tree %d: %w", t, err)
+		}
+		f.members[t] = m
+	}
+	return nil
+}
+
+// restoreMember validates one container entry against the forest schema and
+// compiles its tree.
+func (f *Forest) restoreMember(mj memberJSON) (member, error) {
+	if mj.Tree == nil {
+		return member{}, errors.New("missing tree document")
+	}
+	tree := mj.Tree
+	if err := sameClasses(f.Classes, tree.Classes); err != nil {
+		return member{}, err
+	}
+	numIdx, err := checkIdx(mj.NumIdx, len(tree.NumAttrs), len(f.NumAttrs), "numIdx")
+	if err != nil {
+		return member{}, err
+	}
+	catIdx, err := checkIdx(mj.CatIdx, len(tree.CatAttrs), len(f.CatAttrs), "catIdx")
+	if err != nil {
+		return member{}, err
+	}
+	// The index maps are all-or-nothing: Train emits either both (a
+	// projected member) or neither (an identity member), and the projection
+	// scratch treats both-nil as identity. A mixed pair would project one
+	// attribute kind and not the other, crashing mid-descent.
+	if (numIdx == nil) != (catIdx == nil) {
+		return member{}, errors.New("numIdx and catIdx must be both present or both absent")
+	}
+	// Attribute identity must agree between the member and the forest
+	// attribute it maps to — names for both kinds, domains value-for-value
+	// for categorical ones: incoming tuples are decoded against the forest
+	// schema, and the member's compiled engine interprets positions and
+	// domain indices against its own, so any divergence silently misroutes
+	// mass.
+	for k, a := range tree.NumAttrs {
+		fi := k
+		if numIdx != nil {
+			fi = numIdx[k]
+		}
+		if want := f.NumAttrs[fi].Name; a.Name != want {
+			return member{}, fmt.Errorf("numeric attribute %d is %q, container maps it to %q", k, a.Name, want)
+		}
+	}
+	for k, a := range tree.CatAttrs {
+		fi := k
+		if catIdx != nil {
+			fi = catIdx[k]
+		}
+		if want := f.CatAttrs[fi].Name; a.Name != want {
+			return member{}, fmt.Errorf("categorical attribute %d is %q, container maps it to %q", k, a.Name, want)
+		}
+		want := f.CatAttrs[fi].Domain
+		if len(a.Domain) != len(want) {
+			return member{}, fmt.Errorf("categorical attribute %q has %d domain values, container has %d", a.Name, len(a.Domain), len(want))
+		}
+		for v := range want {
+			if a.Domain[v] != want[v] {
+				return member{}, fmt.Errorf("categorical attribute %q domain value %d is %q, container has %q", a.Name, v, a.Domain[v], want[v])
+			}
+		}
+	}
+	compiled, err := tree.Compile()
+	if err != nil {
+		return member{}, err
+	}
+	return member{tree: tree, compiled: compiled, numIdx: numIdx, catIdx: catIdx}, nil
+}
+
+// sameClasses rejects members whose class vocabulary diverges from the
+// container's: averaging distributions over mismatched labels would silently
+// corrupt every prediction.
+func sameClasses(forest, tree []string) error {
+	if len(forest) != len(tree) {
+		return fmt.Errorf("member has %d classes, container has %d", len(tree), len(forest))
+	}
+	for i := range forest {
+		if forest[i] != tree[i] {
+			return fmt.Errorf("member class %d is %q, container has %q", i, tree[i], forest[i])
+		}
+	}
+	return nil
+}
+
+// checkIdx validates a member attribute index map: absent means identity
+// (the member sees all forest attributes, so its schema arity must match);
+// present means a projection whose entries address the forest schema.
+func checkIdx(idx []int, treeAttrs, forestAttrs int, name string) ([]int, error) {
+	if idx == nil {
+		if treeAttrs != forestAttrs {
+			return nil, fmt.Errorf("member has %d attributes, container has %d and no %s map", treeAttrs, forestAttrs, name)
+		}
+		return nil, nil
+	}
+	if len(idx) != treeAttrs {
+		return nil, fmt.Errorf("%s has %d entries, member schema has %d attributes", name, len(idx), treeAttrs)
+	}
+	seen := make(map[int]bool, len(idx))
+	for _, j := range idx {
+		if j < 0 || j >= forestAttrs {
+			return nil, fmt.Errorf("%s entry %d out of range [0, %d)", name, j, forestAttrs)
+		}
+		if seen[j] {
+			return nil, fmt.Errorf("%s entry %d duplicated", name, j)
+		}
+		seen[j] = true
+	}
+	return idx, nil
+}

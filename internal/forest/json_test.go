@@ -1,0 +1,187 @@
+package forest
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"udt/internal/core"
+)
+
+// TestForestJSONRoundTrip: a trained forest survives the marshal/unmarshal
+// cycle with identical predictions and distributions, including members
+// restricted to attribute subsets.
+func TestForestJSONRoundTrip(t *testing.T) {
+	ds := mixedDataset(rand.New(rand.NewSource(21)), 110, 3, 3)
+	f := trainForest(t, ds, Config{Trees: 8, Seed: 6, AttrsPerTree: 2, TreeConfig: core.Config{MinWeight: 2}})
+	blob, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Forest
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTrees() != f.NumTrees() {
+		t.Fatalf("round trip changed tree count: %d vs %d", back.NumTrees(), f.NumTrees())
+	}
+	if back.OOB != f.OOB {
+		t.Fatalf("round trip changed OOB stats: %+v vs %+v", back.OOB, f.OOB)
+	}
+	for i, tu := range ds.Tuples {
+		if got, want := back.Predict(tu), f.Predict(tu); got != want {
+			t.Fatalf("tuple %d: restored forest predicts %d, original %d", i, got, want)
+		}
+		gd, wd := back.Classify(tu), f.Classify(tu)
+		for c := range wd {
+			if gd[c] != wd[c] {
+				t.Fatalf("tuple %d class %d: restored %v, original %v", i, c, gd[c], wd[c])
+			}
+		}
+	}
+}
+
+// TestForestJSONTruncated: every strict prefix of a valid container must be
+// rejected, never panic or yield a partial forest.
+func TestForestJSONTruncated(t *testing.T) {
+	ds := mixedDataset(rand.New(rand.NewSource(23)), 60, 2, 2)
+	f := trainForest(t, ds, Config{Trees: 3, Seed: 7, TreeConfig: core.Config{MinWeight: 2}})
+	blob, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(blob); cut += 11 {
+		var back Forest
+		if err := json.Unmarshal(blob[:cut], &back); err == nil {
+			t.Fatalf("truncated container of %d/%d bytes accepted", cut, len(blob))
+		}
+	}
+}
+
+// leaf returns a minimal valid single-tree document body for the given
+// class vocabulary.
+func leafTree(classes ...string) string {
+	dist := make([]string, len(classes))
+	for i := range dist {
+		dist[i] = "0"
+	}
+	dist[0] = "1"
+	return fmt.Sprintf(`{"classes": [%q%s], "numAttrs": [{"name": "A1"}], "root": {"dist": [%s], "w": 1}}`,
+		classes[0], moreClasses(classes[1:]), strings.Join(dist, ", "))
+}
+
+func moreClasses(rest []string) string {
+	out := ""
+	for _, c := range rest {
+		out += fmt.Sprintf(", %q", c)
+	}
+	return out
+}
+
+// TestForestJSONErrors covers the malformed-container paths: unknown
+// versions, zero trees, mixed class vocabularies, bad index maps and broken
+// member documents.
+func TestForestJSONErrors(t *testing.T) {
+	ab := leafTree("a", "b")
+	cases := map[string]struct {
+		doc  string
+		want string
+	}{
+		"unknown version": {
+			doc:  fmt.Sprintf(`{"version": 99, "classes": ["a", "b"], "numAttrs": [{"name": "A1"}], "trees": [{"tree": %s}]}`, ab),
+			want: "unknown container version",
+		},
+		"missing version": {
+			doc:  fmt.Sprintf(`{"classes": ["a", "b"], "numAttrs": [{"name": "A1"}], "trees": [{"tree": %s}]}`, ab),
+			want: "unknown container version",
+		},
+		"zero trees": {
+			doc:  `{"version": 1, "classes": ["a", "b"], "numAttrs": [{"name": "A1"}], "trees": []}`,
+			want: "zero trees",
+		},
+		"no classes": {
+			doc:  fmt.Sprintf(`{"version": 1, "numAttrs": [{"name": "A1"}], "trees": [{"tree": %s}]}`, ab),
+			want: "no classes",
+		},
+		"mixed class vocabularies": {
+			doc: fmt.Sprintf(`{"version": 1, "classes": ["a", "b"], "numAttrs": [{"name": "A1"}], "trees": [{"tree": %s}, {"tree": %s}]}`,
+				ab, leafTree("a", "z")),
+			want: "container has",
+		},
+		"member class count mismatch": {
+			doc: fmt.Sprintf(`{"version": 1, "classes": ["a", "b", "c"], "numAttrs": [{"name": "A1"}], "trees": [{"tree": %s}]}`,
+				ab),
+			want: "member has 2 classes",
+		},
+		"missing tree document": {
+			doc:  `{"version": 1, "classes": ["a", "b"], "numAttrs": [{"name": "A1"}], "trees": [{"numIdx": [0]}]}`,
+			want: "missing tree",
+		},
+		"schema arity mismatch without map": {
+			doc: fmt.Sprintf(`{"version": 1, "classes": ["a", "b"], "numAttrs": [{"name": "A1"}, {"name": "A2"}], "trees": [{"tree": %s}]}`,
+				ab),
+			want: "no numIdx map",
+		},
+		"index map out of range": {
+			doc: fmt.Sprintf(`{"version": 1, "classes": ["a", "b"], "numAttrs": [{"name": "A1"}], "trees": [{"numIdx": [5], "catIdx": [], "tree": %s}]}`,
+				ab),
+			want: "out of range",
+		},
+		"index map duplicate entry": {
+			doc: `{"version": 1, "classes": ["a", "b"], "numAttrs": [{"name": "A1"}, {"name": "A2"}],
+				"trees": [{"numIdx": [0, 0], "catIdx": [],
+				"tree": {"classes": ["a", "b"], "numAttrs": [{"name": "A1"}, {"name": "A2"}], "root": {"dist": [1, 0], "w": 1}}}]}`,
+			want: "duplicated",
+		},
+		"categorical domain value mismatch": {
+			doc: `{"version": 1, "classes": ["a", "b"], "catAttrs": [{"name": "C1", "domain": ["x", "y"]}],
+				"trees": [{"tree": {"classes": ["a", "b"],
+				"catAttrs": [{"name": "C1", "domain": ["y", "x"]}], "root": {"dist": [1, 0], "w": 1}}}]}`,
+			want: "domain value",
+		},
+		"categorical domain arity mismatch": {
+			doc: `{"version": 1, "classes": ["a", "b"], "catAttrs": [{"name": "C1", "domain": ["x", "y"]}],
+				"trees": [{"tree": {"classes": ["a", "b"],
+				"catAttrs": [{"name": "C1", "domain": ["x", "y", "z"]}], "root": {"dist": [1, 0], "w": 1}}}]}`,
+			want: "domain values",
+		},
+		"attribute name mismatch": {
+			doc: `{"version": 1, "classes": ["a", "b"], "numAttrs": [{"name": "A1"}, {"name": "A2"}],
+				"trees": [{"numIdx": [1], "catIdx": [],
+				"tree": {"classes": ["a", "b"], "numAttrs": [{"name": "A1"}], "root": {"dist": [1, 0], "w": 1}}}]}`,
+			want: "maps it to",
+		},
+		"mixed identity and projection maps": {
+			doc: fmt.Sprintf(`{"version": 1, "classes": ["a", "b"], "numAttrs": [{"name": "A1"}], "trees": [{"catIdx": [], "tree": %s}]}`,
+				ab),
+			want: "both present or both absent",
+		},
+		"index map arity mismatch": {
+			doc: fmt.Sprintf(`{"version": 1, "classes": ["a", "b"], "numAttrs": [{"name": "A1"}], "trees": [{"numIdx": [0, 0], "catIdx": [], "tree": %s}]}`,
+				ab),
+			want: "numIdx has 2 entries",
+		},
+	}
+	for name, tc := range cases {
+		var f Forest
+		err := json.Unmarshal([]byte(tc.doc), &f)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.want)
+		}
+	}
+}
+
+// TestForestJSONLegacySingleTreeRejected: a legacy single-tree document must
+// not silently decode as a forest (it has no version and no trees array).
+func TestForestJSONLegacySingleTreeRejected(t *testing.T) {
+	var f Forest
+	if err := json.Unmarshal([]byte(leafTree("a", "b")), &f); err == nil {
+		t.Fatal("single-tree document accepted as a forest container")
+	}
+}

@@ -1,0 +1,118 @@
+// Package modelio loads serialized models — legacy single-tree documents
+// and versioned forest containers — behind one interface, and decodes the
+// JSON wire format for uncertain tuples. It is the shared model I/O layer of
+// cmd/udtree and cmd/udtserve, which previously each carried their own
+// copies of this logic.
+package modelio
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"udt/internal/core"
+	"udt/internal/data"
+	"udt/internal/forest"
+)
+
+// Model is a loaded classifier ready for inference: a compiled single tree
+// or a compiled forest. Implementations are immutable and safe for
+// concurrent use.
+type Model interface {
+	// Schema returns the class labels and attribute schema.
+	Schema() (classes []string, num, cat []data.Attribute)
+	// Classify returns the probability distribution over class labels.
+	Classify(tu *data.Tuple) []float64
+	// Predict returns the most probable class label index.
+	Predict(tu *data.Tuple) int
+	// ClassifyBatch classifies a batch with up to workers goroutines.
+	ClassifyBatch(tuples []*data.Tuple, workers int) [][]float64
+	// PredictBatch predicts a batch with up to workers goroutines.
+	PredictBatch(tuples []*data.Tuple, workers int) []int
+	// Describe renders a one-line summary for logs and health endpoints.
+	Describe() string
+}
+
+// TreeModel is a single decision tree loaded from the legacy model.json
+// format, kept in both recursive and compiled form.
+type TreeModel struct {
+	Tree     *core.Tree
+	Compiled *core.Compiled
+}
+
+// Schema implements Model.
+func (m *TreeModel) Schema() (classes []string, num, cat []data.Attribute) {
+	return m.Tree.Classes, m.Tree.NumAttrs, m.Tree.CatAttrs
+}
+
+// Classify implements Model through the compiled engine.
+func (m *TreeModel) Classify(tu *data.Tuple) []float64 { return m.Compiled.Classify(tu) }
+
+// Predict implements Model through the compiled engine.
+func (m *TreeModel) Predict(tu *data.Tuple) int { return m.Compiled.Predict(tu) }
+
+// ClassifyBatch implements Model through the compiled engine.
+func (m *TreeModel) ClassifyBatch(tuples []*data.Tuple, workers int) [][]float64 {
+	return m.Compiled.ClassifyBatch(tuples, workers)
+}
+
+// PredictBatch implements Model through the compiled engine.
+func (m *TreeModel) PredictBatch(tuples []*data.Tuple, workers int) []int {
+	return m.Compiled.PredictBatch(tuples, workers)
+}
+
+// Describe implements Model.
+func (m *TreeModel) Describe() string {
+	return fmt.Sprintf("tree (%d nodes, depth %d)", m.Tree.Stats.Nodes, m.Tree.Stats.Depth)
+}
+
+// Decode parses a model document, auto-detecting the format: documents with
+// a "version" or "trees" field are forest containers, everything else is a
+// legacy single-tree document. The returned model is compiled and ready to
+// serve. *forest.Forest satisfies Model directly, so callers can type-assert
+// for format-specific metadata (OOB stats, tree count).
+func Decode(blob []byte) (Model, error) {
+	var probe struct {
+		Version *int            `json:"version"`
+		Trees   json.RawMessage `json:"trees"`
+		Root    json.RawMessage `json:"root"`
+	}
+	if err := json.Unmarshal(blob, &probe); err != nil {
+		return nil, err
+	}
+	if probe.Version != nil || probe.Trees != nil {
+		f := new(forest.Forest)
+		if err := json.Unmarshal(blob, f); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	if probe.Root == nil {
+		return nil, errors.New("modelio: document is neither a tree (no root) nor a forest container (no version/trees)")
+	}
+	tree := new(core.Tree)
+	if err := json.Unmarshal(blob, tree); err != nil {
+		return nil, err
+	}
+	compiled, err := tree.Compile()
+	if err != nil {
+		// Distinguish a valid document describing an invalid model from a
+		// parse failure — the operator's fix differs.
+		return nil, fmt.Errorf("compile: %w", err)
+	}
+	return &TreeModel{Tree: tree, Compiled: compiled}, nil
+}
+
+// Load reads and decodes a model file.
+func Load(path string) (Model, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := Decode(blob)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	return m, nil
+}

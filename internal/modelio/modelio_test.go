@@ -1,0 +1,177 @@
+package modelio
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"udt/internal/core"
+	"udt/internal/data"
+	"udt/internal/forest"
+	"udt/internal/pdf"
+)
+
+// twoClassDataset builds a small separable numeric dataset.
+func twoClassDataset(n int) *data.Dataset {
+	ds := data.NewDataset("demo", 2, []string{"lo", "hi"})
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < n; i++ {
+		c := i % 2
+		base := float64(c * 10)
+		p1, _ := pdf.Uniform(base-1+rng.Float64(), base+1+rng.Float64(), 7)
+		ds.Add(c, p1, pdf.Point(base+rng.Float64()))
+	}
+	return ds
+}
+
+// TestDecodeAutoDetect: the loader must route single-tree documents to
+// TreeModel and forest containers to forest.Forest, with identical
+// predictions to the source models.
+func TestDecodeAutoDetect(t *testing.T) {
+	ds := twoClassDataset(60)
+	tree, err := core.Build(ds, core.Config{MinWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := forest.Train(ds, forest.Config{Trees: 5, Seed: 1, TreeConfig: core.Config{MinWeight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	treeBlob, _ := json.Marshal(tree)
+	forestBlob, _ := json.Marshal(fr)
+
+	tm, err := Decode(treeBlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tm.(*TreeModel); !ok {
+		t.Fatalf("tree document decoded as %T", tm)
+	}
+	fm, err := Decode(forestBlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fm.(*forest.Forest); !ok {
+		t.Fatalf("forest container decoded as %T", fm)
+	}
+
+	for i, tu := range ds.Tuples {
+		if got, want := tm.Predict(tu), tree.Predict(tu); got != want {
+			t.Fatalf("tuple %d: tree model predicts %d, source %d", i, got, want)
+		}
+		if got, want := fm.Predict(tu), fr.Predict(tu); got != want {
+			t.Fatalf("tuple %d: forest model predicts %d, source %d", i, got, want)
+		}
+	}
+
+	classes, num, cat := fm.Schema()
+	if len(classes) != 2 || len(num) != 2 || len(cat) != 0 {
+		t.Fatalf("forest schema = (%v, %d num, %d cat)", classes, len(num), len(cat))
+	}
+	if tm.Describe() == "" || fm.Describe() == "" {
+		t.Fatal("empty model descriptions")
+	}
+}
+
+// TestDecodeErrors: junk, empty objects and broken documents must fail with
+// errors, not panic or misroute.
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string]string{
+		"not json":                `{`,
+		"neither tree nor forest": `{"classes": ["a"]}`,
+		"forest with bad trees":   `{"version": 1, "classes": ["a", "b"], "numAttrs": [{"name": "A1"}], "trees": [{"tree": {"classes": ["a", "b"]}}]}`,
+		"tree without classes":    `{"root": {"dist": [1], "w": 1}}`,
+	}
+	for name, doc := range cases {
+		if _, err := Decode([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestLoad round-trips through a file and reports missing files.
+func TestLoad(t *testing.T) {
+	ds := twoClassDataset(40)
+	tree, err := core.Build(ds, core.Config{MinWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := json.Marshal(tree)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict(ds.Tuples[0]) != tree.Predict(ds.Tuples[0]) {
+		t.Fatal("loaded model diverges from source tree")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestDecodeTupleWire exercises the shared tuple wire decoding: every value
+// style, missing values, and arity/domain errors.
+func TestDecodeTupleWire(t *testing.T) {
+	numAttrs := []data.Attribute{{Name: "x", Kind: data.Numeric}, {Name: "y", Kind: data.Numeric}}
+	catAttrs := []data.Attribute{{Name: "c", Kind: data.Categorical, Domain: []string{"p", "q"}}}
+	raw := func(s string) json.RawMessage { return json.RawMessage(s) }
+
+	tu, err := DecodeTuple(
+		[]json.RawMessage{raw(`1.5`), raw(`{"xs": [1, 2], "masses": [1, 3]}`)},
+		[]json.RawMessage{raw(`"q"`)},
+		numAttrs, catAttrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tu.Num[0].Mean() != 1.5 {
+		t.Fatalf("point value mean %v", tu.Num[0].Mean())
+	}
+	if got := tu.Num[1].Mean(); got != 1.75 {
+		t.Fatalf("pdf mean %v, want 1.75", got)
+	}
+	if tu.Cat[0][1] != 1 {
+		t.Fatalf("categorical point %v", tu.Cat[0])
+	}
+
+	// Missing values and raw-sample arrays.
+	tu, err = DecodeTuple(
+		[]json.RawMessage{raw(`null`), raw(`[2, 4]`)},
+		[]json.RawMessage{raw(`[1, 1]`)},
+		numAttrs, catAttrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tu.Num[0] != nil {
+		t.Fatal("null numeric not treated as missing")
+	}
+	if tu.Num[1].Mean() != 3 {
+		t.Fatalf("raw-sample mean %v, want 3", tu.Num[1].Mean())
+	}
+	if tu.Cat[0][0] != 0.5 || tu.Cat[0][1] != 0.5 {
+		t.Fatalf("mass array not normalised: %v", tu.Cat[0])
+	}
+
+	bad := []struct {
+		name     string
+		num, cat []json.RawMessage
+	}{
+		{"numeric arity", []json.RawMessage{raw(`1`)}, []json.RawMessage{raw(`"p"`)}},
+		{"categorical arity", []json.RawMessage{raw(`1`), raw(`2`)}, nil},
+		{"unknown domain value", []json.RawMessage{raw(`1`), raw(`2`)}, []json.RawMessage{raw(`"zzz"`)}},
+		{"mass arity", []json.RawMessage{raw(`1`), raw(`2`)}, []json.RawMessage{raw(`[1, 1, 1]`)}},
+		{"bad pdf object", []json.RawMessage{raw(`{"xs": [1], "masses": []}`), raw(`2`)}, []json.RawMessage{raw(`"p"`)}},
+		{"non-number", []json.RawMessage{raw(`"abc"`), raw(`2`)}, []json.RawMessage{raw(`"p"`)}},
+	}
+	for _, tc := range bad {
+		if _, err := DecodeTuple(tc.num, tc.cat, numAttrs, catAttrs); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package modelio
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"udt/internal/data"
+	"udt/internal/pdf"
+)
+
+// The JSON wire format for uncertain tuples, shared by every consumer of a
+// loaded model. A tuple is {"num": [...], "cat": [...]} with one entry per
+// model attribute, in model order. Numeric entries are a number (a point
+// value), an array of numbers (raw repeated measurements, equal mass), an
+// object {"xs": [...], "masses": [...]} (an explicit sampled pdf), or null
+// (missing). Categorical entries are a domain value string, an array of
+// per-value masses, or null (missing).
+
+// DecodeTuple converts the wire representation into an uncertain tuple
+// matching the given attribute schema.
+func DecodeTuple(num, cat []json.RawMessage, numAttrs, catAttrs []data.Attribute) (*data.Tuple, error) {
+	if len(num) != len(numAttrs) {
+		return nil, fmt.Errorf("%d numeric values, model has %d numeric attributes", len(num), len(numAttrs))
+	}
+	if len(cat) != len(catAttrs) {
+		return nil, fmt.Errorf("%d categorical values, model has %d categorical attributes", len(cat), len(catAttrs))
+	}
+	tu := &data.Tuple{Weight: 1}
+	for j, raw := range num {
+		p, err := DecodeNum(raw)
+		if err != nil {
+			return nil, fmt.Errorf("numeric attribute %q: %w", numAttrs[j].Name, err)
+		}
+		tu.Num = append(tu.Num, p)
+	}
+	for j, raw := range cat {
+		d, err := DecodeCat(raw, catAttrs[j].Domain)
+		if err != nil {
+			return nil, fmt.Errorf("categorical attribute %q: %w", catAttrs[j].Name, err)
+		}
+		tu.Cat = append(tu.Cat, d)
+	}
+	return tu, nil
+}
+
+// DecodeNum parses one numeric attribute value: null (missing), a number (a
+// point), an array of raw measurements, or {"xs", "masses"}.
+func DecodeNum(raw json.RawMessage) (*pdf.PDF, error) {
+	if isNull(raw) {
+		return nil, nil
+	}
+	switch firstByte(raw) {
+	case '{':
+		var obj struct {
+			Xs     []float64 `json:"xs"`
+			Masses []float64 `json:"masses"`
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&obj); err != nil {
+			return nil, err
+		}
+		return pdf.New(obj.Xs, obj.Masses)
+	case '[':
+		var obs []float64
+		if err := json.Unmarshal(raw, &obs); err != nil {
+			return nil, err
+		}
+		return pdf.FromSamples(obs)
+	default:
+		var v float64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, err
+		}
+		return pdf.Point(v), nil
+	}
+}
+
+// DecodeCat parses one categorical attribute value: null (missing), a
+// domain value string, or an array of per-value masses.
+func DecodeCat(raw json.RawMessage, domain []string) (data.CatDist, error) {
+	if isNull(raw) {
+		return nil, nil
+	}
+	if firstByte(raw) == '[' {
+		var masses []float64
+		if err := json.Unmarshal(raw, &masses); err != nil {
+			return nil, err
+		}
+		if len(masses) != len(domain) {
+			return nil, fmt.Errorf("%d masses, domain has %d values", len(masses), len(domain))
+		}
+		d := data.CatDist(masses)
+		if err := d.Normalize(); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	var v string
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, err
+	}
+	for i, name := range domain {
+		if name == v {
+			return data.NewCatPoint(i, len(domain)), nil
+		}
+	}
+	return nil, fmt.Errorf("value %q not in domain %v", v, domain)
+}
+
+func isNull(raw json.RawMessage) bool {
+	return len(raw) == 0 || string(raw) == "null"
+}
+
+func firstByte(raw json.RawMessage) byte {
+	for _, b := range raw {
+		switch b {
+		case ' ', '\t', '\n', '\r':
+			continue
+		}
+		return b
+	}
+	return 0
+}

@@ -7,6 +7,7 @@ import (
 	"udt/internal/core"
 	"udt/internal/data"
 	"udt/internal/eval"
+	"udt/internal/forest"
 	"udt/internal/pdf"
 	"udt/internal/split"
 )
@@ -51,6 +52,17 @@ type (
 	BuildStats = core.BuildStats
 	// Rule is a root-to-leaf classification rule.
 	Rule = core.Rule
+	// Forest is a bagged ensemble of compiled uncertain decision trees;
+	// classification averages the member distributions. Immutable and safe
+	// for concurrent use.
+	Forest = forest.Forest
+	// ForestConfig controls ensemble training: tree count, bootstrap sample
+	// ratio, per-tree attribute subsets, seed, parallel member builds, and
+	// the member tree configuration.
+	ForestConfig = forest.Config
+	// OOBStats is the out-of-bag accuracy/Brier estimate a forest computes
+	// during training.
+	OOBStats = forest.OOBStats
 	// Measure selects the dispersion function (entropy, Gini, gain ratio).
 	Measure = split.Measure
 	// Strategy selects the split-search pruning algorithm of §5.
@@ -120,6 +132,39 @@ func Build(ds *Dataset, cfg Config) (*Tree, error) { return core.Build(ds, cfg) 
 // BuildAveraging constructs an Averaging (AVG) decision tree: pdfs are
 // collapsed to their means before construction.
 func BuildAveraging(ds *Dataset, cfg Config) (*Tree, error) { return core.BuildAveraging(ds, cfg) }
+
+// TrainForest builds a bagged ensemble of Distribution-based trees:
+// bootstrap-resampled tuples, optional per-tree random attribute subsets,
+// deterministic per-tree RNG streams (the result is identical at any
+// cfg.Workers value), and out-of-bag accuracy/Brier computed during
+// training. Ensemble classification is distribution averaging across the
+// compiled members.
+func TrainForest(ds *Dataset, cfg ForestConfig) (*Forest, error) { return forest.Train(ds, cfg) }
+
+// ForestAccuracy returns the fraction of test tuples the ensemble predicts
+// correctly.
+func ForestAccuracy(f *Forest, test *Dataset) float64 { return eval.ForestAccuracy(f, test) }
+
+// ForestConfusion returns the ensemble's confusion matrix over the test set.
+func ForestConfusion(f *Forest, test *Dataset) [][]float64 { return eval.ForestConfusion(f, test) }
+
+// ForestEvaluate classifies the test set once and returns the confusion
+// matrix, Brier score and log-loss of the averaged distributions.
+func ForestEvaluate(f *Forest, test *Dataset) (conf [][]float64, brier, logLoss float64) {
+	return eval.ForestEvaluate(f, test)
+}
+
+// ForestTrainTest trains an ensemble on train and evaluates on test.
+func ForestTrainTest(train, test *Dataset, cfg ForestConfig) (Result, error) {
+	return eval.ForestTrainTest(train, test, cfg)
+}
+
+// ForestCrossValidate runs stratified k-fold cross-validation of the bagged
+// ensemble, pooling accuracy over the same folds CrossValidate would use
+// for a given rng state.
+func ForestCrossValidate(ds *Dataset, k int, cfg ForestConfig, rng *rand.Rand) (Result, error) {
+	return eval.ForestCrossValidate(ds, k, cfg, rng)
+}
 
 // Inject converts point-valued data into an uncertain dataset by fitting an
 // error model of relative width cfg.W with cfg.S sample points per pdf

@@ -4,20 +4,24 @@
 //
 // Usage:
 //
-//	udtree train   -in train.csv -out model.json [-avg] [-measure entropy] [-strategy es]
+//	udtree train   -in train.csv -out model.json [-avg] [-measure entropy] [-strategy es] [-max-tuples N]
 //	udtree train   -in train.csv -out model.json -forest [-trees 25] [-sample-ratio 1] [-attrs K]
-//	udtree predict -model model.json -in test.csv
+//	udtree predict -model model.json -in test.csv [-batch 512]
 //	udtree rules   -model model.json
-//	udtree eval    -model model.json -in test.csv
+//	udtree eval    -model model.json -in test.csv [-batch 512]
 //
 // predict and eval accept both single-tree models and the forest containers
-// written by train -forest.
+// written by train -forest, and stream the input CSV through the compiled
+// engine in fixed-size batches, so file size never bounds memory. train
+// -max-tuples N streams the file into a seeded uniform reservoir sample of
+// at most N resident tuples.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
@@ -59,10 +63,10 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   udtree train   -in train.csv -out model.json [-avg] [-measure entropy|gini|gainratio] [-strategy udt|bp|lp|gp|es] [-maxdepth N] [-minweight W] [-postprune] [-workers N] [-parallel N]
-                 [-forest] [-trees 25] [-sample-ratio 1] [-attrs K] [-seed N]
-  udtree predict -model model.json -in test.csv
+                 [-forest] [-trees 25] [-sample-ratio 1] [-attrs K] [-seed N] [-max-tuples N]
+  udtree predict -model model.json -in test.csv [-batch 512] [-workers N]
   udtree rules   -model model.json
-  udtree eval    -model model.json -in test.csv
+  udtree eval    -model model.json -in test.csv [-batch 512] [-workers N]
   udtree cv      -in data.csv [-folds 10] [-avg] [-measure ...] [-strategy ...] [-seed N] [-workers N] [-parallel N]`)
 }
 
@@ -116,12 +120,16 @@ func train(args []string) error {
 	trees := fs.Int("trees", 25, "forest: ensemble size (>= 1)")
 	sampleRatio := fs.Float64("sample-ratio", 1, "forest: bootstrap sample size as a fraction of the training set, in (0, 1]")
 	attrs := fs.Int("attrs", 0, "forest: random attribute subset size per tree (0 = all)")
-	seed := fs.Int64("seed", 1, "forest: base RNG seed for bootstrap and attribute sampling")
+	seed := fs.Int64("seed", 1, "RNG seed for -forest bootstrap/attribute sampling and the -max-tuples reservoir")
+	maxTuples := fs.Int("max-tuples", 0, "cap resident training tuples: stream the file and keep a uniform reservoir sample of this size (0 = load everything)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := cliutil.RequireString("train: -in", *in); err != nil {
 		return err
+	}
+	if *maxTuples < 0 {
+		return fmt.Errorf("train: -max-tuples must be >= 0 (got %d)", *maxTuples)
 	}
 	if err := cliutil.CheckPositive("train: -workers", *workers); err != nil {
 		return err
@@ -142,9 +150,25 @@ func train(args []string) error {
 			return fmt.Errorf("train: -forest and -avg are mutually exclusive")
 		}
 	}
-	ds, err := loadCSV(*in)
-	if err != nil {
-		return err
+	var ds *udt.Dataset
+	if *maxTuples > 0 {
+		// Stream the file through a bounded reservoir instead of
+		// materialising it: resident tuples never exceed -max-tuples.
+		src, closer, err := openCSVSource(*in)
+		if err != nil {
+			return err
+		}
+		ds, err = udt.Reservoir(src, *maxTuples, *seed)
+		closer.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		ds, err = loadCSV(*in)
+		if err != nil {
+			return err
+		}
 	}
 	m, err := parseMeasure(*measure)
 	if err != nil {
@@ -219,32 +243,97 @@ func train(args []string) error {
 	return nil
 }
 
+// openCSVSource opens a CSV file as a row stream; the caller closes the
+// returned closer when done.
+func openCSVSource(path string) (*udt.CSVSource, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	src, err := udt.NewCSVSource(f, path)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return src, f, nil
+}
+
 func predict(args []string) error {
 	fs := flag.NewFlagSet("predict", flag.ExitOnError)
 	model := fs.String("model", "model.json", "model file")
 	in := fs.String("in", "", "input CSV (class column may hold placeholders)")
+	batch := fs.Int("batch", streamBatch, "tuples resident at a time on the streaming path (>= 1)")
+	workers := fs.Int("workers", runtime.NumCPU(), "concurrent classification workers per batch (>= 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := cliutil.RequireString("predict: -in", *in); err != nil {
 		return err
 	}
+	if err := cliutil.CheckPositive("predict: -batch", *batch); err != nil {
+		return err
+	}
+	if err := cliutil.CheckPositive("predict: -workers", *workers); err != nil {
+		return err
+	}
 	mdl, err := modelio.Load(*model)
 	if err != nil {
 		return err
 	}
-	ds, err := loadCSV(*in)
+	src, closer, err := openCSVSource(*in)
 	if err != nil {
 		return err
 	}
+	defer closer.Close()
+	return streamPredict(os.Stdout, mdl, src, *batch, *workers)
+}
+
+// checkSchema rejects an input stream whose attribute arity differs from
+// the model's — the compiled engine indexes tuple attributes by schema
+// position, so a mismatch would panic mid-descent instead of erroring.
+func checkSchema(mdl modelio.Model, src udt.RowSource) error {
+	_, numAttrs, catAttrs := mdl.Schema()
+	if len(src.NumAttrs()) != len(numAttrs) || len(src.CatAttrs()) != len(catAttrs) {
+		return fmt.Errorf("%s has %d numeric / %d categorical attributes, model expects %d / %d",
+			src.Name(), len(src.NumAttrs()), len(src.CatAttrs()), len(numAttrs), len(catAttrs))
+	}
+	return nil
+}
+
+// streamBatch is the default number of tuples resident at a time on the
+// streaming predict/eval paths: enough to fill the compiled engine's
+// atomic-cursor worker blocks, small enough that file size never matters.
+const streamBatch = 512
+
+// streamPredict pushes the source through the compiled engine in fixed-size
+// batches, printing one line per tuple. Output is identical to classifying
+// tuple-by-tuple over a materialised dataset (ClassifyBatch is positionally
+// identical to Classify), but only one batch is ever resident.
+func streamPredict(w io.Writer, mdl modelio.Model, src udt.RowSource, batch, workers int) error {
 	classes, _, _ := mdl.Schema()
-	for i, tu := range ds.Tuples {
-		dist := mdl.Classify(tu)
-		fmt.Printf("tuple %d: %s", i+1, classes[eval.Argmax(dist)])
-		for c, p := range dist {
-			fmt.Printf("  P(%s)=%.4f", classes[c], p)
+	if err := checkSchema(mdl, src); err != nil {
+		return err
+	}
+	n := 0
+	err := udt.CollectChunked(src, batch, func(chunk *udt.Dataset) error {
+		for _, dist := range mdl.ClassifyBatch(chunk.Tuples, workers) {
+			n++
+			fmt.Fprintf(w, "tuple %d: %s", n, classes[eval.Argmax(dist)])
+			for c, p := range dist {
+				fmt.Fprintf(w, "  P(%s)=%.4f", classes[c], p)
+			}
+			fmt.Fprintln(w)
 		}
-		fmt.Println()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		// The materialised path rejected header-only files (a dataset with
+		// no classes fails validation); an empty stream must not look like a
+		// successful run.
+		return fmt.Errorf("%s has no data rows", src.Name())
 	}
 	return nil
 }
@@ -273,35 +362,42 @@ func evalCmd(args []string) error {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
 	model := fs.String("model", "model.json", "model file")
 	in := fs.String("in", "", "labelled test CSV")
+	batch := fs.Int("batch", streamBatch, "tuples resident at a time on the streaming path (>= 1)")
+	workers := fs.Int("workers", runtime.NumCPU(), "concurrent classification workers per batch (>= 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := cliutil.RequireString("eval: -in", *in); err != nil {
 		return err
 	}
+	if err := cliutil.CheckPositive("eval: -batch", *batch); err != nil {
+		return err
+	}
+	if err := cliutil.CheckPositive("eval: -workers", *workers); err != nil {
+		return err
+	}
 	mdl, err := modelio.Load(*model)
 	if err != nil {
 		return err
 	}
-	ds, err := loadCSV(*in)
+	src, closer, err := openCSVSource(*in)
+	if err != nil {
+		return err
+	}
+	defer closer.Close()
+	acc, err := streamEval(mdl, src, *batch, *workers)
 	if err != nil {
 		return err
 	}
 	classes, _, _ := mdl.Schema()
-	// Align the test set's class indices with the model's label order.
-	if err := alignClasses(classes, ds); err != nil {
-		return err
-	}
-	preds := mdl.PredictBatch(ds.Tuples, runtime.NumCPU())
-	m := eval.ConfusionOf(classes, preds, ds)
 	fmt.Printf("model: %s\n", mdl.Describe())
-	fmt.Printf("accuracy: %.2f%% on %d tuples\n", eval.AccuracyOf(preds, ds)*100, ds.Len())
+	fmt.Printf("accuracy: %.2f%% on %d tuples\n", acc.Accuracy()*100, acc.Total())
 	fmt.Printf("%-12s", "true\\pred")
 	for _, c := range classes {
 		fmt.Printf("%10s", c)
 	}
 	fmt.Println()
-	for i, row := range m {
+	for i, row := range acc.Confusion() {
 		fmt.Printf("%-12s", classes[i])
 		for _, v := range row {
 			fmt.Printf("%10.1f", v)
@@ -309,6 +405,47 @@ func evalCmd(args []string) error {
 		fmt.Println()
 	}
 	return nil
+}
+
+// streamEval folds the labelled stream through the compiled batch engine
+// into a running accuracy/confusion accumulator. The stream's class labels
+// are remapped onto the model's label order as the vocabulary grows; a label
+// the model has never seen fails the run, like the materialised path did.
+func streamEval(mdl modelio.Model, src udt.RowSource, batch, workers int) (*eval.Accumulator, error) {
+	classes, _, _ := mdl.Schema()
+	if err := checkSchema(mdl, src); err != nil {
+		return nil, err
+	}
+	modelIdx := make(map[string]int, len(classes))
+	for i, c := range classes {
+		modelIdx[c] = i
+	}
+	acc := eval.NewAccumulator(classes)
+	var remap []int // stream class index -> model class index
+	err := udt.CollectChunked(src, batch, func(chunk *udt.Dataset) error {
+		for len(remap) < len(chunk.Classes) {
+			label := chunk.Classes[len(remap)]
+			j, ok := modelIdx[label]
+			if !ok {
+				return fmt.Errorf("test class %q unknown to the model", label)
+			}
+			remap = append(remap, j)
+		}
+		for _, tu := range chunk.Tuples {
+			tu.Class = remap[tu.Class]
+		}
+		acc.Add(chunk.Tuples, mdl.PredictBatch(chunk.Tuples, workers))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if acc.Total() == 0 {
+		// Match the materialised path, which failed validation on a
+		// header-only file instead of reporting 0% accuracy on 0 tuples.
+		return nil, fmt.Errorf("%s has no data rows", src.Name())
+	}
+	return acc, nil
 }
 
 func cvCmd(args []string) error {
@@ -377,27 +514,5 @@ func cvCmd(args []string) error {
 	}
 	fmt.Printf("macro F1: %.3f  Brier: %.4f  log-loss: %.4f\n",
 		udt.MacroF1(metrics), brier, logLoss)
-	return nil
-}
-
-// alignClasses remaps the dataset's class indices onto the model's class
-// order, failing on labels the model has never seen.
-func alignClasses(classes []string, ds *udt.Dataset) error {
-	idx := map[string]int{}
-	for i, c := range classes {
-		idx[c] = i
-	}
-	remap := make([]int, len(ds.Classes))
-	for i, c := range ds.Classes {
-		j, ok := idx[c]
-		if !ok {
-			return fmt.Errorf("test class %q unknown to the model", c)
-		}
-		remap[i] = j
-	}
-	for _, tu := range ds.Tuples {
-		tu.Class = remap[tu.Class]
-	}
-	ds.Classes = classes
 	return nil
 }

@@ -1,10 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"udt"
+	"udt/internal/eval"
+	"udt/internal/modelio"
 )
 
 const trainCSV = `x,y,class
@@ -99,6 +105,194 @@ func TestTrainPredictEvalRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(out, "accuracy: 100.00%") {
 		t.Fatalf("eval output: %q", out)
+	}
+}
+
+// materialisedPredictOutput renders what the pre-streaming predict path
+// printed: every tuple classified one by one over a fully loaded dataset.
+func materialisedPredictOutput(t *testing.T, modelPath, csvPath string) string {
+	t.Helper()
+	mdl, err := modelio.Load(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := udt.ReadCSV(f, csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, _, _ := mdl.Schema()
+	var b bytes.Buffer
+	for i, tu := range ds.Tuples {
+		dist := mdl.Classify(tu)
+		fmt.Fprintf(&b, "tuple %d: %s", i+1, classes[eval.Argmax(dist)])
+		for c, p := range dist {
+			fmt.Fprintf(&b, "  P(%s)=%.4f", classes[c], p)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// TestStreamPredictByteIdentical: the streaming predict path must produce
+// byte-identical output to the pre-refactor materialised path, at batch
+// sizes that exercise mid-batch, exact-batch and whole-file windows — the
+// acceptance oracle of the streaming refactor.
+func TestStreamPredictByteIdentical(t *testing.T) {
+	trainPath, _, modelPath := writeFixtures(t)
+	if _, err := capture(t, func() error {
+		return train([]string{"-in", trainPath, "-out", modelPath, "-minweight", "1"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Predict over the training file itself: 8 tuples, both classes.
+	want := materialisedPredictOutput(t, modelPath, trainPath)
+	for _, batch := range []string{"1", "3", "8", "512"} {
+		got, err := capture(t, func() error {
+			return predict([]string{"-model", modelPath, "-in", trainPath, "-batch", batch})
+		})
+		if err != nil {
+			t.Fatalf("batch %s: %v", batch, err)
+		}
+		if got != want {
+			t.Fatalf("batch %s: streaming output differs from materialised path\n got: %q\nwant: %q", batch, got, want)
+		}
+	}
+}
+
+// TestEvalStreamsInBatches: eval must agree across batch sizes, including
+// batches smaller than the class count's first appearance window.
+func TestEvalStreamsInBatches(t *testing.T) {
+	trainPath, testPath, modelPath := writeFixtures(t)
+	if _, err := capture(t, func() error {
+		return train([]string{"-in", trainPath, "-out", modelPath, "-minweight", "1"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var outputs []string
+	for _, batch := range []string{"1", "2", "512"} {
+		out, err := capture(t, func() error {
+			return evalCmd([]string{"-model", modelPath, "-in", testPath, "-batch", batch})
+		})
+		if err != nil {
+			t.Fatalf("batch %s: %v", batch, err)
+		}
+		outputs = append(outputs, out)
+	}
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Fatalf("eval output differs across batch sizes:\n%q\nvs\n%q", outputs[0], outputs[i])
+		}
+	}
+	if !strings.Contains(outputs[0], "accuracy: 100.00% on 2 tuples") {
+		t.Fatalf("eval output: %q", outputs[0])
+	}
+}
+
+// TestTrainMaxTuples: -max-tuples streams the file through a reservoir; the
+// same seed must train the identical model, and the tuple count must be
+// capped.
+func TestTrainMaxTuples(t *testing.T) {
+	trainPath, _, modelPath := writeFixtures(t)
+	otherPath := filepath.Join(filepath.Dir(modelPath), "other.json")
+	for _, path := range []string{modelPath, otherPath} {
+		out, err := capture(t, func() error {
+			return train([]string{"-in", trainPath, "-out", path, "-minweight", "1", "-max-tuples", "6", "-seed", "9"})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "trained on 6 tuples") {
+			t.Fatalf("train -max-tuples output: %q", out)
+		}
+	}
+	a, err := os.ReadFile(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(otherPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("-max-tuples with a fixed seed trained different models")
+	}
+	// A cap at least as large as the file loads everything.
+	out, err := capture(t, func() error {
+		return train([]string{"-in", trainPath, "-out", modelPath, "-minweight", "1", "-max-tuples", "100"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "trained on 8 tuples") {
+		t.Fatalf("oversized -max-tuples output: %q", out)
+	}
+	if err := train([]string{"-in", trainPath, "-out", modelPath, "-max-tuples", "-1"}); err == nil {
+		t.Error("negative -max-tuples accepted")
+	}
+}
+
+// TestPredictEvalHeaderOnly: a header-only CSV must fail predict and eval
+// (the materialised path rejected it as a dataset with no classes; the
+// streaming path must not turn it into a silent empty success).
+func TestPredictEvalHeaderOnly(t *testing.T) {
+	trainPath, _, modelPath := writeFixtures(t)
+	if _, err := capture(t, func() error {
+		return train([]string{"-in", trainPath, "-out", modelPath, "-minweight", "1"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	emptyPath := filepath.Join(t.TempDir(), "empty.csv")
+	if err := os.WriteFile(emptyPath, []byte("x,y,class\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := predict([]string{"-model", modelPath, "-in", emptyPath}); err == nil || !strings.Contains(err.Error(), "no data rows") {
+		t.Errorf("predict on header-only file: %v", err)
+	}
+	if err := evalCmd([]string{"-model", modelPath, "-in", emptyPath}); err == nil || !strings.Contains(err.Error(), "no data rows") {
+		t.Errorf("eval on header-only file: %v", err)
+	}
+}
+
+// TestPredictEvalSchemaMismatch: an input CSV whose attribute count differs
+// from the model's must fail with a clean error, not an index panic inside
+// the compiled descent.
+func TestPredictEvalSchemaMismatch(t *testing.T) {
+	trainPath, _, modelPath := writeFixtures(t)
+	if _, err := capture(t, func() error {
+		return train([]string{"-in", trainPath, "-out", modelPath, "-minweight", "1"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	narrowPath := filepath.Join(t.TempDir(), "narrow.csv")
+	if err := os.WriteFile(narrowPath, []byte("x,class\n0.1,lo\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := predict([]string{"-model", modelPath, "-in", narrowPath}); err == nil || !strings.Contains(err.Error(), "model expects") {
+		t.Errorf("predict with 1 of 2 attributes: %v", err)
+	}
+	if err := evalCmd([]string{"-model", modelPath, "-in", narrowPath}); err == nil || !strings.Contains(err.Error(), "model expects") {
+		t.Errorf("eval with 1 of 2 attributes: %v", err)
+	}
+}
+
+// TestPredictEvalBatchValidation: non-positive -batch knobs must fail.
+func TestPredictEvalBatchValidation(t *testing.T) {
+	trainPath, testPath, modelPath := writeFixtures(t)
+	if _, err := capture(t, func() error {
+		return train([]string{"-in", trainPath, "-out", modelPath, "-minweight", "1"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := predict([]string{"-model", modelPath, "-in", testPath, "-batch", "0"}); err == nil || !strings.Contains(err.Error(), "must be >= 1") {
+		t.Errorf("predict -batch 0: %v", err)
+	}
+	if err := evalCmd([]string{"-model", modelPath, "-in", testPath, "-workers", "0"}); err == nil || !strings.Contains(err.Error(), "must be >= 1") {
+		t.Errorf("eval -workers 0: %v", err)
 	}
 }
 

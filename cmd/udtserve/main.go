@@ -7,17 +7,38 @@
 // Usage:
 //
 //	udtserve -model model.json [-addr :8080] [-workers N]
-//	         [-read-timeout 10s] [-write-timeout 30s]
+//	         [-read-timeout 10s] [-write-timeout 30s] [-watch 0s]
 //
 // Endpoints:
 //
-//	POST /classify — classify one tuple or a batch.
-//	POST /reload   — re-read the model file and swap it in atomically;
-//	                 in-flight requests finish on the model they started with.
-//	GET  /healthz  — liveness plus active model metadata (format, generation,
-//	                 tree count and out-of-bag stats for forests).
-//	GET  /metrics  — request counts, error counts, per-endpoint latency and a
-//	                 batch-size histogram, all plain atomic counters.
+//	POST /classify        — classify one tuple or a batch.
+//	POST /classify/stream — NDJSON: one tuple document per request line, one
+//	                        result (or per-line error) object per response
+//	                        line, decoded, classified and flushed line by
+//	                        line (full duplex), so arbitrarily long streams
+//	                        run in constant memory. A malformed line yields
+//	                        an error object and the stream continues.
+//	                        -read-timeout/-write-timeout bound per-line
+//	                        idleness, not total stream duration (deadlines
+//	                        roll forward with each answered line).
+//	POST /reload          — re-read the model file and swap it in atomically;
+//	                        in-flight requests finish on the model they
+//	                        started with.
+//	GET  /healthz         — liveness plus active model metadata (format,
+//	                        generation, tree count, OOB stats for forests).
+//	GET  /metrics         — request counts, error counts, per-endpoint
+//	                        latency, a batch-size histogram and NDJSON line
+//	                        counters, all plain atomic counters.
+//
+// -watch polls the model file's mtime at the given interval and hot-reloads
+// through the same serialised path as POST /reload, closing the deploy loop
+// without an operator call.
+//
+// Every response carries an X-Request-Id header — echoed from the request
+// when present, generated otherwise — and error bodies repeat it as
+// "requestId". The Accept header is honoured: a request that cannot accept
+// the endpoint's content type (application/json, or application/x-ndjson for
+// the stream endpoint) is refused with 406.
 //
 // A tuple is encoded as {"num": [...], "cat": [...]} with one entry per
 // model attribute, in model order. Numeric entries are a number (a point
@@ -29,7 +50,11 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -40,6 +65,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -68,6 +95,7 @@ func run(ctx context.Context, args []string) error {
 	workers := fs.Int("workers", runtime.NumCPU(), "concurrent classification workers per batch (>= 1)")
 	readTimeout := fs.Duration("read-timeout", 10*time.Second, "HTTP server read timeout")
 	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")
+	watch := fs.Duration("watch", 0, "poll the model file at this interval and hot-reload on change (0 = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,9 +108,17 @@ func run(ctx context.Context, args []string) error {
 	if *readTimeout <= 0 || *writeTimeout <= 0 {
 		return errors.New("-read-timeout and -write-timeout must be positive")
 	}
+	if *watch < 0 {
+		return errors.New("-watch must be >= 0")
+	}
 	s, err := newServer(*model, *workers)
 	if err != nil {
 		return err
+	}
+	s.streamReadTimeout = *readTimeout
+	s.streamWriteTimeout = *writeTimeout
+	if *watch > 0 {
+		go s.watchLoop(ctx, *watch)
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -132,15 +168,24 @@ type server struct {
 	reloadMu   sync.Mutex // serialises reloads: file read + generation + swap
 	generation atomic.Int64
 	active     atomic.Pointer[activeModel]
+	lastStamp  atomic.Pointer[fileStamp] // identity of the model file last loaded
 	mtr        metrics
+
+	// Per-line deadline extensions for the stream endpoint (the server's
+	// global read/write timeouts are per-request, which would kill a long
+	// interactive stream mid-flight).
+	streamReadTimeout  time.Duration
+	streamWriteTimeout time.Duration
 }
 
 // newServer loads and compiles the model file.
 func newServer(modelPath string, workers int) (*server, error) {
 	s := &server{
-		modelPath: modelPath,
-		workers:   workers,
-		started:   time.Now(),
+		modelPath:          modelPath,
+		workers:            workers,
+		started:            time.Now(),
+		streamReadTimeout:  10 * time.Second,
+		streamWriteTimeout: 30 * time.Second,
 	}
 	am, err := s.loadModel()
 	if err != nil {
@@ -150,12 +195,37 @@ func newServer(modelPath string, workers int) (*server, error) {
 	return s, nil
 }
 
-// loadModel reads the model file and stamps the next generation number.
+// fileStamp identifies a version of the model file for -watch change
+// detection. Size is compared alongside mtime because coarse filesystem
+// clocks (1s on some mounts) can give two quick deploys the same mtime.
+type fileStamp struct {
+	modNanos int64
+	size     int64
+}
+
+// stampOf stats the model file; a stat failure yields the zero stamp, which
+// never equals a real one.
+func (s *server) stampOf() fileStamp {
+	fi, err := os.Stat(s.modelPath)
+	if err != nil {
+		return fileStamp{}
+	}
+	return fileStamp{modNanos: fi.ModTime().UnixNano(), size: fi.Size()}
+}
+
+// loadModel reads the model file and stamps the next generation number,
+// recording the file's identity so the -watch poller knows what version is
+// serving. The stat happens BEFORE the read: if the file is replaced
+// between the two calls the recorded stamp is older than the loaded
+// content, so the poller's worst case is one redundant reload — never a
+// newer file mistaken for already-loaded.
 func (s *server) loadModel() (*activeModel, error) {
+	stamp := s.stampOf()
 	m, err := modelio.Load(s.modelPath)
 	if err != nil {
 		return nil, err
 	}
+	s.lastStamp.Store(&stamp)
 	return &activeModel{
 		model:      m,
 		generation: s.generation.Add(1),
@@ -163,24 +233,74 @@ func (s *server) loadModel() (*activeModel, error) {
 	}, nil
 }
 
+// doReload is the shared hot-reload path of POST /reload and the -watch
+// poller: re-read the model file and swap it in atomically. On failure the
+// previous model keeps serving. Reloads are serialised so a slow file read
+// can never overwrite a newer model with an older one (generation moves
+// strictly forward).
+func (s *server) doReload() (*activeModel, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	am, err := s.loadModel()
+	if err != nil {
+		return nil, err
+	}
+	s.active.Store(am)
+	return am, nil
+}
+
+// watchLoop polls the model file's identity (mtime + size) and hot-reloads
+// on change until the context ends. A failed reload leaves the old model
+// serving and retries on the next change (a broken file that stays broken
+// is reported once per write, not once per tick).
+func (s *server) watchLoop(ctx context.Context, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		stamp := s.stampOf()
+		if stamp == (fileStamp{}) || stamp == *s.lastStamp.Load() {
+			continue
+		}
+		// Remember the stamp that triggered this attempt even if the load
+		// fails, so a persistently broken file is not re-tried every tick.
+		s.lastStamp.Store(&stamp)
+		am, err := s.doReload()
+		if err != nil {
+			s.mtr.watchErrors.Add(1)
+			fmt.Fprintf(os.Stderr, "udtserve: watch reload: %v\n", err)
+			continue
+		}
+		s.mtr.watchReloads.Add(1)
+		fmt.Printf("udtserve: watch reloaded %s [%s] generation %d\n",
+			s.modelPath, am.model.Describe(), am.generation)
+	}
+}
+
+// Content types the server produces.
+const (
+	jsonType   = "application/json"
+	ndjsonType = "application/x-ndjson"
+)
+
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /classify", s.instrument(&s.mtr.classify, s.classify))
-	mux.HandleFunc("POST /reload", s.instrument(&s.mtr.reload, s.reload))
-	mux.HandleFunc("GET /healthz", s.instrument(&s.mtr.healthz, s.healthz))
-	mux.HandleFunc("GET /metrics", s.instrument(&s.mtr.metricsEP, s.metricsHandler))
+	mux.HandleFunc("POST /classify", s.instrument(&s.mtr.classify, jsonType, s.classify))
+	mux.HandleFunc("POST /classify/stream", s.instrument(&s.mtr.stream, ndjsonType, s.classifyStream))
+	mux.HandleFunc("POST /reload", s.instrument(&s.mtr.reload, jsonType, s.reload))
+	mux.HandleFunc("GET /healthz", s.instrument(&s.mtr.healthz, jsonType, s.healthz))
+	mux.HandleFunc("GET /metrics", s.instrument(&s.mtr.metricsEP, jsonType, s.metricsHandler))
 	return mux
 }
 
 type requestJSON struct {
-	Num    []json.RawMessage `json:"num"`
-	Cat    []json.RawMessage `json:"cat"`
-	Tuples []tupleJSON       `json:"tuples"`
-}
-
-type tupleJSON struct {
-	Num []json.RawMessage `json:"num"`
-	Cat []json.RawMessage `json:"cat"`
+	Num    []json.RawMessage   `json:"num"`
+	Cat    []json.RawMessage   `json:"cat"`
+	Tuples []modelio.WireTuple `json:"tuples"`
 }
 
 type resultJSON struct {
@@ -207,11 +327,11 @@ func (s *server) classify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !batch {
-		req.Tuples = []tupleJSON{{Num: req.Num, Cat: req.Cat}}
+		req.Tuples = []modelio.WireTuple{{Num: req.Num, Cat: req.Cat}}
 	}
 	tuples := make([]*udt.Tuple, len(req.Tuples))
 	for i, tj := range req.Tuples {
-		tu, err := modelio.DecodeTuple(tj.Num, tj.Cat, numAttrs, catAttrs)
+		tu, err := tj.Decode(numAttrs, catAttrs)
 		if err != nil {
 			fail(w, http.StatusBadRequest, fmt.Errorf("tuple %d: %w", i, err))
 			return
@@ -235,20 +355,108 @@ func (s *server) classify(w http.ResponseWriter, r *http.Request) {
 	reply(w, results[0])
 }
 
-// reload re-reads the model file and swaps it in atomically. On failure the
-// previous model keeps serving. Reloads are serialised so a slow file read
-// can never overwrite a newer model with an older one (generation moves
-// strictly forward).
+// maxStreamLine bounds one NDJSON input line; a single tuple document
+// beyond 1 MiB is malformed, not big.
+const maxStreamLine = 1 << 20
+
+// streamLine is one NDJSON response line: the 1-based input line number plus
+// either a classification or a per-line error.
+type streamLine struct {
+	Line  int                `json:"line"`
+	Class string             `json:"class,omitempty"`
+	Dist  map[string]float64 `json:"dist,omitempty"`
+	Error string             `json:"error,omitempty"`
+}
+
+// classifyStream handles POST /classify/stream: each request line is one
+// tuple document, each response line one result object, decoded, classified
+// and flushed as it arrives — the whole stream is never resident, so body
+// size is unbounded (per line, maxStreamLine applies). A malformed line
+// produces an error object on its line and the stream continues; the HTTP
+// status is 200 once the first line has been answered, so per-line errors
+// are in-band by design.
+func (s *server) classifyStream(w http.ResponseWriter, r *http.Request) {
+	// One load: the whole stream is classified by one model generation even
+	// if a reload swaps the pointer mid-stream.
+	am := s.active.Load()
+	classes, numAttrs, catAttrs := am.model.Schema()
+
+	// HTTP/1.x is half-duplex by default: the first response write closes
+	// the request body, so an interactive client that waits for answer N
+	// before sending line N+1 would deadlock. This endpoint is full-duplex
+	// by design; the error return is ignored because transports that do not
+	// support the upgrade (HTTP/2) are full-duplex already.
+	rc := http.NewResponseController(w)
+	rc.EnableFullDuplex()
+
+	w.Header().Set("Content-Type", ndjsonType)
+	enc := json.NewEncoder(w)
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64<<10), maxStreamLine)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		out := streamLine{Line: line}
+		var wt modelio.WireTuple
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&wt); err != nil {
+			out.Error = fmt.Sprintf("decode: %v", err)
+		} else if dec.More() {
+			// Two concatenated documents (or a document followed by junk)
+			// must not be half-accepted with the tail silently dropped.
+			out.Error = "decode: trailing data after tuple document"
+		} else if tu, err := wt.Decode(numAttrs, catAttrs); err != nil {
+			out.Error = err.Error()
+		} else {
+			dist := am.model.Classify(tu)
+			// Count the tuple but keep the batch-size histogram for
+			// /classify callers only: a long stream would otherwise drown
+			// the size-1 bucket. Stream volume has its own counters.
+			s.mtr.tuples.Add(1)
+			m := make(map[string]float64, len(dist))
+			for c, p := range dist {
+				m[classes[c]] = p
+			}
+			out.Class = classes[eval.Argmax(dist)]
+			out.Dist = m
+		}
+		s.mtr.streamLines.Add(1)
+		if out.Error != "" {
+			s.mtr.streamLineErrors.Add(1)
+		}
+		if err := enc.Encode(out); err != nil {
+			return // client went away; nothing to report to
+		}
+		rc.Flush()
+		// The server's -read-timeout/-write-timeout are per-request
+		// deadlines, which would cut an interactive stream that simply
+		// outlives them; roll both forward per answered line so the
+		// timeouts bound idleness, not total stream duration. Errors are
+		// ignored: writers that cannot set deadlines (tests, HTTP/2
+		// internals) just keep their original ones.
+		rc.SetReadDeadline(time.Now().Add(s.streamReadTimeout))
+		rc.SetWriteDeadline(time.Now().Add(s.streamWriteTimeout))
+	}
+	if err := sc.Err(); err != nil {
+		// Body read failed mid-stream (oversized line, disconnect): emit a
+		// final in-band error object.
+		s.mtr.streamLineErrors.Add(1)
+		enc.Encode(streamLine{Line: line + 1, Error: fmt.Sprintf("read: %v", err)})
+	}
+}
+
+// reload is the POST /reload handler over the shared doReload path.
 func (s *server) reload(w http.ResponseWriter, r *http.Request) {
-	s.reloadMu.Lock()
-	am, err := s.loadModel()
+	am, err := s.doReload()
 	if err != nil {
-		s.reloadMu.Unlock()
 		fail(w, http.StatusInternalServerError, fmt.Errorf("reload: %w", err))
 		return
 	}
-	s.active.Store(am)
-	s.reloadMu.Unlock()
 	reply(w, map[string]any{
 		"status":      "reloaded",
 		"model":       s.modelPath,
@@ -314,11 +522,17 @@ const batchBuckets = 15
 
 type metrics struct {
 	classify  endpointMetrics
+	stream    endpointMetrics
 	reload    endpointMetrics
 	healthz   endpointMetrics
 	metricsEP endpointMetrics
 	tuples    atomic.Int64
 	batch     [batchBuckets]atomic.Int64
+
+	streamLines      atomic.Int64 // NDJSON lines answered (results + errors)
+	streamLineErrors atomic.Int64 // NDJSON lines answered with an error object
+	watchReloads     atomic.Int64 // successful -watch hot reloads
+	watchErrors      atomic.Int64 // failed -watch reload attempts
 }
 
 // observeBatch records one classify call of n tuples.
@@ -361,11 +575,20 @@ func (s *server) metricsHandler(w http.ResponseWriter, r *http.Request) {
 		"generation":       s.active.Load().generation,
 		"tuplesClassified": s.mtr.tuples.Load(),
 		"batchSizes":       hist,
+		"stream": map[string]int64{
+			"lines":      s.mtr.streamLines.Load(),
+			"lineErrors": s.mtr.streamLineErrors.Load(),
+		},
+		"watch": map[string]int64{
+			"reloads": s.mtr.watchReloads.Load(),
+			"errors":  s.mtr.watchErrors.Load(),
+		},
 		"endpoints": map[string]any{
-			"classify": s.mtr.classify.snapshot(),
-			"reload":   s.mtr.reload.snapshot(),
-			"healthz":  s.mtr.healthz.snapshot(),
-			"metrics":  s.mtr.metricsEP.snapshot(),
+			"classify":       s.mtr.classify.snapshot(),
+			"classifyStream": s.mtr.stream.snapshot(),
+			"reload":         s.mtr.reload.snapshot(),
+			"healthz":        s.mtr.healthz.snapshot(),
+			"metrics":        s.mtr.metricsEP.snapshot(),
 		},
 	})
 }
@@ -381,12 +604,35 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with request/error/latency accounting.
-func (s *server) instrument(em *endpointMetrics, h http.HandlerFunc) http.HandlerFunc {
+// Flush forwards to the wrapped writer so the NDJSON stream endpoint can
+// deliver each line as it is classified — without this the responses would
+// sit in the server's write buffer until the handler returned.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController, which
+// classifyStream uses for EnableFullDuplex and per-line Flush.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// instrument wraps a handler with the per-request plumbing shared by every
+// endpoint: an X-Request-Id echoed (or generated) before the handler runs,
+// Accept-header negotiation against the endpoint's content type, and
+// request/error/latency accounting.
+func (s *server) instrument(em *endpointMetrics, ctype string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		w.Header().Set("X-Request-Id", requestID(r))
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		h(rec, r)
+		if accepts(r.Header.Values("Accept"), ctype) {
+			h(rec, r)
+		} else {
+			fail(rec, http.StatusNotAcceptable,
+				fmt.Errorf("Accept %q cannot be satisfied: this endpoint produces %s",
+					strings.Join(r.Header.Values("Accept"), ", "), ctype))
+		}
 		em.requests.Add(1)
 		em.nanos.Add(time.Since(start).Nanoseconds())
 		if rec.status >= 400 {
@@ -395,16 +641,101 @@ func (s *server) instrument(em *endpointMetrics, h http.HandlerFunc) http.Handle
 	}
 }
 
+// requestID returns the caller-supplied X-Request-Id (bounded to 128 bytes)
+// or generates a fresh 64-bit hex ID.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); id != "" {
+		if len(id) > 128 {
+			id = id[:128]
+		}
+		return id
+	}
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		return "unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// accepts reports whether the request's Accept header lines admit ctype. An
+// absent (or blank) header accepts everything. Per RFC 9110 §12.5.1 the
+// most specific matching range governs (exact type over "type/*" over
+// "*/*"), so an explicit q=0 on the exact type refuses it even when a
+// wildcard would admit it. Preference ordering among acceptable types is
+// ignored — the server has exactly one representation per endpoint, so only
+// acceptable-vs-refused can change the outcome.
+func accepts(headers []string, ctype string) bool {
+	slash := strings.IndexByte(ctype, '/')
+	seen := false
+	bestSpec, bestQ := -1, 0.0
+	for _, header := range headers {
+		if strings.TrimSpace(header) == "" {
+			continue
+		}
+		seen = true
+		for _, part := range strings.Split(header, ",") {
+			mt := strings.TrimSpace(part)
+			q := 1.0
+			if i := strings.IndexByte(mt, ';'); i >= 0 {
+				q = qvalue(mt[i+1:])
+				mt = strings.TrimSpace(mt[:i])
+			}
+			spec := -1
+			switch {
+			case strings.EqualFold(mt, ctype):
+				spec = 2
+			case strings.HasSuffix(mt, "/*") && strings.EqualFold(mt[:len(mt)-2], ctype[:slash]):
+				spec = 1
+			case mt == "*/*":
+				spec = 0
+			}
+			if spec < 0 {
+				continue
+			}
+			switch {
+			case spec > bestSpec:
+				bestSpec, bestQ = spec, q
+			case spec == bestSpec && q > bestQ:
+				// Duplicate ranges at equal specificity: be generous.
+				bestQ = q
+			}
+		}
+	}
+	return !seen || (bestSpec >= 0 && bestQ > 0)
+}
+
+// qvalue extracts the quality weight from a media-range parameter list,
+// defaulting to 1 (including for a malformed q, which RFC 9110 leaves
+// unspecified — refusing only on an explicit, well-formed q=0).
+func qvalue(params string) float64 {
+	for _, p := range strings.Split(params, ";") {
+		k, v, ok := strings.Cut(strings.TrimSpace(p), "=")
+		if ok && strings.EqualFold(strings.TrimSpace(k), "q") {
+			if f, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil {
+				return f
+			}
+			return 1
+		}
+	}
+	return 1
+}
+
 func reply(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", jsonType)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		// The status line is already gone; nothing left to do but log.
 		fmt.Fprintln(os.Stderr, "udtserve: encode response:", err)
 	}
 }
 
+// fail writes a JSON error body carrying the request ID stamped by
+// instrument, so a client log line and a server metric line correlate.
 func fail(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", jsonType)
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	body := map[string]string{"error": err.Error()}
+	if id := w.Header().Get("X-Request-Id"); id != "" {
+		body["requestId"] = id
+	}
+	json.NewEncoder(w).Encode(body)
 }

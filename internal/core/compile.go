@@ -4,9 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"udt/internal/data"
+	"udt/internal/par"
 	"udt/internal/pdf"
 )
 
@@ -330,20 +330,9 @@ func (c *Compiled) Predict(tu *data.Tuple) int {
 	return best
 }
 
-func argmax(dist []float64) int {
-	best, bestP := 0, dist[0]
-	for ci, p := range dist {
-		if p > bestP {
-			best, bestP = ci, p
-		}
-	}
-	return best
-}
-
-// batchGrain is the number of tuples a batch worker claims at a time: large
-// enough to amortise the atomic counter, small enough to balance skewed
-// per-tuple costs.
-const batchGrain = 64
+// argmax selects the predicted class with par.Argmax's tie-breaking (lowest
+// index wins).
+func argmax(dist []float64) int { return par.Argmax(dist) }
 
 // ClassifyBatch classifies every tuple and returns one distribution per
 // tuple, computed by up to workers concurrent goroutines (workers <= 1 means
@@ -372,42 +361,10 @@ func (c *Compiled) PredictBatch(tuples []*data.Tuple, workers int) []int {
 }
 
 // forEach applies fn to every tuple index, each worker carrying its own
-// scratch. Work is claimed in batchGrain-sized blocks off an atomic cursor.
+// pooled scratch, claiming par.BatchGrain-sized blocks off an atomic cursor.
 func (c *Compiled) forEach(tuples []*data.Tuple, workers int, fn func(i int, s *scratch)) {
-	n := len(tuples)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		s := scratchPool.Get().(*scratch)
-		for i := 0; i < n; i++ {
-			fn(i, s)
-		}
-		scratchPool.Put(s)
-		return
-	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for k := 0; k < workers; k++ {
-		go func() {
-			defer wg.Done()
-			s := scratchPool.Get().(*scratch)
-			defer scratchPool.Put(s)
-			for {
-				hi := int(cursor.Add(batchGrain))
-				lo := hi - batchGrain
-				if lo >= n {
-					return
-				}
-				if hi > n {
-					hi = n
-				}
-				for i := lo; i < hi; i++ {
-					fn(i, s)
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	par.ForEach(len(tuples), workers,
+		func() *scratch { return scratchPool.Get().(*scratch) },
+		fn,
+		func(s *scratch) { scratchPool.Put(s) })
 }

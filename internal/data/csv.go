@@ -16,54 +16,16 @@ import (
 // as semicolon-separated x@mass pairs ("1@0.625;2@0.125;10@0.25"); masses
 // may be omitted ("1;2;10") for equal-mass raw samples.
 
-// ReadCSV parses a dataset from the interchange format.
+// ReadCSV parses a dataset from the interchange format, materialising every
+// tuple. It is a thin Collect over NewCSVSource; callers that cannot afford
+// a resident copy of the whole file should use the RowSource directly (see
+// stream.go: CollectChunked, Reservoir).
 func ReadCSV(r io.Reader, name string) (*Dataset, error) {
-	cr := csv.NewReader(r)
-	cr.TrimLeadingSpace = true
-	header, err := cr.Read()
+	src, err := NewCSVSource(r, name)
 	if err != nil {
-		return nil, fmt.Errorf("data: reading CSV header: %w", err)
+		return nil, err
 	}
-	if len(header) < 2 {
-		return nil, fmt.Errorf("data: CSV needs at least one attribute and a class column, got %d columns", len(header))
-	}
-	attrs := header[:len(header)-1]
-	classIdx := map[string]int{}
-	var classes []string
-	ds := NewDataset(name, len(attrs), nil)
-	for j, a := range attrs {
-		ds.NumAttrs[j].Name = a
-	}
-	for line := 2; ; line++ {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("data: reading CSV line %d: %w", line, err)
-		}
-		if len(rec) != len(header) {
-			return nil, fmt.Errorf("data: CSV line %d has %d fields, want %d", line, len(rec), len(header))
-		}
-		num := make([]*pdf.PDF, len(attrs))
-		for j := range attrs {
-			p, err := parseCell(rec[j])
-			if err != nil {
-				return nil, fmt.Errorf("data: CSV line %d column %q: %w", line, attrs[j], err)
-			}
-			num[j] = p
-		}
-		label := rec[len(rec)-1]
-		ci, ok := classIdx[label]
-		if !ok {
-			ci = len(classes)
-			classIdx[label] = ci
-			classes = append(classes, label)
-		}
-		ds.Add(ci, num...)
-	}
-	ds.Classes = classes
-	return ds, ds.Validate()
+	return Collect(src)
 }
 
 // parseCell parses one numeric cell of the interchange format.

@@ -1,0 +1,226 @@
+package data
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"udt/internal/pdf"
+)
+
+// This file is the streaming half of the data layer: a RowSource yields one
+// parsed tuple at a time, so consumers decide how much of a dataset is ever
+// resident — everything (Collect), fixed-size windows (CollectChunked), or a
+// bounded uniform sample (Reservoir). ReadCSV is a thin Collect over a
+// CSVSource, so the materialised and streamed paths cannot drift apart.
+
+// RowSource is a streaming iterator over uncertain tuples. The attribute
+// schema is fixed when the source is constructed (for CSV, discovered from
+// the header); the class vocabulary accumulates incrementally as rows are
+// parsed, so Classes grows between Next calls and a tuple's Class index
+// always refers to the vocabulary as of the call that produced it.
+//
+// A RowSource is single-consumer: Next must not be called concurrently.
+type RowSource interface {
+	// Name identifies the stream (for CSV sources, the name given at
+	// construction, conventionally the file path).
+	Name() string
+	// NumAttrs returns the numeric attribute schema.
+	NumAttrs() []Attribute
+	// CatAttrs returns the categorical attribute schema.
+	CatAttrs() []Attribute
+	// Classes returns the class vocabulary seen so far. The returned slice
+	// must not be mutated; it may grow on subsequent Next calls.
+	Classes() []string
+	// Next returns the next tuple, or io.EOF when the stream is exhausted.
+	// After a non-EOF error the stream is broken and must not be reused.
+	Next() (*Tuple, error)
+}
+
+// CSVSource streams tuples from the CSV interchange format (see csv.go for
+// the cell syntax). The header is consumed at construction.
+type CSVSource struct {
+	name     string
+	cr       *csv.Reader
+	attrs    []Attribute
+	classes  []string
+	classIdx map[string]int
+	line     int // last line consumed; the header is line 1
+}
+
+// NewCSVSource reads the header and returns a source streaming the remaining
+// rows. The final header column is the class label; every other column is a
+// numeric attribute.
+func NewCSVSource(r io.Reader, name string) (*CSVSource, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("data: reading CSV header: %w", err)
+	}
+	if len(header) < 2 {
+		return nil, fmt.Errorf("data: CSV needs at least one attribute and a class column, got %d columns", len(header))
+	}
+	attrs := make([]Attribute, len(header)-1)
+	for j, a := range header[:len(header)-1] {
+		attrs[j] = Attribute{Name: a, Kind: Numeric}
+	}
+	return &CSVSource{
+		name:     name,
+		cr:       cr,
+		attrs:    attrs,
+		classIdx: map[string]int{},
+		line:     1,
+	}, nil
+}
+
+// Name implements RowSource.
+func (s *CSVSource) Name() string { return s.name }
+
+// NumAttrs implements RowSource.
+func (s *CSVSource) NumAttrs() []Attribute { return s.attrs }
+
+// CatAttrs implements RowSource; the CSV format carries no categorical
+// attributes.
+func (s *CSVSource) CatAttrs() []Attribute { return nil }
+
+// Classes implements RowSource: the labels seen so far, in first-appearance
+// order.
+func (s *CSVSource) Classes() []string { return s.classes }
+
+// Next parses one row into a whole-weight tuple.
+func (s *CSVSource) Next() (*Tuple, error) {
+	s.line++
+	rec, err := s.cr.Read()
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, fmt.Errorf("data: reading CSV line %d: %w", s.line, err)
+	}
+	if len(rec) != len(s.attrs)+1 {
+		return nil, fmt.Errorf("data: CSV line %d has %d fields, want %d", s.line, len(rec), len(s.attrs)+1)
+	}
+	num := make([]*pdf.PDF, len(s.attrs))
+	for j := range s.attrs {
+		p, err := parseCell(rec[j])
+		if err != nil {
+			return nil, fmt.Errorf("data: CSV line %d column %q: %w", s.line, s.attrs[j].Name, err)
+		}
+		num[j] = p
+	}
+	label := rec[len(rec)-1]
+	ci, ok := s.classIdx[label]
+	if !ok {
+		ci = len(s.classes)
+		s.classIdx[label] = ci
+		s.classes = append(s.classes, label)
+	}
+	return &Tuple{Num: num, Class: ci, Weight: 1}, nil
+}
+
+// schemaOf snapshots a source's schema into an empty dataset.
+func schemaOf(src RowSource) *Dataset {
+	return &Dataset{
+		Name:     src.Name(),
+		NumAttrs: src.NumAttrs(),
+		CatAttrs: src.CatAttrs(),
+	}
+}
+
+// Collect drains the source into a materialised, validated dataset —
+// the streaming equivalent of ReadCSV (which is implemented on top of it).
+func Collect(src RowSource) (*Dataset, error) {
+	ds := schemaOf(src)
+	for {
+		tu, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		ds.Tuples = append(ds.Tuples, tu)
+	}
+	ds.Classes = src.Classes()
+	return ds, ds.Validate()
+}
+
+// CollectChunked drains the source in windows of at most chunkSize tuples,
+// invoking fn once per window, so at most one chunk of tuples is resident at
+// a time. Every chunk shares the source's schema; Classes is the vocabulary
+// seen so far and may grow between invocations (a tuple's Class index is
+// always valid for its chunk's Classes). Chunks are not validated — the
+// per-row parser has already rejected malformed cells. fn may retain the
+// chunk; a fresh tuple slice is allocated per window.
+func CollectChunked(src RowSource, chunkSize int, fn func(chunk *Dataset) error) error {
+	if chunkSize < 1 {
+		return fmt.Errorf("data: chunk size must be >= 1 (got %d)", chunkSize)
+	}
+	tuples := make([]*Tuple, 0, chunkSize)
+	flush := func() error {
+		if len(tuples) == 0 {
+			return nil
+		}
+		chunk := schemaOf(src)
+		chunk.Classes = src.Classes()
+		chunk.Tuples = tuples
+		tuples = make([]*Tuple, 0, chunkSize)
+		return fn(chunk)
+	}
+	for {
+		tu, err := src.Next()
+		if err == io.EOF {
+			return flush()
+		}
+		if err != nil {
+			return err
+		}
+		tuples = append(tuples, tu)
+		if len(tuples) == chunkSize {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Reservoir drains the source keeping a uniform random sample of at most n
+// tuples (Vitter's algorithm R), so training can cap resident tuples on
+// files far larger than memory. The sample is deterministic for a fixed
+// seed. The returned dataset's Classes holds every label the stream carried,
+// including labels whose tuples were evicted from the sample, so a model
+// trained on the sample can still name them. When the stream has at most n
+// tuples the result equals Collect, in stream order.
+func Reservoir(src RowSource, n int, seed int64) (*Dataset, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("data: reservoir size must be >= 1 (got %d)", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ds := schemaOf(src)
+	seen := 0
+	for {
+		tu, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		seen++
+		if len(ds.Tuples) < n {
+			ds.Tuples = append(ds.Tuples, tu)
+			continue
+		}
+		if j := rng.Intn(seen); j < n {
+			ds.Tuples[j] = tu
+		}
+	}
+	if seen == 0 {
+		return nil, errors.New("data: reservoir over an empty stream")
+	}
+	ds.Classes = src.Classes()
+	return ds, ds.Validate()
+}

@@ -1,0 +1,244 @@
+package data
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const streamCSV = `x,y,class
+0.1,1;2;3,lo
+0.2,2@1;3@2,lo
+9.1,11;12;13,hi
+9.2,12.5,hi
+0.3,1;3;5,lo
+`
+
+// TestCollectMatchesReadCSV: the acceptance-criterion oracle — a dataset
+// built by draining a CSVSource must be deep-equal to one built by ReadCSV
+// over the same bytes.
+func TestCollectMatchesReadCSV(t *testing.T) {
+	want, err := ReadCSV(strings.NewReader(streamCSV), "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewCSVSource(strings.NewReader(streamCSV), "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Collect(NewCSVSource) != ReadCSV:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestCSVSourceIncrementalVocabulary: the class vocabulary must grow as rows
+// are consumed, and every yielded Class index must be valid for the
+// vocabulary at that point.
+func TestCSVSourceIncrementalVocabulary(t *testing.T) {
+	src, err := NewCSVSource(strings.NewReader(streamCSV), "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := src.Classes(); len(got) != 0 {
+		t.Fatalf("classes before any row: %v", got)
+	}
+	wantSizes := []int{1, 1, 2, 2, 2}
+	for i, want := range wantSizes {
+		tu, err := src.Next()
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if got := len(src.Classes()); got != want {
+			t.Fatalf("after row %d: %d classes, want %d", i, got, want)
+		}
+		if tu.Class < 0 || tu.Class >= len(src.Classes()) {
+			t.Fatalf("row %d: class index %d outside vocabulary %v", i, tu.Class, src.Classes())
+		}
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("after last row: %v, want io.EOF", err)
+	}
+}
+
+// TestCSVSourceTruncatedRow: a row that breaks mid-stream (wrong arity, bad
+// cell, unterminated quote) must surface as an error from Next after the
+// preceding healthy rows streamed fine.
+func TestCSVSourceTruncatedRow(t *testing.T) {
+	cases := map[string]string{
+		"missing fields":     "x,y,class\n0.1,1;2,lo\n9.1\n",
+		"bad cell":           "x,y,class\n0.1,1;2,lo\n9.1,abc;def,hi\n",
+		"unterminated quote": "x,y,class\n0.1,1;2,lo\n\"9.1,12,hi\n",
+	}
+	for name, in := range cases {
+		src, err := NewCSVSource(strings.NewReader(in), "t")
+		if err != nil {
+			t.Fatalf("%s: header: %v", name, err)
+		}
+		if _, err := src.Next(); err != nil {
+			t.Fatalf("%s: first row should parse: %v", name, err)
+		}
+		if _, err := src.Next(); err == nil || err == io.EOF {
+			t.Errorf("%s: truncated row yielded no error (err=%v)", name, err)
+		}
+		// The materialised path must reject the same input.
+		if _, err := ReadCSV(strings.NewReader(in), "t"); err == nil {
+			t.Errorf("%s: ReadCSV accepted the broken file", name)
+		}
+	}
+}
+
+// TestCSVSourceHeaderOnly: a file with a header and no rows streams zero
+// tuples; Collect rejects it exactly like ReadCSV (a dataset with no classes
+// fails validation).
+func TestCSVSourceHeaderOnly(t *testing.T) {
+	const in = "x,y,class\n"
+	src, err := NewCSVSource(strings.NewReader(in), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("Next on header-only file: %v, want io.EOF", err)
+	}
+	src2, err := NewCSVSource(strings.NewReader(in), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, errCollect := Collect(src2)
+	_, errRead := ReadCSV(strings.NewReader(in), "t")
+	if errCollect == nil || errRead == nil {
+		t.Fatalf("header-only file accepted: Collect=%v ReadCSV=%v", errCollect, errRead)
+	}
+	if errCollect.Error() != errRead.Error() {
+		t.Fatalf("paths disagree: Collect=%q ReadCSV=%q", errCollect, errRead)
+	}
+}
+
+// TestCSVSourceEmptyInput: no header at all is a construction error.
+func TestCSVSourceEmptyInput(t *testing.T) {
+	if _, err := NewCSVSource(strings.NewReader(""), "t"); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := NewCSVSource(strings.NewReader("onlyone\n"), "t"); err == nil {
+		t.Error("single-column header accepted")
+	}
+}
+
+func TestCollectChunked(t *testing.T) {
+	src, err := NewCSVSource(strings.NewReader(streamCSV), "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int
+	var all []*Tuple
+	err = CollectChunked(src, 2, func(chunk *Dataset) error {
+		sizes = append(sizes, chunk.Len())
+		if chunk.Len() > 2 {
+			t.Errorf("chunk holds %d tuples, cap is 2", chunk.Len())
+		}
+		if len(chunk.NumAttrs) != 2 || chunk.Name != "s" {
+			t.Errorf("chunk lost schema: %+v", chunk)
+		}
+		all = append(all, chunk.Tuples...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sizes, []int{2, 2, 1}) {
+		t.Fatalf("chunk sizes = %v, want [2 2 1]", sizes)
+	}
+	want, _ := ReadCSV(strings.NewReader(streamCSV), "s")
+	if !reflect.DeepEqual(all, want.Tuples) {
+		t.Fatal("chunked tuples differ from the materialised read")
+	}
+}
+
+// TestCollectChunkedErrors: a bad chunk size, a callback error, and a parse
+// error mid-stream must all abort the drain.
+func TestCollectChunkedErrors(t *testing.T) {
+	src, _ := NewCSVSource(strings.NewReader(streamCSV), "s")
+	if err := CollectChunked(src, 0, func(*Dataset) error { return nil }); err == nil {
+		t.Error("chunk size 0 accepted")
+	}
+	src, _ = NewCSVSource(strings.NewReader(streamCSV), "s")
+	calls := 0
+	err := CollectChunked(src, 1, func(*Dataset) error { calls++; return io.ErrUnexpectedEOF })
+	if err != io.ErrUnexpectedEOF || calls != 1 {
+		t.Errorf("callback error not propagated: err=%v calls=%d", err, calls)
+	}
+	src, _ = NewCSVSource(strings.NewReader("x,y,class\n0.1,1;2,lo\nbroken\n"), "s")
+	if err := CollectChunked(src, 8, func(*Dataset) error { return nil }); err == nil {
+		t.Error("mid-stream parse error not surfaced")
+	}
+}
+
+// TestReservoirDeterministic: the same seed must yield the identical sample,
+// and a stream no longer than the reservoir passes through untouched.
+func TestReservoirDeterministic(t *testing.T) {
+	// A 60-row CSV: 3 classes round-robin.
+	var b strings.Builder
+	b.WriteString("x,class\n")
+	labels := []string{"a", "b", "c"}
+	for i := 0; i < 60; i++ {
+		fmt.Fprintf(&b, "%d,%s\n", i, labels[i%3])
+	}
+	csvText := b.String()
+
+	sample := func(n int, seed int64) *Dataset {
+		t.Helper()
+		src, err := NewCSVSource(strings.NewReader(csvText), "r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := Reservoir(src, n, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds
+	}
+
+	a, b1 := sample(10, 7), sample(10, 7)
+	if !reflect.DeepEqual(a, b1) {
+		t.Fatal("same seed produced different reservoir samples")
+	}
+	if a.Len() != 10 {
+		t.Fatalf("reservoir kept %d tuples, want 10", a.Len())
+	}
+	if len(a.Classes) != 3 {
+		t.Fatalf("reservoir lost class vocabulary: %v", a.Classes)
+	}
+	c := sample(10, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced the identical 10-of-60 sample (astronomically unlikely)")
+	}
+	// Reservoir at least as large as the stream = plain Collect.
+	full := sample(100, 3)
+	want, err := ReadCSV(strings.NewReader(csvText), "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full.Tuples, want.Tuples) {
+		t.Fatal("oversized reservoir did not pass the stream through")
+	}
+}
+
+func TestReservoirErrors(t *testing.T) {
+	src, _ := NewCSVSource(strings.NewReader(streamCSV), "s")
+	if _, err := Reservoir(src, 0, 1); err == nil {
+		t.Error("reservoir size 0 accepted")
+	}
+	src, _ = NewCSVSource(strings.NewReader("x,class\n"), "s")
+	if _, err := Reservoir(src, 5, 1); err == nil {
+		t.Error("empty stream accepted")
+	}
+	src, _ = NewCSVSource(strings.NewReader("x,class\n1,a\nbroken\n"), "s")
+	if _, err := Reservoir(src, 5, 1); err == nil {
+		t.Error("mid-stream parse error not surfaced")
+	}
+}

@@ -80,16 +80,12 @@ func predictions(t *core.Tree, test *data.Dataset) []int {
 }
 
 // confusion folds per-tuple predictions into a weight-weighted confusion
-// matrix.
+// matrix — a one-batch Accumulator, so the materialised and streamed
+// evaluation paths share the fold.
 func confusion(classes []string, preds []int, test *data.Dataset) [][]float64 {
-	m := make([][]float64, len(classes))
-	for i := range m {
-		m[i] = make([]float64, len(classes))
-	}
-	for i, tu := range test.Tuples {
-		m[tu.Class][preds[i]] += tu.Weight
-	}
-	return m
+	a := NewAccumulator(classes)
+	a.Add(test.Tuples, preds)
+	return a.Confusion()
 }
 
 // TrainTest builds a tree on train and evaluates on test.

@@ -6,6 +6,7 @@ import (
 
 	"udt/internal/core"
 	"udt/internal/data"
+	"udt/internal/par"
 )
 
 // Probabilistic and per-class quality metrics. The paper's classifier
@@ -120,16 +121,9 @@ func logLossOf(dists [][]float64, test *data.Dataset) float64 {
 
 // Argmax returns the index of the largest probability, lowest index winning
 // ties — the prediction convention of Tree.Predict, shared by every
-// consumer that already holds a classification distribution.
-func Argmax(dist []float64) int {
-	best := 0
-	for c, p := range dist {
-		if p > dist[best] {
-			best = c
-		}
-	}
-	return best
-}
+// consumer that already holds a classification distribution. It delegates to
+// par.Argmax, the one copy the inference engines use.
+func Argmax(dist []float64) int { return par.Argmax(dist) }
 
 // Evaluate classifies the test set once through the compiled engine and
 // derives the confusion matrix, Brier score and log-loss from that single

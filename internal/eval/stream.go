@@ -1,0 +1,54 @@
+package eval
+
+import "udt/internal/data"
+
+// Accumulator folds streamed batches of predictions into the running
+// evaluation state — hit counts and the weight-weighted confusion matrix —
+// so a test set can flow through the compiled engine in fixed-size chunks
+// without ever being resident as a whole. The one-shot helpers (AccuracyOf,
+// ConfusionOf) are single-batch uses of the same fold, so the streamed and
+// materialised protocols cannot disagree.
+type Accumulator struct {
+	confusion [][]float64
+	correct   int
+	total     int
+}
+
+// NewAccumulator returns an empty accumulator over the given class labels
+// (the model's label order; predictions and tuple classes index into it).
+func NewAccumulator(classes []string) *Accumulator {
+	m := make([][]float64, len(classes))
+	for i := range m {
+		m[i] = make([]float64, len(classes))
+	}
+	return &Accumulator{confusion: m}
+}
+
+// Add folds one batch of tuples and their predictions into the running
+// state. Tuples stream in order, so the floating-point confusion sums match
+// a single whole-set pass exactly.
+func (a *Accumulator) Add(tuples []*data.Tuple, preds []int) {
+	for i, tu := range tuples {
+		a.total++
+		if preds[i] == tu.Class {
+			a.correct++
+		}
+		a.confusion[tu.Class][preds[i]] += tu.Weight
+	}
+}
+
+// Total reports the number of tuples folded in so far.
+func (a *Accumulator) Total() int { return a.total }
+
+// Accuracy returns the fraction of tuples predicted correctly so far (0
+// before any batch).
+func (a *Accumulator) Accuracy() float64 {
+	if a.total == 0 {
+		return 0
+	}
+	return float64(a.correct) / float64(a.total)
+}
+
+// Confusion returns the running weight-weighted confusion matrix
+// ([true class][predicted class]). The caller must not mutate it.
+func (a *Accumulator) Confusion() [][]float64 { return a.confusion }

@@ -3,10 +3,8 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand"
 	"time"
 
-	"udt/internal/data"
 	"udt/internal/split"
 )
 
@@ -35,34 +33,11 @@ func SplitSpeedup(o Options, strategy split.Strategy, workerCounts []int, tuples
 	if len(workerCounts) == 0 {
 		return nil, fmt.Errorf("experiments: no worker counts given")
 	}
-	const attrs, classes = 4, 3
-	rng := rand.New(rand.NewSource(o.Seed))
-	pts := &data.Points{
-		Name:    "speedup-synthetic",
-		Attrs:   make([]string, attrs),
-		Classes: make([]string, classes),
-		Rows:    make([][]float64, tuples),
-		Labels:  make([]int, tuples),
-	}
-	for j := range pts.Attrs {
-		pts.Attrs[j] = fmt.Sprintf("a%d", j)
-	}
-	for c := range pts.Classes {
-		pts.Classes[c] = fmt.Sprintf("c%d", c)
-	}
-	for i := range pts.Rows {
-		c := rng.Intn(classes)
-		row := make([]float64, attrs)
-		for j := range row {
-			row[j] = float64(c)*1.5 + rng.NormFloat64()
-		}
-		pts.Rows[i] = row
-		pts.Labels[i] = c
-	}
-	ds, err := data.Inject(pts, data.InjectConfig{W: o.W, S: o.S, Model: data.GaussianModel})
+	ds, err := syntheticClusters(o, "speedup-synthetic", tuples)
 	if err != nil {
 		return nil, err
 	}
+	attrs, classes := len(ds.NumAttrs), len(ds.Classes)
 
 	// The serial reference supplies both the result-identity oracle and
 	// the speedup baseline, independent of which worker counts follow.

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"udt/internal/core"
+	"udt/internal/data"
+	"udt/internal/split"
+)
+
+// StreamRow is one measured batch size of a StreamPredict run.
+type StreamRow struct {
+	Batch      int           // tuples resident at a time (0 = materialised whole-file baseline)
+	Tuples     int           // tuples classified
+	Time       time.Duration // parse + classify wall time
+	Throughput float64       // tuples per second
+	Match      bool          // predictions identical to the materialised pass
+}
+
+// syntheticClusters builds the Gaussian-cluster uncertain dataset the
+// streaming and speedup experiments share: four attributes, three classes,
+// cluster centres 1.5 apart with unit Gaussian spread, then uncertainty
+// injected per the options.
+func syntheticClusters(o Options, name string, tuples int) (*data.Dataset, error) {
+	const attrs, classes = 4, 3
+	rng := rand.New(rand.NewSource(o.Seed))
+	pts := &data.Points{
+		Name:    name,
+		Attrs:   make([]string, attrs),
+		Classes: make([]string, classes),
+		Rows:    make([][]float64, tuples),
+		Labels:  make([]int, tuples),
+	}
+	for j := range pts.Attrs {
+		pts.Attrs[j] = fmt.Sprintf("a%d", j)
+	}
+	for c := range pts.Classes {
+		pts.Classes[c] = fmt.Sprintf("c%d", c)
+	}
+	for i := range pts.Rows {
+		c := rng.Intn(classes)
+		row := make([]float64, attrs)
+		for j := range row {
+			row[j] = float64(c)*1.5 + rng.NormFloat64()
+		}
+		pts.Rows[i] = row
+		pts.Labels[i] = c
+	}
+	return data.Inject(pts, data.InjectConfig{W: o.W, S: o.S, Model: data.GaussianModel})
+}
+
+// StreamPredict measures the streaming ingestion pipeline end to end — the
+// udtree predict path: CSVSource → CollectChunked → compiled PredictBatch —
+// against the materialised whole-file pass. A synthetic uncertain dataset is
+// rendered to CSV once; the baseline row (Batch = 0) parses and classifies
+// it in one piece, then each batch size re-parses the same bytes keeping
+// only one window of tuples resident. Every streamed pass must reproduce the
+// baseline predictions exactly (Match).
+func StreamPredict(o Options, tuples int, batches []int) ([]StreamRow, error) {
+	o = o.withDefaults()
+	if tuples <= 0 {
+		tuples = 10000
+	}
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("experiments: no batch sizes given")
+	}
+	ds, err := syntheticClusters(o, "stream-synthetic", tuples)
+	if err != nil {
+		return nil, err
+	}
+	// A depth cap keeps the model small: the experiment measures ingestion,
+	// not tree quality.
+	cfg := o.treeConfig(split.ES)
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 6
+	}
+	tree, err := core.Build(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	compiled, err := tree.Compile()
+	if err != nil {
+		return nil, err
+	}
+	var csvBuf bytes.Buffer
+	if err := data.WriteCSV(&csvBuf, ds); err != nil {
+		return nil, err
+	}
+	workers := o.Workers
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Materialised baseline: whole file resident, one batch call.
+	start := time.Now()
+	whole, err := data.ReadCSV(bytes.NewReader(csvBuf.Bytes()), "stream")
+	if err != nil {
+		return nil, err
+	}
+	oracle := compiled.PredictBatch(whole.Tuples, workers)
+	baseTime := max(time.Since(start), time.Nanosecond)
+	rows := []StreamRow{{
+		Batch:      0,
+		Tuples:     len(oracle),
+		Time:       baseTime,
+		Throughput: float64(len(oracle)) / baseTime.Seconds(),
+		Match:      true,
+	}}
+
+	for _, batch := range batches {
+		if batch < 1 {
+			return nil, fmt.Errorf("experiments: batch size %d out of range", batch)
+		}
+		src, err := data.NewCSVSource(bytes.NewReader(csvBuf.Bytes()), "stream")
+		if err != nil {
+			return nil, err
+		}
+		n, match := 0, true
+		start := time.Now()
+		err = data.CollectChunked(src, batch, func(chunk *data.Dataset) error {
+			for i, p := range compiled.PredictBatch(chunk.Tuples, workers) {
+				if p != oracle[n+i] {
+					match = false
+				}
+			}
+			n += chunk.Len()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		elapsed := max(time.Since(start), time.Nanosecond)
+		rows = append(rows, StreamRow{
+			Batch:      batch,
+			Tuples:     n,
+			Time:       elapsed,
+			Throughput: float64(n) / elapsed.Seconds(),
+			Match:      match && n == len(oracle),
+		})
+	}
+	return rows, nil
+}
+
+// FprintStream renders a StreamPredict run.
+func FprintStream(w io.Writer, rows []StreamRow) {
+	fmt.Fprintf(w, "%10s %8s %14s %14s %6s\n", "batch", "tuples", "time", "tuples/s", "same")
+	for _, r := range rows {
+		batch := "whole"
+		if r.Batch > 0 {
+			batch = fmt.Sprint(r.Batch)
+		}
+		fmt.Fprintf(w, "%10s %8d %14v %14.0f %6v\n",
+			batch, r.Tuples, r.Time.Round(time.Microsecond), r.Throughput, r.Match)
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestStreamPredictMatchesMaterialised: every streamed batch size must
+// reproduce the whole-file predictions exactly and classify every tuple.
+func TestStreamPredictMatchesMaterialised(t *testing.T) {
+	opts := Options{Scale: 1, S: 8, W: 0.1, Seed: 1}
+	rows, err := StreamPredict(opts, 400, []int{1, 64, 100, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5 (baseline + 4 batch sizes)", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Match {
+			t.Errorf("batch %d: predictions diverged from the materialised pass", r.Batch)
+		}
+		if r.Tuples != 400 {
+			t.Errorf("batch %d: classified %d tuples, want 400", r.Batch, r.Tuples)
+		}
+		if r.Throughput <= 0 {
+			t.Errorf("batch %d: throughput %v", r.Batch, r.Throughput)
+		}
+	}
+
+	var buf bytes.Buffer
+	FprintStream(&buf, rows)
+	out := buf.String()
+	if !strings.Contains(out, "whole") || !strings.Contains(out, "tuples/s") {
+		t.Fatalf("FprintStream output:\n%s", out)
+	}
+}
+
+func TestStreamPredictErrors(t *testing.T) {
+	opts := Options{S: 4}
+	if _, err := StreamPredict(opts, 50, nil); err == nil {
+		t.Error("no batch sizes accepted")
+	}
+	if _, err := StreamPredict(opts, 50, []int{0}); err == nil {
+		t.Error("batch size 0 accepted")
+	}
+}
+
+// BenchmarkStreamPredict is the CI smoke for the streaming ingestion path:
+// parse-from-CSV plus compiled batch classification at a fixed window size.
+func BenchmarkStreamPredict(b *testing.B) {
+	opts := Options{S: 16, W: 0.1, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		rows, err := StreamPredict(opts, 2000, []int{512})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rows[len(rows)-1].Match {
+			b.Fatal("streamed predictions diverged")
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"udt/internal/core"
 	"udt/internal/data"
+	"udt/internal/par"
 	"udt/internal/pdf"
 )
 
@@ -379,48 +380,13 @@ func (f *Forest) PredictBatch(tuples []*data.Tuple, workers int) []int {
 	return out
 }
 
-// batchGrain mirrors the compiled engine's work-claim block size.
-const batchGrain = 64
-
 // forEach applies fn to every tuple index, each worker carrying its own
-// scratch, claiming batchGrain-sized blocks off an atomic cursor.
+// pooled scratch, claiming par.BatchGrain-sized blocks off an atomic cursor.
 func (f *Forest) forEach(tuples []*data.Tuple, workers int, fn func(i int, s *fscratch)) {
-	n := len(tuples)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		s := fscratchPool.Get().(*fscratch)
-		for i := 0; i < n; i++ {
-			fn(i, s)
-		}
-		fscratchPool.Put(s)
-		return
-	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for k := 0; k < workers; k++ {
-		go func() {
-			defer wg.Done()
-			s := fscratchPool.Get().(*fscratch)
-			defer fscratchPool.Put(s)
-			for {
-				hi := int(cursor.Add(batchGrain))
-				lo := hi - batchGrain
-				if lo >= n {
-					return
-				}
-				if hi > n {
-					hi = n
-				}
-				for i := lo; i < hi; i++ {
-					fn(i, s)
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	par.ForEach(len(tuples), workers,
+		func() *fscratch { return fscratchPool.Get().(*fscratch) },
+		fn,
+		func(s *fscratch) { fscratchPool.Put(s) })
 }
 
 // computeOOB evaluates every training tuple against the members whose
@@ -482,13 +448,6 @@ func scaleDist(out []float64, members int) {
 	}
 }
 
-// argmax mirrors core's tie-breaking: the lowest index among maxima wins.
-func argmax(dist []float64) int {
-	best, bestP := 0, dist[0]
-	for ci, p := range dist {
-		if p > bestP {
-			best, bestP = ci, p
-		}
-	}
-	return best
-}
+// argmax selects the predicted class with par.Argmax's tie-breaking (lowest
+// index wins), the same convention as core.
+func argmax(dist []float64) int { return par.Argmax(dist) }

@@ -17,6 +17,20 @@ import (
 // (missing). Categorical entries are a domain value string, an array of
 // per-value masses, or null (missing).
 
+// WireTuple is the JSON document for one uncertain tuple — the body of a
+// single /classify request, one element of a batch, and one line of the
+// NDJSON stream endpoint.
+type WireTuple struct {
+	Num []json.RawMessage `json:"num"`
+	Cat []json.RawMessage `json:"cat"`
+}
+
+// Decode converts the wire tuple into an uncertain tuple matching the given
+// attribute schema.
+func (wt WireTuple) Decode(numAttrs, catAttrs []data.Attribute) (*data.Tuple, error) {
+	return DecodeTuple(wt.Num, wt.Cat, numAttrs, catAttrs)
+}
+
 // DecodeTuple converts the wire representation into an uncertain tuple
 // matching the given attribute schema.
 func DecodeTuple(num, cat []json.RawMessage, numAttrs, catAttrs []data.Attribute) (*data.Tuple, error) {

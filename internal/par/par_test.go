@@ -1,0 +1,73 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestArgmax(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want int
+	}{
+		{[]float64{1}, 0},
+		{[]float64{0.2, 0.8}, 1},
+		{[]float64{0.5, 0.5}, 0},           // ties break low
+		{[]float64{0.1, 0.7, 0.7, 0.2}, 1}, // first maximum wins
+		{[]float64{-3, -1, -2}, 1},
+	}
+	for _, c := range cases {
+		if got := Argmax(c.in); got != c.want {
+			t.Errorf("Argmax(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestForEachCoversRange: every index must be visited exactly once at any
+// worker count, including counts far beyond the item count.
+func TestForEachCoversRange(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 5, BatchGrain, BatchGrain + 1, 10 * BatchGrain} {
+			visits := make([]atomic.Int64, n)
+			ForEach(n, workers,
+				func() struct{} { return struct{}{} },
+				func(i int, _ struct{}) { visits[i].Add(1) },
+				func(struct{}) {})
+			for i := range visits {
+				if got := visits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestForEachScratchLifecycle: each worker goroutine must set up and tear
+// down exactly one scratch state, and fn must only see states produced by
+// setup.
+func TestForEachScratchLifecycle(t *testing.T) {
+	const n, workers = 500, 4
+	var mu sync.Mutex
+	made, closed := 0, 0
+	type scratch struct{ uses int }
+	ForEach(n, workers,
+		func() *scratch {
+			mu.Lock()
+			made++
+			mu.Unlock()
+			return &scratch{}
+		},
+		func(i int, s *scratch) { s.uses++ },
+		func(s *scratch) {
+			mu.Lock()
+			closed++
+			mu.Unlock()
+		})
+	if made != closed {
+		t.Fatalf("setup called %d times, teardown %d", made, closed)
+	}
+	if made < 1 || made > workers {
+		t.Fatalf("setup called %d times, want 1..%d", made, workers)
+	}
+}

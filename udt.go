@@ -35,6 +35,12 @@ type (
 	InjectConfig = data.InjectConfig
 	// ErrorModel selects Gaussian or uniform synthetic error pdfs.
 	ErrorModel = data.ErrorModel
+	// RowSource is a streaming iterator over uncertain tuples: the attribute
+	// schema is fixed at construction, the class vocabulary accumulates as
+	// rows are consumed. It is the unit of larger-than-memory ingestion.
+	RowSource = data.RowSource
+	// CSVSource streams tuples from the CSV interchange format.
+	CSVSource = data.CSVSource
 	// Tree is a built decision tree classifier.
 	Tree = core.Tree
 	// Node is one tree node.
@@ -172,8 +178,30 @@ func ForestCrossValidate(ds *Dataset, k int, cfg ForestConfig, rng *rand.Rand) (
 func Inject(p *Points, cfg InjectConfig) (*Dataset, error) { return data.Inject(p, cfg) }
 
 // ReadCSV parses a dataset from the CSV interchange format (plain floats
-// for point values, "x@mass;x@mass;..." cells for pdfs).
+// for point values, "x@mass;x@mass;..." cells for pdfs), materialising
+// every tuple — a Collect over NewCSVSource.
 func ReadCSV(r io.Reader, name string) (*Dataset, error) { return data.ReadCSV(r, name) }
+
+// NewCSVSource reads the CSV header and returns a source streaming the
+// remaining rows one tuple at a time.
+func NewCSVSource(r io.Reader, name string) (*CSVSource, error) { return data.NewCSVSource(r, name) }
+
+// Collect drains a row source into a materialised, validated dataset.
+func Collect(src RowSource) (*Dataset, error) { return data.Collect(src) }
+
+// CollectChunked drains a row source in windows of at most chunkSize
+// tuples, invoking fn once per window — constant-memory ingestion for
+// streaming classification and evaluation.
+func CollectChunked(src RowSource, chunkSize int, fn func(chunk *Dataset) error) error {
+	return data.CollectChunked(src, chunkSize, fn)
+}
+
+// Reservoir drains a row source keeping a uniform random sample of at most
+// n tuples (deterministic for a fixed seed), so training can bound resident
+// tuples on files larger than memory.
+func Reservoir(src RowSource, n int, seed int64) (*Dataset, error) {
+	return data.Reservoir(src, n, seed)
+}
 
 // WriteCSV writes a dataset in the CSV interchange format.
 func WriteCSV(w io.Writer, ds *Dataset) error { return data.WriteCSV(w, ds) }

@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: example|datasets|accuracy|noise|time|pruning|s-sweep|w-sweep|gini|point|es-ablation|endpoint-ablation|speedup|forest|stream|all")
+		exp      = flag.String("exp", "all", "experiment: example|datasets|accuracy|noise|time|pruning|s-sweep|w-sweep|gini|point|es-ablation|endpoint-ablation|speedup|forest|boost|stream|all")
 		scale    = flag.Float64("scale", 0.1, "dataset scale in (0,1]; 1 = Table 2 sizes")
 		s        = flag.Int("s", 100, "sample points per pdf")
 		w        = flag.Float64("w", 0.10, "pdf width as a fraction of the attribute range")
@@ -44,10 +44,14 @@ func main() {
 		strategy = flag.String("strategy", "es", "strategy for the speedup experiment: udt|bp|lp|gp|es")
 		tuples   = flag.Int("tuples", 10000, "dataset size for the speedup experiment")
 		trees    = flag.Int("trees", 25, "ensemble size for the forest experiment (>= 1)")
+		rounds   = flag.Int("rounds", 15, "boosting rounds for the boost experiment (>= 1)")
 	)
 	flag.Parse()
 
 	if err := cliutil.CheckPositive("-trees", *trees); err != nil {
+		fatal(err)
+	}
+	if err := cliutil.CheckPositive("-rounds", *rounds); err != nil {
 		fatal(err)
 	}
 
@@ -161,6 +165,13 @@ func main() {
 				return err
 			}
 			experiments.FprintForest(os.Stdout, rows)
+		case "boost":
+			fmt.Println("== boosted weighted ensemble vs bagged forest vs single tree ==")
+			rows, err := experiments.BoostVsBagged(opts, *rounds, *trees)
+			if err != nil {
+				return err
+			}
+			experiments.FprintBoost(os.Stdout, rows)
 		case "stream":
 			fmt.Println("== streaming ingestion: whole-file vs fixed-size batch windows ==")
 			rows, err := experiments.StreamPredict(opts, *tuples, []int{64, 512, 4096})
@@ -187,7 +198,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"example", "datasets", "accuracy", "noise", "time", "s-sweep", "w-sweep", "gini", "point", "es-trace", "es-ablation", "endpoint-ablation", "speedup", "forest", "stream"}
+		names = []string{"example", "datasets", "accuracy", "noise", "time", "s-sweep", "w-sweep", "gini", "point", "es-trace", "es-ablation", "endpoint-ablation", "speedup", "forest", "boost", "stream"}
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {

@@ -6,15 +6,19 @@
 //
 //	udtree train   -in train.csv -out model.json [-avg] [-measure entropy] [-strategy es] [-max-tuples N]
 //	udtree train   -in train.csv -out model.json -forest [-trees 25] [-sample-ratio 1] [-attrs K]
-//	udtree predict -model model.json -in test.csv [-batch 512]
+//	udtree train   -in train.csv -out model.json -boost [-rounds 10] [-learning-rate 1]
+//	udtree predict -model model.json -in test.csv [-batch 512] [-format human|ndjson]
 //	udtree rules   -model model.json
 //	udtree eval    -model model.json -in test.csv [-batch 512]
 //
-// predict and eval accept both single-tree models and the forest containers
-// written by train -forest, and stream the input CSV through the compiled
-// engine in fixed-size batches, so file size never bounds memory. train
-// -max-tuples N streams the file into a seeded uniform reservoir sample of
-// at most N resident tuples.
+// predict and eval accept single-tree models and the versioned ensemble
+// containers written by train -forest (bagged, uniform votes) and train
+// -boost (SAMME, weighted votes), and stream the input CSV through the
+// compiled engine in fixed-size batches, so file size never bounds memory.
+// predict -format ndjson emits one JSON object per tuple in exactly the
+// format of udtserve's POST /classify/stream responses, so CLI output pipes
+// into the same downstream consumers. train -max-tuples N streams the file
+// into a seeded uniform reservoir sample of at most N resident tuples.
 package main
 
 import (
@@ -25,9 +29,11 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"slices"
 	"time"
 
 	"udt"
+	"udt/internal/boost"
 	"udt/internal/cliutil"
 	"udt/internal/eval"
 	"udt/internal/modelio"
@@ -64,7 +70,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   udtree train   -in train.csv -out model.json [-avg] [-measure entropy|gini|gainratio] [-strategy udt|bp|lp|gp|es] [-maxdepth N] [-minweight W] [-postprune] [-workers N] [-parallel N]
                  [-forest] [-trees 25] [-sample-ratio 1] [-attrs K] [-seed N] [-max-tuples N]
-  udtree predict -model model.json -in test.csv [-batch 512] [-workers N]
+                 [-boost] [-rounds 10] [-learning-rate 1]
+  udtree predict -model model.json -in test.csv [-batch 512] [-workers N] [-format human|ndjson]
   udtree rules   -model model.json
   udtree eval    -model model.json -in test.csv [-batch 512] [-workers N]
   udtree cv      -in data.csv [-folds 10] [-avg] [-measure ...] [-strategy ...] [-seed N] [-workers N] [-parallel N]`)
@@ -120,6 +127,9 @@ func train(args []string) error {
 	trees := fs.Int("trees", 25, "forest: ensemble size (>= 1)")
 	sampleRatio := fs.Float64("sample-ratio", 1, "forest: bootstrap sample size as a fraction of the training set, in (0, 1]")
 	attrs := fs.Int("attrs", 0, "forest: random attribute subset size per tree (0 = all)")
+	boostMode := fs.Bool("boost", false, "train a boosted weighted ensemble (SAMME) instead of a single tree")
+	rounds := fs.Int("rounds", 10, "boost: maximum boosting rounds (>= 1)")
+	learningRate := fs.Float64("learning-rate", 1, "boost: shrinkage on the member vote weights (> 0)")
 	seed := fs.Int64("seed", 1, "RNG seed for -forest bootstrap/attribute sampling and the -max-tuples reservoir")
 	maxTuples := fs.Int("max-tuples", 0, "cap resident training tuples: stream the file and keep a uniform reservoir sample of this size (0 = load everything)")
 	if err := fs.Parse(args); err != nil {
@@ -137,6 +147,9 @@ func train(args []string) error {
 	if err := cliutil.CheckPositive("train: -parallel", *parallel); err != nil {
 		return err
 	}
+	if *forestMode && *boostMode {
+		return fmt.Errorf("train: -forest and -boost are mutually exclusive")
+	}
 	if *forestMode {
 		if err := cliutil.CheckPositive("train: -trees", *trees); err != nil {
 			return err
@@ -148,6 +161,17 @@ func train(args []string) error {
 		}
 		if *avg {
 			return fmt.Errorf("train: -forest and -avg are mutually exclusive")
+		}
+	}
+	if *boostMode {
+		if err := cliutil.CheckPositive("train: -rounds", *rounds); err != nil {
+			return err
+		}
+		if !(*learningRate > 0) {
+			return fmt.Errorf("train: -learning-rate %v must be > 0", *learningRate)
+		}
+		if *avg {
+			return fmt.Errorf("train: -boost and -avg are mutually exclusive")
 		}
 	}
 	var ds *udt.Dataset
@@ -187,6 +211,15 @@ func train(args []string) error {
 		Workers:     *workers,
 		Parallelism: *parallel,
 	}
+	flagSet := func(name string) bool {
+		set := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == name {
+				set = true
+			}
+		})
+		return set
+	}
 	if *forestMode {
 		// -parallel drives concurrent member builds; members build their own
 		// subtrees serially so the goroutine budget stays -parallel × -workers,
@@ -196,13 +229,7 @@ func train(args []string) error {
 		// Bagging prefers unpruned low-bias members, so the single-tree
 		// -postprune default of true is flipped off unless the user set the
 		// flag explicitly.
-		postPruneSet := false
-		fs.Visit(func(f *flag.Flag) {
-			if f.Name == "postprune" {
-				postPruneSet = true
-			}
-		})
-		if !postPruneSet {
+		if !flagSet("postprune") {
 			memberCfg.PostPrune = false
 		}
 		f, err := udt.TrainForest(ds, udt.ForestConfig{
@@ -223,6 +250,37 @@ func train(args []string) error {
 		fmt.Printf("trained forest on %d tuples: %d trees, %d nodes, depth %d, OOB accuracy %.2f%% (Brier %.4f, %d tuples) -> %s\n",
 			ds.Len(), f.NumTrees(), s.Nodes, s.Depth,
 			f.OOB.Accuracy*100, f.OOB.Brier, f.OOB.Evaluated, *out)
+		return nil
+	}
+	if *boostMode {
+		// Boosting needs weak members: an unlimited unpruned tree fits the
+		// training set perfectly and stops boosting after one round. The
+		// shallow-unpruned policy lives in boost.WeakMemberConfig; explicit
+		// -maxdepth/-postprune flags override it.
+		memberCfg := boost.WeakMemberConfig(cfg)
+		if flagSet("maxdepth") {
+			memberCfg.MaxDepth = *maxDepth
+		}
+		if flagSet("postprune") {
+			memberCfg.PostPrune = *postPrune
+		}
+		f, err := udt.TrainBoosted(ds, udt.BoostConfig{
+			Rounds:       *rounds,
+			LearningRate: *learningRate,
+			Workers:      *workers,
+			TreeConfig:   memberCfg,
+		})
+		if err != nil {
+			return err
+		}
+		if err := writeModel(*out, f); err != nil {
+			return err
+		}
+		s := f.Stats()
+		ws := f.Weights()
+		fmt.Printf("trained boosted ensemble on %d tuples: %d/%d rounds kept, %d nodes, depth %d, vote weights %.3f..%.3f -> %s\n",
+			ds.Len(), f.NumTrees(), *rounds, s.Nodes, s.Depth,
+			slices.Min(ws), slices.Max(ws), *out)
 		return nil
 	}
 	var tree *udt.Tree
@@ -264,6 +322,7 @@ func predict(args []string) error {
 	in := fs.String("in", "", "input CSV (class column may hold placeholders)")
 	batch := fs.Int("batch", streamBatch, "tuples resident at a time on the streaming path (>= 1)")
 	workers := fs.Int("workers", runtime.NumCPU(), "concurrent classification workers per batch (>= 1)")
+	format := fs.String("format", "human", `output format: "human" (one annotated line per tuple) or "ndjson" (the udtserve /classify/stream protocol)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -276,6 +335,15 @@ func predict(args []string) error {
 	if err := cliutil.CheckPositive("predict: -workers", *workers); err != nil {
 		return err
 	}
+	var newEmit func(io.Writer) emitFunc
+	switch *format {
+	case "human":
+		newEmit = humanEmitter
+	case "ndjson":
+		newEmit = ndjsonEmitter
+	default:
+		return fmt.Errorf("predict: unknown -format %q (want human or ndjson)", *format)
+	}
 	mdl, err := modelio.Load(*model)
 	if err != nil {
 		return err
@@ -285,7 +353,7 @@ func predict(args []string) error {
 		return err
 	}
 	defer closer.Close()
-	return streamPredict(os.Stdout, mdl, src, *batch, *workers)
+	return streamPredict(os.Stdout, mdl, src, *batch, *workers, newEmit)
 }
 
 // checkSchema rejects an input stream whose attribute arity differs from
@@ -305,24 +373,52 @@ func checkSchema(mdl modelio.Model, src udt.RowSource) error {
 // atomic-cursor worker blocks, small enough that file size never matters.
 const streamBatch = 512
 
+// emitFunc renders one classified tuple: its 1-based ordinal, the model's
+// class labels and the classification distribution. Emitters are built once
+// per output stream (not per tuple) so they can hold per-stream state.
+type emitFunc func(n int, classes []string, dist []float64) error
+
+// humanEmitter prints the legacy annotated format, one tuple per line.
+func humanEmitter(w io.Writer) emitFunc {
+	return func(n int, classes []string, dist []float64) error {
+		fmt.Fprintf(w, "tuple %d: %s", n, classes[eval.Argmax(dist)])
+		for c, p := range dist {
+			fmt.Fprintf(w, "  P(%s)=%.4f", classes[c], p)
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+}
+
+// ndjsonEmitter prints one modelio.StreamResult document per tuple — the
+// exact line udtserve's /classify/stream would answer for the same tuple at
+// the same position, so CLI output and server responses interchange
+// downstream. One encoder serves the whole stream, as the server does.
+func ndjsonEmitter(w io.Writer) emitFunc {
+	enc := json.NewEncoder(w)
+	return func(n int, classes []string, dist []float64) error {
+		return enc.Encode(modelio.NewStreamResult(n, classes, dist))
+	}
+}
+
 // streamPredict pushes the source through the compiled engine in fixed-size
-// batches, printing one line per tuple. Output is identical to classifying
-// tuple-by-tuple over a materialised dataset (ClassifyBatch is positionally
-// identical to Classify), but only one batch is ever resident.
-func streamPredict(w io.Writer, mdl modelio.Model, src udt.RowSource, batch, workers int) error {
+// batches, printing one line per tuple through a newEmit(w) emitter. Output
+// is identical to classifying tuple-by-tuple over a materialised dataset
+// (ClassifyBatch is positionally identical to Classify), but only one batch
+// is ever resident.
+func streamPredict(w io.Writer, mdl modelio.Model, src udt.RowSource, batch, workers int, newEmit func(io.Writer) emitFunc) error {
 	classes, _, _ := mdl.Schema()
 	if err := checkSchema(mdl, src); err != nil {
 		return err
 	}
+	emit := newEmit(w)
 	n := 0
 	err := udt.CollectChunked(src, batch, func(chunk *udt.Dataset) error {
 		for _, dist := range mdl.ClassifyBatch(chunk.Tuples, workers) {
 			n++
-			fmt.Fprintf(w, "tuple %d: %s", n, classes[eval.Argmax(dist)])
-			for c, p := range dist {
-				fmt.Fprintf(w, "  P(%s)=%.4f", classes[c], p)
+			if err := emit(n, classes, dist); err != nil {
+				return err
 			}
-			fmt.Fprintln(w)
 		}
 		return nil
 	})

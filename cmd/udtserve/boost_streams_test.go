@@ -1,0 +1,308 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"udt"
+	"udt/internal/forest"
+)
+
+// trainBoostedModel trains a boosted ensemble on the shared CSV fixture and
+// writes the v2 weighted container to dir.
+func trainBoostedModel(t *testing.T, dir string) string {
+	t.Helper()
+	ds, err := udt.ReadCSV(strings.NewReader(trainCSV), "train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := udt.TrainBoosted(ds, udt.BoostConfig{
+		Rounds: 5, TreeConfig: udt.Config{MaxDepth: 2, MinWeight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "boosted.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestServeBoostedModel: a boosted container must load, classify and report
+// its kind and per-member vote weights on /healthz — the serving side of the
+// weighted-ensemble contract.
+func TestServeBoostedModel(t *testing.T) {
+	s, err := newServer(trainBoostedModel(t, t.TempDir()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	res := postJSON(t, ts.URL+"/classify", `{"tuples": [
+		{"num": [0.2, [1, 2, 3]]},
+		{"num": [9.2, [12, 13, 14]]}
+	]}`)
+	var batch struct {
+		Results []struct {
+			Class string `json:"class"`
+		} `json:"results"`
+	}
+	decodeBody(t, res, http.StatusOK, &batch)
+	if len(batch.Results) != 2 || batch.Results[0].Class != "lo" || batch.Results[1].Class != "hi" {
+		t.Fatalf("boosted batch = %+v", batch.Results)
+	}
+
+	hres, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Format        string    `json:"format"`
+		FormatVersion int       `json:"formatVersion"`
+		Kind          string    `json:"kind"`
+		Trees         int       `json:"trees"`
+		MemberWeights []float64 `json:"memberWeights"`
+		Description   string    `json:"description"`
+	}
+	decodeBody(t, hres, http.StatusOK, &health)
+	if health.Format != "forest" || health.FormatVersion != forest.Version || health.Kind != forest.KindBoosted {
+		t.Fatalf("healthz = %+v", health)
+	}
+	if len(health.MemberWeights) != health.Trees || health.Trees < 1 {
+		t.Fatalf("healthz reports %d weights for %d trees", len(health.MemberWeights), health.Trees)
+	}
+	for i, w := range health.MemberWeights {
+		if w <= 0 {
+			t.Fatalf("healthz weight %d = %v", i, w)
+		}
+	}
+	if !strings.Contains(health.Description, "boosted") {
+		t.Fatalf("description %q does not name the ensemble kind", health.Description)
+	}
+}
+
+// TestReloadTreeToBoosted: hot reload must swap a single tree for a boosted
+// ensemble transparently — the same path operators use to roll out a
+// boosted model over a running tree server.
+func TestReloadTreeToBoosted(t *testing.T) {
+	dir := t.TempDir()
+	treePath := trainModel(t)
+	modelPath := filepath.Join(dir, "model.json")
+	blob, err := os.ReadFile(treePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(modelPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := newServer(modelPath, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	boosted, err := os.ReadFile(trainBoostedModel(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(modelPath, boosted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res := postJSON(t, ts.URL+"/reload", `{}`)
+	var rl struct {
+		Generation  int64  `json:"generation"`
+		Description string `json:"description"`
+	}
+	decodeBody(t, res, http.StatusOK, &rl)
+	if rl.Generation != 2 || !strings.Contains(rl.Description, "boosted") {
+		t.Fatalf("reload = %+v", rl)
+	}
+
+	res = postJSON(t, ts.URL+"/classify", `{"num": [9.2, [12, 13, 14]]}`)
+	var single struct {
+		Class string `json:"class"`
+	}
+	decodeBody(t, res, http.StatusOK, &single)
+	if single.Class != "hi" {
+		t.Fatalf("post-reload classification = %q", single.Class)
+	}
+}
+
+// TestClassifyStreamGolden pins POST /classify/stream to the shared golden
+// stream in testdata/stream: the exact bytes "udtree predict -format
+// ndjson" prints for the same tuples (cmd/udtree pins the CLI side to the
+// same file). Regenerate the fixtures with `go run testdata/stream/gen.go`
+// from the repo root.
+func TestClassifyStreamGolden(t *testing.T) {
+	fixtures := "../../testdata/stream"
+	s, err := newServer(fixtures+"/model.json", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	input, err := os.Open(fixtures + "/input.ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer input.Close()
+	res, err := http.Post(ts.URL+"/classify/stream", ndjsonType, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(fixtures + "/golden.ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != string(golden) {
+		t.Fatalf("/classify/stream diverges from the CLI ndjson golden.\ngot:\n%swant:\n%s", body, golden)
+	}
+}
+
+// openStream starts one held-open /classify/stream request: it sends a
+// single tuple, waits for the first response line (proving the stream was
+// admitted and is live), and leaves the request body open so the stream
+// stays active until close is called.
+func openStream(t *testing.T, url string) (close func(), res *http.Response) {
+	t.Helper()
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, url+"/classify/stream", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", ndjsonType)
+	resCh := make(chan *http.Response, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		resCh <- r
+	}()
+	if _, err := io.WriteString(pw, `{"num": [0.2, [1, 2, 3]]}`+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res = <-resCh:
+	case err := <-errCh:
+		t.Fatalf("stream request failed: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream response headers never arrived")
+	}
+	if res.StatusCode != http.StatusOK {
+		res.Body.Close()
+		pw.Close()
+		t.Fatalf("stream refused with %d before the cap was reached", res.StatusCode)
+	}
+	buf := make([]byte, 1)
+	if _, err := res.Body.Read(buf); err != nil {
+		t.Fatalf("first stream byte never arrived: %v", err)
+	}
+	return func() {
+		pw.Close()
+		io.Copy(io.Discard, res.Body)
+		res.Body.Close()
+	}, res
+}
+
+// TestMaxStreamsAdmission proves the -max-streams cap: concurrent streams
+// beyond the cap are refused with 503 + Retry-After, refused streams are
+// counted and do not occupy a slot (the pool does not wedge), and closing an
+// active stream frees its slot for the next client.
+func TestMaxStreamsAdmission(t *testing.T) {
+	s, err := newServer(trainModel(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.maxStreams = 2
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	close1, _ := openStream(t, ts.URL)
+	close2, _ := openStream(t, ts.URL)
+
+	// The cap is reached: the next stream must be refused immediately.
+	res, err := http.Post(ts.URL+"/classify/stream", ndjsonType, strings.NewReader(`{"num": [0.2, [1, 2, 3]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	decodeBody(t, res, http.StatusServiceUnavailable, &e)
+	if res.Header.Get("Retry-After") == "" {
+		t.Fatal("503 refusal carries no Retry-After header")
+	}
+	if !strings.Contains(e.Error, "admission") {
+		t.Fatalf("refusal error = %q", e.Error)
+	}
+
+	// Saturated streams must not block the batch endpoint.
+	bres := postJSON(t, ts.URL+"/classify", `{"num": [9.2, [12, 13, 14]]}`)
+	var single struct {
+		Class string `json:"class"`
+	}
+	decodeBody(t, bres, http.StatusOK, &single)
+	if single.Class != "hi" {
+		t.Fatalf("classify under stream saturation = %q", single.Class)
+	}
+
+	// Refusals are counted and the active gauge holds at the cap.
+	mres, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Stream struct {
+			Active   int64 `json:"active"`
+			Rejected int64 `json:"rejected"`
+		} `json:"stream"`
+	}
+	decodeBody(t, mres, http.StatusOK, &m)
+	if m.Stream.Active != 2 || m.Stream.Rejected != 1 {
+		t.Fatalf("stream metrics = %+v", m.Stream)
+	}
+
+	// Closing one stream frees a slot: a refused client's retry succeeds.
+	close1()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("freed stream slot never became available")
+		}
+		res, err := http.Post(ts.URL+"/classify/stream", ndjsonType, strings.NewReader(`{"num": [0.2, [1, 2, 3]]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := res.StatusCode == http.StatusOK
+		io.Copy(io.Discard, res.Body)
+		res.Body.Close()
+		if ok {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close2()
+}

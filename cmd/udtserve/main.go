@@ -8,6 +8,7 @@
 //
 //	udtserve -model model.json [-addr :8080] [-workers N]
 //	         [-read-timeout 10s] [-write-timeout 30s] [-watch 0s]
+//	         [-max-streams 0]
 //
 // Endpoints:
 //
@@ -21,6 +22,10 @@
 //	                        -read-timeout/-write-timeout bound per-line
 //	                        idleness, not total stream duration (deadlines
 //	                        roll forward with each answered line).
+//	                        -max-streams N caps concurrent streams: excess
+//	                        requests are refused with 503 + Retry-After so
+//	                        hostile stream floods cannot wedge the worker
+//	                        pool.
 //	POST /reload          — re-read the model file and swap it in atomically;
 //	                        in-flight requests finish on the model they
 //	                        started with.
@@ -96,6 +101,7 @@ func run(ctx context.Context, args []string) error {
 	readTimeout := fs.Duration("read-timeout", 10*time.Second, "HTTP server read timeout")
 	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")
 	watch := fs.Duration("watch", 0, "poll the model file at this interval and hot-reload on change (0 = disabled)")
+	maxStreams := fs.Int("max-streams", 0, "max concurrent /classify/stream requests; excess get 503 + Retry-After (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,12 +117,16 @@ func run(ctx context.Context, args []string) error {
 	if *watch < 0 {
 		return errors.New("-watch must be >= 0")
 	}
+	if *maxStreams < 0 {
+		return errors.New("-max-streams must be >= 0")
+	}
 	s, err := newServer(*model, *workers)
 	if err != nil {
 		return err
 	}
 	s.streamReadTimeout = *readTimeout
 	s.streamWriteTimeout = *writeTimeout
+	s.maxStreams = *maxStreams
 	if *watch > 0 {
 		go s.watchLoop(ctx, *watch)
 	}
@@ -176,6 +186,12 @@ type server struct {
 	// interactive stream mid-flight).
 	streamReadTimeout  time.Duration
 	streamWriteTimeout time.Duration
+
+	// Stream admission control: at most maxStreams concurrent
+	// /classify/stream requests when positive (0 = unlimited); excess
+	// requests get 503 + Retry-After instead of a worker-pool slot.
+	maxStreams    int
+	activeStreams atomic.Int64
 }
 
 // newServer loads and compiles the model file.
@@ -359,23 +375,32 @@ func (s *server) classify(w http.ResponseWriter, r *http.Request) {
 // beyond 1 MiB is malformed, not big.
 const maxStreamLine = 1 << 20
 
-// streamLine is one NDJSON response line: the 1-based input line number plus
-// either a classification or a per-line error.
-type streamLine struct {
-	Line  int                `json:"line"`
-	Class string             `json:"class,omitempty"`
-	Dist  map[string]float64 `json:"dist,omitempty"`
-	Error string             `json:"error,omitempty"`
-}
-
 // classifyStream handles POST /classify/stream: each request line is one
 // tuple document, each response line one result object, decoded, classified
 // and flushed as it arrives — the whole stream is never resident, so body
 // size is unbounded (per line, maxStreamLine applies). A malformed line
 // produces an error object on its line and the stream continues; the HTTP
 // status is 200 once the first line has been answered, so per-line errors
-// are in-band by design.
+// are in-band by design. Response lines are modelio.StreamResult documents,
+// the same protocol "udtree predict -format ndjson" emits.
+//
+// When -max-streams is set, at most that many streams run concurrently:
+// excess requests are refused immediately with 503 and a Retry-After header
+// instead of queueing into the worker pool, so a flood of long-lived streams
+// cannot wedge the batch endpoints.
 func (s *server) classifyStream(w http.ResponseWriter, r *http.Request) {
+	// The active gauge counts every stream, capped or not, so /metrics
+	// reports stream load even in the default unlimited configuration.
+	n := s.activeStreams.Add(1)
+	defer s.activeStreams.Add(-1)
+	if s.maxStreams > 0 && n > int64(s.maxStreams) {
+		s.mtr.streamRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		fail(w, http.StatusServiceUnavailable,
+			fmt.Errorf("stream admission: %d streams already active (cap %d); retry shortly", n-1, s.maxStreams))
+		return
+	}
+
 	// One load: the whole stream is classified by one model generation even
 	// if a reload swaps the pointer mid-stream.
 	am := s.active.Load()
@@ -400,7 +425,7 @@ func (s *server) classifyStream(w http.ResponseWriter, r *http.Request) {
 		if len(raw) == 0 {
 			continue
 		}
-		out := streamLine{Line: line}
+		out := modelio.StreamResult{Line: line}
 		var wt modelio.WireTuple
 		dec := json.NewDecoder(bytes.NewReader(raw))
 		dec.DisallowUnknownFields()
@@ -413,17 +438,11 @@ func (s *server) classifyStream(w http.ResponseWriter, r *http.Request) {
 		} else if tu, err := wt.Decode(numAttrs, catAttrs); err != nil {
 			out.Error = err.Error()
 		} else {
-			dist := am.model.Classify(tu)
 			// Count the tuple but keep the batch-size histogram for
 			// /classify callers only: a long stream would otherwise drown
 			// the size-1 bucket. Stream volume has its own counters.
 			s.mtr.tuples.Add(1)
-			m := make(map[string]float64, len(dist))
-			for c, p := range dist {
-				m[classes[c]] = p
-			}
-			out.Class = classes[eval.Argmax(dist)]
-			out.Dist = m
+			out = modelio.NewStreamResult(line, classes, am.model.Classify(tu))
 		}
 		s.mtr.streamLines.Add(1)
 		if out.Error != "" {
@@ -446,7 +465,7 @@ func (s *server) classifyStream(w http.ResponseWriter, r *http.Request) {
 		// Body read failed mid-stream (oversized line, disconnect): emit a
 		// final in-band error object.
 		s.mtr.streamLineErrors.Add(1)
-		enc.Encode(streamLine{Line: line + 1, Error: fmt.Sprintf("read: %v", err)})
+		enc.Encode(modelio.StreamResult{Line: line + 1, Error: fmt.Sprintf("read: %v", err)})
 	}
 }
 
@@ -481,8 +500,14 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 	case *forest.Forest:
 		resp["format"] = "forest"
 		resp["formatVersion"] = forest.Version
+		resp["kind"] = m.Kind()
 		resp["trees"] = m.NumTrees()
 		resp["nodes"] = m.Stats().Nodes
+		if m.Kind() == forest.KindBoosted {
+			// Uniform bagged weights carry no information; boosted alphas are
+			// the model's vote structure, worth surfacing to operators.
+			resp["memberWeights"] = m.Weights()
+		}
 		if m.OOB.Evaluated > 0 {
 			resp["oob"] = m.OOB
 		}
@@ -531,6 +556,7 @@ type metrics struct {
 
 	streamLines      atomic.Int64 // NDJSON lines answered (results + errors)
 	streamLineErrors atomic.Int64 // NDJSON lines answered with an error object
+	streamRejected   atomic.Int64 // streams refused by -max-streams admission control
 	watchReloads     atomic.Int64 // successful -watch hot reloads
 	watchErrors      atomic.Int64 // failed -watch reload attempts
 }
@@ -578,6 +604,8 @@ func (s *server) metricsHandler(w http.ResponseWriter, r *http.Request) {
 		"stream": map[string]int64{
 			"lines":      s.mtr.streamLines.Load(),
 			"lineErrors": s.mtr.streamLineErrors.Load(),
+			"active":     s.activeStreams.Load(),
+			"rejected":   s.mtr.streamRejected.Load(),
 		},
 		"watch": map[string]int64{
 			"reloads": s.mtr.watchReloads.Load(),

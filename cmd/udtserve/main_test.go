@@ -297,6 +297,7 @@ func TestServeForestModel(t *testing.T) {
 	var health struct {
 		Format        string `json:"format"`
 		FormatVersion int    `json:"formatVersion"`
+		Kind          string `json:"kind"`
 		Trees         int    `json:"trees"`
 		Generation    int64  `json:"generation"`
 		OOB           *struct {
@@ -305,7 +306,7 @@ func TestServeForestModel(t *testing.T) {
 		} `json:"oob"`
 	}
 	decodeBody(t, hres, http.StatusOK, &health)
-	if health.Format != "forest" || health.FormatVersion != 1 || health.Trees != 7 || health.Generation != 1 {
+	if health.Format != "forest" || health.FormatVersion != forest.Version || health.Kind != "bagged" || health.Trees != 7 || health.Generation != 1 {
 		t.Fatalf("healthz = %+v", health)
 	}
 	if health.OOB == nil || health.OOB.Evaluated == 0 {
@@ -513,10 +514,10 @@ func TestClassifyStreamNDJSON(t *testing.T) {
 	if ct := res.Header.Get("Content-Type"); ct != ndjsonType {
 		t.Fatalf("Content-Type %q, want %q", ct, ndjsonType)
 	}
-	var lines []streamLine
+	var lines []modelio.StreamResult
 	dec := json.NewDecoder(res.Body)
 	for dec.More() {
-		var ln streamLine
+		var ln modelio.StreamResult
 		if err := dec.Decode(&ln); err != nil {
 			t.Fatal(err)
 		}
@@ -688,7 +689,7 @@ func TestClassifyStreamFullDuplex(t *testing.T) {
 	}
 	// readLine skips response headers and chunked framing, returning the
 	// next NDJSON object, failing if it does not arrive promptly.
-	readLine := func() streamLine {
+	readLine := func() modelio.StreamResult {
 		t.Helper()
 		if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
 			t.Fatal(err)
@@ -699,7 +700,7 @@ func TestClassifyStreamFullDuplex(t *testing.T) {
 				t.Fatalf("response line never arrived while request body open (half-duplex regression): %v", err)
 			}
 			if strings.HasPrefix(raw, "{") {
-				var ln streamLine
+				var ln modelio.StreamResult
 				if err := json.Unmarshal([]byte(raw), &ln); err != nil {
 					t.Fatal(err)
 				}
@@ -752,7 +753,7 @@ func TestClassifyStreamMatchesBatch(t *testing.T) {
 	defer res.Body.Close()
 	dec := json.NewDecoder(res.Body)
 	for i := 0; dec.More(); i++ {
-		var ln streamLine
+		var ln modelio.StreamResult
 		if err := dec.Decode(&ln); err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,117 @@
+package udt_test
+
+// The cross-cutting determinism matrix: every trainable model kind — single
+// tree, bagged forest, boosted ensemble — must serialise byte-identically
+// across worker counts and across re-runs with the same seed. This is the
+// repo's reproducibility contract in one table: parallelism knobs
+// (Config.Workers, Config.Parallelism, ForestConfig.Workers,
+// BoostConfig.Workers) change wall-clock time only, never a bit of the
+// model. CI runs the whole suite (this test included) under -race, so a
+// scheduling-dependent divergence shows up either as a byte diff here or as
+// a data race there.
+
+import (
+	"encoding/json"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"udt"
+)
+
+// determinismDataset builds a mid-sized two-attribute, three-class dataset
+// with enough tuples that parallel paths actually engage (batch grains,
+// member builds) and enough overlap that trees go several levels deep.
+func determinismDataset(t testing.TB) *udt.Dataset {
+	t.Helper()
+	ds := udt.NewDataset("det", 2, []string{"a", "b", "c"})
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 210; i++ {
+		c := i % 3
+		base := float64(c * 4)
+		p1, err := udt.UniformPDF(base+rng.Float64()*3, base+3+rng.Float64()*3, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := udt.GaussianPDF(base+rng.Float64()*2, 1.2, base-4, base+6, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds.Add(c, p1, p2)
+	}
+	return ds
+}
+
+// TestModelDeterminismMatrix trains each model kind at Workers ∈
+// {1, 4, GOMAXPROCS} plus a same-seed re-run of the first cell, and demands
+// byte-identical serialised models everywhere.
+func TestModelDeterminismMatrix(t *testing.T) {
+	ds := determinismDataset(t)
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+
+	kinds := []struct {
+		name  string
+		train func(workers int) (any, error)
+	}{
+		{
+			name: "single tree",
+			train: func(workers int) (any, error) {
+				return udt.Build(ds, udt.Config{
+					MinWeight:   2,
+					PostPrune:   true,
+					Workers:     workers,
+					Parallelism: workers,
+				})
+			},
+		},
+		{
+			name: "bagged forest",
+			train: func(workers int) (any, error) {
+				return udt.TrainForest(ds, udt.ForestConfig{
+					Trees:        7,
+					Seed:         5,
+					Workers:      workers,
+					AttrsPerTree: 1,
+					TreeConfig:   udt.Config{MinWeight: 2, Workers: workers},
+				})
+			},
+		},
+		{
+			name: "boosted ensemble",
+			train: func(workers int) (any, error) {
+				return udt.TrainBoosted(ds, udt.BoostConfig{
+					Rounds:     6,
+					Workers:    workers,
+					TreeConfig: udt.Config{MaxDepth: 3, MinWeight: 2, Workers: workers},
+				})
+			},
+		},
+	}
+
+	for _, kind := range kinds {
+		t.Run(kind.name, func(t *testing.T) {
+			serialize := func(workers int) string {
+				m, err := kind.train(workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				blob, err := json.Marshal(m)
+				if err != nil {
+					t.Fatalf("workers=%d: marshal: %v", workers, err)
+				}
+				return string(blob)
+			}
+			want := serialize(workerCounts[0])
+			for _, workers := range workerCounts[1:] {
+				if got := serialize(workers); got != want {
+					t.Fatalf("workers=%d serialises differently from workers=%d", workers, workerCounts[0])
+				}
+			}
+			// Same-seed re-run: training must be a pure function of
+			// (dataset, config), with no hidden global state.
+			if rerun := serialize(workerCounts[0]); rerun != want {
+				t.Fatal("same-seed re-run serialises differently")
+			}
+		})
+	}
+}

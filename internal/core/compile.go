@@ -196,15 +196,15 @@ func (s *scratch) outBuf(nc int) []float64 {
 	return s.out
 }
 
-// classify runs the iterative descent, accumulating the tuple's class
-// distribution into out (len == len(c.Classes), zeroed by the caller).
+// classify runs the iterative descent, accumulating w0 times the tuple's
+// class distribution into out (len == len(c.Classes), zeroed by the caller).
 // Children are pushed in reverse so the LIFO stack visits leaves in exactly
 // the recursive order, keeping the floating-point summation identical to
 // Tree.Classify.
-func (c *Compiled) classify(tu *data.Tuple, out []float64, s *scratch) {
+func (c *Compiled) classify(tu *data.Tuple, out []float64, s *scratch, w0 float64) {
 	nc := len(c.Classes)
 	s.reset()
-	s.frames = append(s.frames, cframe{node: 0, w: 1, num: tu.Num, cat: tu.Cat})
+	s.frames = append(s.frames, cframe{node: 0, w: w0, num: tu.Num, cat: tu.Cat})
 	for len(s.frames) > 0 {
 		f := s.frames[len(s.frames)-1]
 		s.frames = s.frames[:len(s.frames)-1]
@@ -304,7 +304,7 @@ func (c *Compiled) routeMissing(f cframe, out []float64, s *scratch, nc int) {
 func (c *Compiled) Classify(tu *data.Tuple) []float64 {
 	out := make([]float64, len(c.Classes))
 	s := scratchPool.Get().(*scratch)
-	c.classify(tu, out, s)
+	c.classify(tu, out, s, 1)
 	scratchPool.Put(s)
 	return out
 }
@@ -314,8 +314,17 @@ func (c *Compiled) Classify(tu *data.Tuple) []float64 {
 // allocates nothing, which lets an ensemble of trees sum their
 // distributions into one shared buffer on the serving path.
 func (c *Compiled) ClassifyInto(tu *data.Tuple, out []float64) {
+	c.ClassifyIntoWeighted(tu, out, 1)
+}
+
+// ClassifyIntoWeighted accumulates scale times the tuple's class
+// distribution into out (NOT zeroed first). The scale seeds the root weight
+// of the descent, so a weighted ensemble member contributes its vote weight
+// with no extra pass over the distribution — the accumulation primitive of
+// boosted ensembles, exactly ClassifyInto when scale is 1.
+func (c *Compiled) ClassifyIntoWeighted(tu *data.Tuple, out []float64, scale float64) {
 	s := scratchPool.Get().(*scratch)
-	c.classify(tu, out, s)
+	c.classify(tu, out, s, scale)
 	scratchPool.Put(s)
 }
 
@@ -324,7 +333,7 @@ func (c *Compiled) ClassifyInto(tu *data.Tuple, out []float64) {
 func (c *Compiled) Predict(tu *data.Tuple) int {
 	s := scratchPool.Get().(*scratch)
 	out := s.outBuf(len(c.Classes))
-	c.classify(tu, out, s)
+	c.classify(tu, out, s, 1)
 	best := argmax(out)
 	scratchPool.Put(s)
 	return best
@@ -341,7 +350,7 @@ func (c *Compiled) ClassifyBatch(tuples []*data.Tuple, workers int) [][]float64 
 	out := make([][]float64, len(tuples))
 	c.forEach(tuples, workers, func(i int, s *scratch) {
 		d := make([]float64, len(c.Classes))
-		c.classify(tuples[i], d, s)
+		c.classify(tuples[i], d, s, 1)
 		out[i] = d
 	})
 	return out
@@ -354,7 +363,7 @@ func (c *Compiled) PredictBatch(tuples []*data.Tuple, workers int) []int {
 	out := make([]int, len(tuples))
 	c.forEach(tuples, workers, func(i int, s *scratch) {
 		buf := s.outBuf(len(c.Classes))
-		c.classify(tuples[i], buf, s)
+		c.classify(tuples[i], buf, s, 1)
 		out[i] = argmax(buf)
 	})
 	return out

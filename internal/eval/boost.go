@@ -1,0 +1,50 @@
+package eval
+
+import (
+	"math/rand"
+	"time"
+
+	"udt/internal/boost"
+	"udt/internal/data"
+)
+
+// Boosted variants of the evaluation protocols. A boosted ensemble is a
+// *forest.Forest (kind boosted), so the metric paths — accuracy, confusion,
+// Brier, log-loss over weighted averaged distributions — are the Forest*
+// functions; only the training step differs.
+
+// BoostTrainTest trains a boosted ensemble on train and evaluates on test,
+// aggregating the members' build statistics into the Result.
+func BoostTrainTest(train, test *data.Dataset, cfg boost.Config) (Result, error) {
+	start := time.Now()
+	f, err := boost.Train(train, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	build := time.Since(start)
+
+	start = time.Now()
+	preds := f.PredictBatch(test.Tuples, cfg.Workers)
+	classify := time.Since(start)
+
+	stats := f.Stats()
+	return Result{
+		Accuracy:     accuracyOf(preds, test),
+		Confusion:    confusion(test.Classes, preds, test),
+		BuildTime:    build,
+		ClassifyTime: classify,
+		Search:       stats.Search,
+		Nodes:        stats.Nodes,
+		Leaves:       stats.Leaves,
+		Depth:        stats.Depth,
+	}, nil
+}
+
+// BoostCrossValidate runs stratified k-fold cross-validation of the boosted
+// ensemble, sharing CrossValidate's fold protocol so boosted, bagged and
+// single-tree accuracy compare on identical folds for a given rng state.
+func BoostCrossValidate(ds *data.Dataset, k int, cfg boost.Config, rng *rand.Rand) (Result, error) {
+	return crossValidate(ds, k, rng, func(train, test *data.Dataset) (Result, error) {
+		return BoostTrainTest(train, test, cfg)
+	})
+}

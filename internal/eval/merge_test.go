@@ -1,0 +1,92 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAccumulatorMergeProperty is the quickcheck-style pin on Merge: for
+// randomized partitions of a labelled set into batches, folded into
+// per-batch accumulators and merged in a random order, the result must
+// equal the whole-set metrics. Accuracy and totals are integer-backed so
+// they must match exactly; confusion weights are float sums whose order
+// changes with the partition, so they match to a tight tolerance.
+func TestAccumulatorMergeProperty(t *testing.T) {
+	ds, preds := streamFixture(160)
+	whole := NewAccumulator(ds.Classes)
+	whole.Add(ds.Tuples, preds)
+
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		// Random partition: each tuple index is dealt to one of 1..8 batches.
+		nBatches := 1 + rng.Intn(8)
+		batches := make([]*Accumulator, nBatches)
+		for b := range batches {
+			batches[b] = NewAccumulator(ds.Classes)
+		}
+		// Deal contiguous runs (order within a batch preserved) so each
+		// batch looks like a worker's chunk sequence.
+		for lo := 0; lo < ds.Len(); {
+			hi := lo + 1 + rng.Intn(40)
+			if hi > ds.Len() {
+				hi = ds.Len()
+			}
+			b := rng.Intn(nBatches)
+			batches[b].Add(ds.Tuples[lo:hi], preds[lo:hi])
+			lo = hi
+		}
+		// Merge in a random order into a fresh accumulator.
+		merged := NewAccumulator(ds.Classes)
+		for _, b := range rng.Perm(nBatches) {
+			merged.Merge(batches[b])
+		}
+
+		if merged.Total() != whole.Total() {
+			t.Fatalf("trial %d: total %d, want %d", trial, merged.Total(), whole.Total())
+		}
+		if merged.Accuracy() != whole.Accuracy() {
+			t.Fatalf("trial %d: accuracy %v, want %v", trial, merged.Accuracy(), whole.Accuracy())
+		}
+		mc, wc := merged.Confusion(), whole.Confusion()
+		for i := range wc {
+			for j := range wc[i] {
+				if math.Abs(mc[i][j]-wc[i][j]) > 1e-9 {
+					t.Fatalf("trial %d: confusion[%d][%d] = %v, want %v", trial, i, j, mc[i][j], wc[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestAccumulatorMergeEmpty: merging an empty accumulator is a no-op, and
+// merging into an empty one copies the state.
+func TestAccumulatorMergeEmpty(t *testing.T) {
+	ds, preds := streamFixture(30)
+	a := NewAccumulator(ds.Classes)
+	a.Add(ds.Tuples, preds)
+	before := a.Accuracy()
+
+	a.Merge(NewAccumulator(ds.Classes))
+	if a.Accuracy() != before || a.Total() != 30 {
+		t.Fatalf("merging an empty accumulator changed state: %v, %d", a.Accuracy(), a.Total())
+	}
+
+	fresh := NewAccumulator(ds.Classes)
+	fresh.Merge(a)
+	if fresh.Accuracy() != before || fresh.Total() != 30 {
+		t.Fatalf("merge into empty = %v, %d", fresh.Accuracy(), fresh.Total())
+	}
+}
+
+// TestAccumulatorMergeArityPanics: merging accumulators over different
+// class vocabularies is a programming error and must fail loudly.
+func TestAccumulatorMergeArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("class-arity mismatch did not panic")
+		}
+	}()
+	a := NewAccumulator([]string{"a", "b"})
+	a.Merge(NewAccumulator([]string{"a", "b", "c"}))
+}

@@ -37,6 +37,24 @@ func (a *Accumulator) Add(tuples []*data.Tuple, preds []int) {
 	}
 }
 
+// Merge folds another accumulator's state into a, so per-shard accumulators
+// built over disjoint batches (e.g. one per worker of a partitioned
+// evaluation) combine into whole-set metrics. Both accumulators must have
+// been created over the same class vocabulary; Merge panics on a class-arity
+// mismatch, which can only arise from mixing models. b is left untouched.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if len(a.confusion) != len(b.confusion) {
+		panic("eval: merging accumulators over different class vocabularies")
+	}
+	a.correct += b.correct
+	a.total += b.total
+	for i := range a.confusion {
+		for j := range a.confusion[i] {
+			a.confusion[i][j] += b.confusion[i][j]
+		}
+	}
+}
+
 // Total reports the number of tuples folded in so far.
 func (a *Accumulator) Total() int { return a.total }
 

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"slices"
+	"time"
+
+	"udt/internal/boost"
+	"udt/internal/core"
+	"udt/internal/data"
+	"udt/internal/eval"
+	"udt/internal/forest"
+	"udt/internal/split"
+	"udt/internal/uci"
+)
+
+// BoostRow is one dataset of a BoostVsBagged run: single tree, bagged forest
+// and boosted ensemble accuracy under the same protocol on identical folds,
+// plus the boosted ensemble's shape and batch inference throughput.
+type BoostRow struct {
+	Dataset    string
+	Rounds     int     // configured boosting rounds
+	Kept       int     // members the final full-train ensemble kept (early stopping)
+	TreeAcc    float64 // single UDT tree accuracy (CV or train/test per spec)
+	BaggedAcc  float64 // bagged forest accuracy under the same protocol
+	BoostAcc   float64 // boosted ensemble accuracy under the same protocol
+	TreeTput   float64 // tuples/s, compiled single tree, batch inference
+	BoostTput  float64 // tuples/s, compiled boosted ensemble, batch inference
+	BuildTime  time.Duration
+	AlphaRange [2]float64 // min and max member vote weight of the full-train ensemble
+}
+
+// boostDefaults lists the datasets the boost experiment runs when no
+// -datasets filter is given.
+var boostDefaults = []string{"Iris", "Glass", "Vehicle", "Segment"}
+
+// BoostVsBagged compares a boosted weighted ensemble against the bagged
+// forest and the single UDT tree on the bundled datasets, under the paper's
+// protocol (train/test or k-fold CV) on identical folds for all three
+// models. workers bounds training and inference concurrency without
+// affecting any result.
+func BoostVsBagged(o Options, rounds, trees int) ([]BoostRow, error) {
+	o = o.withDefaults()
+	if rounds <= 0 {
+		rounds = 10
+	}
+	if trees <= 0 {
+		trees = 25
+	}
+	selected := o.Datasets
+	if len(selected) == 0 {
+		selected = boostDefaults
+	}
+	var rows []BoostRow
+	for _, name := range selected {
+		spec, err := uci.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		train, test, err := loadInjected(spec, o, o.W, data.GaussianModel)
+		if err != nil {
+			return nil, err
+		}
+		treeCfg := o.treeConfig(split.ES)
+		bagMemberCfg := treeCfg
+		bagMemberCfg.Parallelism = 1
+		bagMemberCfg.PostPrune = false
+		fCfg := forest.Config{
+			Trees:      trees,
+			Seed:       o.Seed,
+			Workers:    max(o.Parallelism, 1),
+			TreeConfig: bagMemberCfg,
+		}
+		bCfg := boost.Config{
+			Rounds:     rounds,
+			Workers:    max(o.Workers, 1),
+			TreeConfig: boost.WeakMemberConfig(treeCfg),
+		}
+
+		row := BoostRow{Dataset: spec.Name, Rounds: rounds}
+		if test != nil {
+			tr, err := eval.TrainTest(train, test, treeCfg)
+			if err != nil {
+				return nil, err
+			}
+			fr, err := eval.ForestTrainTest(train, test, fCfg)
+			if err != nil {
+				return nil, err
+			}
+			br, err := eval.BoostTrainTest(train, test, bCfg)
+			if err != nil {
+				return nil, err
+			}
+			row.TreeAcc, row.BaggedAcc, row.BoostAcc, row.BuildTime = tr.Accuracy, fr.Accuracy, br.Accuracy, br.BuildTime
+		} else {
+			// Identical folds for all three protocols: same rng seed, same
+			// deal order.
+			tr, err := eval.CrossValidate(train, o.Folds, treeCfg, rand.New(rand.NewSource(o.Seed+1)))
+			if err != nil {
+				return nil, err
+			}
+			fr, err := eval.ForestCrossValidate(train, o.Folds, fCfg, rand.New(rand.NewSource(o.Seed+1)))
+			if err != nil {
+				return nil, err
+			}
+			br, err := eval.BoostCrossValidate(train, o.Folds, bCfg, rand.New(rand.NewSource(o.Seed+1)))
+			if err != nil {
+				return nil, err
+			}
+			row.TreeAcc, row.BaggedAcc, row.BoostAcc, row.BuildTime = tr.Accuracy, fr.Accuracy, br.Accuracy, br.BuildTime
+		}
+
+		// Ensemble shape and throughput come from models over the full
+		// training set — the models a production trainer would ship.
+		bst, err := boost.Train(train, bCfg)
+		if err != nil {
+			return nil, err
+		}
+		row.Kept = bst.NumTrees()
+		ws := bst.Weights()
+		row.AlphaRange = [2]float64{slices.Min(ws), slices.Max(ws)}
+		tree, err := core.Build(train, treeCfg)
+		if err != nil {
+			return nil, err
+		}
+		compiled, err := tree.Compile()
+		if err != nil {
+			return nil, err
+		}
+		workers := max(o.Workers, 1)
+		row.TreeTput = throughput(train.Len(), func() { compiled.PredictBatch(train.Tuples, workers) })
+		row.BoostTput = throughput(train.Len(), func() { bst.PredictBatch(train.Tuples, workers) })
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FprintBoost renders a BoostVsBagged run.
+func FprintBoost(w io.Writer, rows []BoostRow) {
+	fmt.Fprintf(w, "%-14s %7s %5s %9s %11s %10s %13s %12s %13s %10s\n",
+		"dataset", "rounds", "kept", "tree acc", "bagged acc", "boost acc", "alpha range", "tree tup/s", "boost tup/s", "build")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %7d %5d %8.2f%% %10.2f%% %9.2f%% %6.2f-%5.2f %12.0f %13.0f %10v\n",
+			r.Dataset, r.Rounds, r.Kept, r.TreeAcc*100, r.BaggedAcc*100, r.BoostAcc*100,
+			r.AlphaRange[0], r.AlphaRange[1], r.TreeTput, r.BoostTput, r.BuildTime.Round(time.Millisecond))
+	}
+}

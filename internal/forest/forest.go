@@ -57,18 +57,27 @@ type OOBStats struct {
 	Evaluated int     `json:"evaluated"` // tuples with at least one out-of-bag member
 }
 
+// Ensemble kinds: how the members were trained and how their votes combine.
+const (
+	KindBagged  = "bagged"  // uniform votes over bootstrap-resampled members
+	KindBoosted = "boosted" // SAMME vote weights from internal/boost
+)
+
 // member is one tree of the ensemble. numIdx/catIdx map the member's
 // (possibly projected) attribute schema back onto the forest schema; both
-// nil means the member sees every attribute.
+// nil means the member sees every attribute. weight is the member's vote
+// weight (1 for bagged members, the SAMME alpha for boosted ones).
 type member struct {
 	tree     *core.Tree
 	compiled *core.Compiled
 	numIdx   []int
 	catIdx   []int
+	weight   float64
 }
 
-// Forest is a trained bagged ensemble. It is immutable after Train (or
-// UnmarshalJSON) and safe for concurrent use.
+// Forest is a trained ensemble — bagged (uniform votes) or boosted
+// (weighted votes). It is immutable after Train (or UnmarshalJSON) and safe
+// for concurrent use.
 type Forest struct {
 	Classes  []string
 	NumAttrs []data.Attribute
@@ -76,11 +85,74 @@ type Forest struct {
 	OOB      OOBStats
 	Config   Config // the training configuration; zero for loaded models
 
+	kind    string // KindBagged or KindBoosted; "" means KindBagged
 	members []member
 }
 
 // NumTrees reports the ensemble size.
 func (f *Forest) NumTrees() int { return len(f.members) }
+
+// Kind reports how the ensemble votes: KindBagged (uniform) or KindBoosted
+// (weighted).
+func (f *Forest) Kind() string {
+	if f.kind == "" {
+		return KindBagged
+	}
+	return f.kind
+}
+
+// Weights returns a copy of the per-member vote weights, in member order.
+func (f *Forest) Weights() []float64 {
+	ws := make([]float64, len(f.members))
+	for t := range f.members {
+		ws[t] = f.members[t].weight
+	}
+	return ws
+}
+
+// WeightedTree pairs one member tree with its vote weight for FromTrees.
+// Compiled optionally carries the tree's already-flattened engine so a
+// trainer that compiled each member anyway (boosting compiles per round to
+// measure the weighted error) does not pay a second Compile; nil compiles
+// here.
+type WeightedTree struct {
+	Tree     *core.Tree
+	Compiled *core.Compiled
+	Weight   float64
+}
+
+// FromTrees assembles an ensemble from already-built trees and their vote
+// weights — the constructor internal/boost uses to package a boosted run as
+// a servable Forest. Every tree must share the first tree's schema (boosted
+// members always see every attribute, so there are no index maps), and every
+// weight must be positive and finite.
+func FromTrees(members []WeightedTree, kind string) (*Forest, error) {
+	if len(members) == 0 {
+		return nil, errors.New("forest: ensemble needs at least one tree")
+	}
+	if kind != KindBagged && kind != KindBoosted {
+		return nil, fmt.Errorf("forest: unknown ensemble kind %q", kind)
+	}
+	first := members[0].Tree
+	if first == nil {
+		return nil, errors.New("forest: tree 0: missing tree document")
+	}
+	f := &Forest{
+		Classes:  first.Classes,
+		NumAttrs: first.NumAttrs,
+		CatAttrs: first.CatAttrs,
+		kind:     kind,
+		members:  make([]member, len(members)),
+	}
+	for t, wt := range members {
+		m, err := f.restoreMember(memberJSON{Tree: wt.Tree, Weight: &members[t].Weight}, wt.Compiled)
+		if err != nil {
+			return nil, fmt.Errorf("forest: tree %d: %w", t, err)
+		}
+		f.members[t] = m
+	}
+	return f, nil
+}
 
 // Schema returns the class labels and attribute schema, mirroring the
 // single-tree model metadata.
@@ -108,7 +180,11 @@ func (f *Forest) Stats() core.BuildStats {
 // Describe renders a one-line summary for CLI and server metadata.
 func (f *Forest) Describe() string {
 	s := f.Stats()
-	return fmt.Sprintf("forest (%d trees, %d nodes, depth %d)", len(f.members), s.Nodes, s.Depth)
+	name := "forest"
+	if f.Kind() == KindBoosted {
+		name = "boosted ensemble"
+	}
+	return fmt.Sprintf("%s (%d trees, %d nodes, depth %d)", name, len(f.members), s.Nodes, s.Depth)
 }
 
 // Train builds a bagged ensemble from the uncertain dataset. Member t draws
@@ -216,7 +292,7 @@ func trainOne(ds *data.Dataset, cfg Config, rng *rand.Rand) (member, []bool, err
 	if err != nil {
 		return member{}, nil, fmt.Errorf("forest: member compile: %w", err)
 	}
-	return member{tree: tree, compiled: compiled, numIdx: numIdx, catIdx: catIdx}, inBag, nil
+	return member{tree: tree, compiled: compiled, numIdx: numIdx, catIdx: catIdx, weight: 1}, inBag, nil
 }
 
 // pickAttrs selects k of the dataset's attributes uniformly at random,
@@ -315,31 +391,33 @@ func (s *fscratch) outBuf(nc int) []float64 {
 	return s.out
 }
 
-// accumulate sums the member distributions for tu into out (not zeroed),
-// visiting members in index order so the floating-point summation is
-// deterministic. use filters members; nil means all. It returns the number
-// of members that contributed.
-func (f *Forest) accumulate(tu *data.Tuple, out []float64, s *fscratch, use func(t int) bool) int {
-	n := 0
+// accumulate sums the weight-scaled member distributions for tu into out
+// (not zeroed), visiting members in index order so the floating-point
+// summation is deterministic. use filters members; nil means all. It returns
+// the total vote weight that contributed (the member count for bagged
+// ensembles, whose weights are all 1).
+func (f *Forest) accumulate(tu *data.Tuple, out []float64, s *fscratch, use func(t int) bool) float64 {
+	total := 0.0
 	for t := range f.members {
 		if use != nil && !use(t) {
 			continue
 		}
 		m := &f.members[t]
-		m.compiled.ClassifyInto(s.projected(tu, m), out)
-		n++
+		m.compiled.ClassifyIntoWeighted(s.projected(tu, m), out, m.weight)
+		total += m.weight
 	}
-	return n
+	return total
 }
 
 // Classify returns the ensemble's probability distribution over class
-// labels: the mean of the member distributions.
+// labels: the vote-weight-weighted mean of the member distributions (the
+// plain mean for bagged ensembles).
 func (f *Forest) Classify(tu *data.Tuple) []float64 {
 	out := make([]float64, len(f.Classes))
 	s := fscratchPool.Get().(*fscratch)
-	f.accumulate(tu, out, s, nil)
+	total := f.accumulate(tu, out, s, nil)
 	fscratchPool.Put(s)
-	scaleDist(out, len(f.members))
+	scaleDist(out, total)
 	return out
 }
 
@@ -361,8 +439,8 @@ func (f *Forest) ClassifyBatch(tuples []*data.Tuple, workers int) [][]float64 {
 	out := make([][]float64, len(tuples))
 	f.forEach(tuples, workers, func(i int, s *fscratch) {
 		d := make([]float64, len(f.Classes))
-		f.accumulate(tuples[i], d, s, nil)
-		scaleDist(d, len(f.members))
+		total := f.accumulate(tuples[i], d, s, nil)
+		scaleDist(d, total)
 		out[i] = d
 	})
 	return out
@@ -408,7 +486,7 @@ func (f *Forest) computeOOB(ds *data.Dataset, inBag [][]bool) {
 		correct[i] = argmax(out) == ds.Tuples[i].Class
 		sum := 0.0
 		for c, p := range out {
-			p /= float64(cnt)
+			p /= cnt
 			target := 0.0
 			if c == ds.Tuples[i].Class {
 				target = 1
@@ -436,13 +514,13 @@ func (f *Forest) computeOOB(ds *data.Dataset, inBag [][]bool) {
 	f.OOB = stats
 }
 
-// scaleDist divides the accumulated distribution by the member count,
-// turning the sum into the ensemble average.
-func scaleDist(out []float64, members int) {
-	if members <= 0 {
+// scaleDist divides the accumulated distribution by the total vote weight,
+// turning the weighted sum into the ensemble average.
+func scaleDist(out []float64, total float64) {
+	if total <= 0 {
 		return
 	}
-	inv := 1 / float64(members)
+	inv := 1 / total
 	for i := range out {
 		out[i] *= inv
 	}

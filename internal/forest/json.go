@@ -4,25 +4,33 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 
 	"udt/internal/core"
 	"udt/internal/data"
 )
 
 // Forests serialise to a versioned multi-tree JSON container,
-// {"version": N, "trees": [...]}. Version 1 is the current format. Each
+// {"version": N, "trees": [...]}. Version 2 is the current format: each
 // member entry carries the tree's own single-tree document (the exact
-// format "udtree train" writes for one tree) plus the index maps from the
-// member's projected attribute schema back onto the forest schema, so a
-// container is a strict superset of the legacy format and legacy loaders of
-// single trees are unaffected.
+// format "udtree train" writes for one tree), the index maps from the
+// member's projected attribute schema back onto the forest schema, and the
+// member's vote weight; the container-level "kind" field records whether the
+// votes are uniform ("bagged") or SAMME alphas ("boosted"). Version 1
+// containers — the PR 3 format, which had no weights — still decode, every
+// member receiving the implicit uniform weight 1.
 
-// Version is the forest container format version this package writes and
-// the only one it accepts.
-const Version = 1
+// Version is the forest container format version this package writes.
+// Decoding accepts Version and legacyVersion.
+const Version = 2
+
+// legacyVersion is the weightless PR 3 container format, decoded with
+// implicit uniform member weights.
+const legacyVersion = 1
 
 type forestJSON struct {
 	Version  int          `json:"version"`
+	Kind     string       `json:"kind,omitempty"` // KindBagged (or absent) | KindBoosted
 	Classes  []string     `json:"classes"`
 	NumAttrs []attrJSON   `json:"numAttrs"`
 	CatAttrs []attrJSON   `json:"catAttrs,omitempty"`
@@ -40,8 +48,11 @@ type memberJSON struct {
 	// positions; null means identity (the member sees every attribute). An
 	// empty array is meaningful — the member sees none of that kind — so
 	// these fields must not use omitempty.
-	NumIdx []int      `json:"numIdx"`
-	CatIdx []int      `json:"catIdx"`
+	NumIdx []int `json:"numIdx"`
+	CatIdx []int `json:"catIdx"`
+	// Weight is the member's vote weight. Version 2 writes it always; a
+	// version 1 document has none, which decodes as the uniform weight 1.
+	Weight *float64   `json:"weight,omitempty"`
 	Tree   *core.Tree `json:"tree"`
 }
 
@@ -49,6 +60,7 @@ type memberJSON struct {
 func (f *Forest) MarshalJSON() ([]byte, error) {
 	doc := forestJSON{
 		Version: Version,
+		Kind:    f.Kind(),
 		Classes: f.Classes,
 		Trees:   make([]memberJSON, len(f.members)),
 	}
@@ -64,21 +76,34 @@ func (f *Forest) MarshalJSON() ([]byte, error) {
 	}
 	for t := range f.members {
 		m := &f.members[t]
-		doc.Trees[t] = memberJSON{NumIdx: m.numIdx, CatIdx: m.catIdx, Tree: m.tree}
+		w := m.weight
+		doc.Trees[t] = memberJSON{NumIdx: m.numIdx, CatIdx: m.catIdx, Weight: &w, Tree: m.tree}
 	}
 	return json.Marshal(doc)
 }
 
 // UnmarshalJSON implements json.Unmarshaler, validating the container
-// version, member schemas and class vocabularies, and compiling every
-// member so the loaded forest serves immediately.
+// version, member schemas, vote weights and class vocabularies, and
+// compiling every member so the loaded forest serves immediately.
 func (f *Forest) UnmarshalJSON(b []byte) error {
 	var doc forestJSON
 	if err := json.Unmarshal(b, &doc); err != nil {
 		return err
 	}
-	if doc.Version != Version {
-		return fmt.Errorf("forest: unknown container version %d (want %d)", doc.Version, Version)
+	if doc.Version != Version && doc.Version != legacyVersion {
+		return fmt.Errorf("forest: unknown container version %d (want %d or %d)", doc.Version, legacyVersion, Version)
+	}
+	switch doc.Kind {
+	case "", KindBagged, KindBoosted:
+	default:
+		return fmt.Errorf("forest: unknown ensemble kind %q", doc.Kind)
+	}
+	// Version 1 predates kinds and weights entirely; a v1 document that
+	// declares "boosted" would decode with silently uniform weights — the
+	// exact vote-structure flattening the per-member weight check below
+	// exists to prevent.
+	if doc.Version == legacyVersion && doc.Kind != "" {
+		return fmt.Errorf("forest: version %d containers carry no ensemble kind (got %q)", legacyVersion, doc.Kind)
 	}
 	if len(doc.Trees) == 0 {
 		return errors.New("forest: container has zero trees")
@@ -101,9 +126,19 @@ func (f *Forest) UnmarshalJSON(b []byte) error {
 		f.OOB = OOBStats{}
 	}
 	f.Config = Config{}
+	f.kind = doc.Kind
 	f.members = make([]member, len(doc.Trees))
 	for t, mj := range doc.Trees {
-		m, err := f.restoreMember(mj)
+		// Weights are all-or-nothing per version: a v1 document that
+		// smuggles one is malformed, and a v2 member without one would
+		// silently flatten a boosted model's vote structure to uniform.
+		if doc.Version == legacyVersion && mj.Weight != nil {
+			return fmt.Errorf("forest: tree %d: version %d containers carry no weights", t, legacyVersion)
+		}
+		if doc.Version == Version && mj.Weight == nil {
+			return fmt.Errorf("forest: tree %d: version %d members must carry a weight", t, Version)
+		}
+		m, err := f.restoreMember(mj, nil)
 		if err != nil {
 			return fmt.Errorf("forest: tree %d: %w", t, err)
 		}
@@ -112,11 +147,29 @@ func (f *Forest) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
+// checkWeight rejects vote weights that would corrupt the weighted-average
+// classification: zero or negative weights silence or invert a member, and
+// non-finite ones poison every distribution.
+func checkWeight(w float64) error {
+	if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+		return fmt.Errorf("vote weight %v is not a positive finite number", w)
+	}
+	return nil
+}
+
 // restoreMember validates one container entry against the forest schema and
-// compiles its tree.
-func (f *Forest) restoreMember(mj memberJSON) (member, error) {
+// compiles its tree. A non-nil precompiled engine (FromTrees reusing the
+// trainer's per-round compilation) is adopted instead of compiling again.
+func (f *Forest) restoreMember(mj memberJSON, precompiled *core.Compiled) (member, error) {
 	if mj.Tree == nil {
 		return member{}, errors.New("missing tree document")
+	}
+	weight := 1.0
+	if mj.Weight != nil {
+		if err := checkWeight(*mj.Weight); err != nil {
+			return member{}, err
+		}
+		weight = *mj.Weight
 	}
 	tree := mj.Tree
 	if err := sameClasses(f.Classes, tree.Classes); err != nil {
@@ -170,11 +223,14 @@ func (f *Forest) restoreMember(mj memberJSON) (member, error) {
 			}
 		}
 	}
-	compiled, err := tree.Compile()
-	if err != nil {
-		return member{}, err
+	compiled := precompiled
+	if compiled == nil {
+		var err error
+		if compiled, err = tree.Compile(); err != nil {
+			return member{}, err
+		}
 	}
-	return member{tree: tree, compiled: compiled, numIdx: numIdx, catIdx: catIdx}, nil
+	return member{tree: tree, compiled: compiled, numIdx: numIdx, catIdx: catIdx, weight: weight}, nil
 }
 
 // sameClasses rejects members whose class vocabulary diverges from the

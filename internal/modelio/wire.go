@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"udt/internal/data"
+	"udt/internal/par"
 	"udt/internal/pdf"
 )
 
@@ -23,6 +24,29 @@ import (
 type WireTuple struct {
 	Num []json.RawMessage `json:"num"`
 	Cat []json.RawMessage `json:"cat"`
+}
+
+// StreamResult is one line of the NDJSON classification stream protocol,
+// shared by udtserve's POST /classify/stream responses and udtree's
+// "predict -format ndjson" output so the two surfaces stay byte-compatible:
+// the 1-based input line number plus either a classification or an in-band
+// error.
+type StreamResult struct {
+	Line  int                `json:"line"`
+	Class string             `json:"class,omitempty"`
+	Dist  map[string]float64 `json:"dist,omitempty"`
+	Error string             `json:"error,omitempty"`
+}
+
+// NewStreamResult labels a classification distribution with its class names:
+// the predicted class is par.Argmax (lowest index winning ties, the model
+// convention) and the dist map carries one probability per class label.
+func NewStreamResult(line int, classes []string, dist []float64) StreamResult {
+	m := make(map[string]float64, len(dist))
+	for c, p := range dist {
+		m[classes[c]] = p
+	}
+	return StreamResult{Line: line, Class: classes[par.Argmax(dist)], Dist: m}
 }
 
 // Decode converts the wire tuple into an uncertain tuple matching the given

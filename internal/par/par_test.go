@@ -1,6 +1,7 @@
 package par
 
 import (
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -27,8 +28,11 @@ func TestArgmax(t *testing.T) {
 // TestForEachCoversRange: every index must be visited exactly once at any
 // worker count, including counts far beyond the item count.
 func TestForEachCoversRange(t *testing.T) {
+	// Adversarial sizes: empty, singleton, smaller than the worker count,
+	// exactly one grain, one over a grain boundary, primes that divide
+	// evenly into nothing, and a many-grain bulk case.
 	for _, workers := range []int{0, 1, 2, 3, 8, 100} {
-		for _, n := range []int{0, 1, 5, BatchGrain, BatchGrain + 1, 10 * BatchGrain} {
+		for _, n := range []int{0, 1, 5, 7, 13, 61, 97, BatchGrain - 1, BatchGrain, BatchGrain + 1, 641, 1009, 10 * BatchGrain} {
 			visits := make([]atomic.Int64, n)
 			ForEach(n, workers,
 				func() struct{} { return struct{}{} },
@@ -38,6 +42,28 @@ func TestForEachCoversRange(t *testing.T) {
 				if got := visits[i].Load(); got != 1 {
 					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, got)
 				}
+			}
+		}
+	}
+}
+
+// TestForEachCoversRangeRandomized is the quickcheck-style sweep behind the
+// fixed table above: for random (n, workers) pairs, every index in [0, n)
+// must be visited exactly once — no index skipped by a block-boundary bug,
+// none double-claimed off the atomic cursor.
+func TestForEachCoversRangeRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(3 * BatchGrain)
+		workers := rng.Intn(2*n + 2) // includes 0, 1, > n
+		visits := make([]atomic.Int64, n)
+		ForEach(n, workers,
+			func() struct{} { return struct{}{} },
+			func(i int, _ struct{}) { visits[i].Add(1) },
+			func(struct{}) {})
+		for i := range visits {
+			if got := visits[i].Load(); got != 1 {
+				t.Fatalf("trial %d (n=%d, workers=%d): index %d visited %d times", trial, n, workers, i, got)
 			}
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"io"
 	"math/rand"
 
+	"udt/internal/boost"
 	"udt/internal/core"
 	"udt/internal/data"
 	"udt/internal/eval"
@@ -58,14 +59,18 @@ type (
 	BuildStats = core.BuildStats
 	// Rule is a root-to-leaf classification rule.
 	Rule = core.Rule
-	// Forest is a bagged ensemble of compiled uncertain decision trees;
-	// classification averages the member distributions. Immutable and safe
-	// for concurrent use.
+	// Forest is an ensemble of compiled uncertain decision trees — bagged
+	// (uniform votes over bootstrap resamples) or boosted (SAMME vote
+	// weights); classification is the vote-weighted average of the member
+	// distributions. Immutable and safe for concurrent use.
 	Forest = forest.Forest
 	// ForestConfig controls ensemble training: tree count, bootstrap sample
 	// ratio, per-tree attribute subsets, seed, parallel member builds, and
 	// the member tree configuration.
 	ForestConfig = forest.Config
+	// BoostConfig controls boosted ensemble training: rounds, learning rate,
+	// prediction workers, and the member tree configuration.
+	BoostConfig = boost.Config
 	// OOBStats is the out-of-bag accuracy/Brier estimate a forest computes
 	// during training.
 	OOBStats = forest.OOBStats
@@ -146,6 +151,27 @@ func BuildAveraging(ds *Dataset, cfg Config) (*Tree, error) { return core.BuildA
 // training. Ensemble classification is distribution averaging across the
 // compiled members.
 func TrainForest(ds *Dataset, cfg ForestConfig) (*Forest, error) { return forest.Train(ds, cfg) }
+
+// TrainBoosted builds a boosted weighted ensemble (SAMME over
+// Distribution-based trees): each round trains on the current fractional
+// tuple weights — the paper-native weighting of §3.2 — measures the
+// weighted training error, derives the member's vote weight, and reweights
+// the misclassified tuples. The result is a Forest of kind "boosted" that
+// serialises, loads and serves through the same container as bagged
+// ensembles, and training is byte-identical at any cfg.Workers value.
+func TrainBoosted(ds *Dataset, cfg BoostConfig) (*Forest, error) { return boost.Train(ds, cfg) }
+
+// BoostTrainTest trains a boosted ensemble on train and evaluates on test.
+func BoostTrainTest(train, test *Dataset, cfg BoostConfig) (Result, error) {
+	return eval.BoostTrainTest(train, test, cfg)
+}
+
+// BoostCrossValidate runs stratified k-fold cross-validation of the boosted
+// ensemble on the same folds CrossValidate and ForestCrossValidate would use
+// for a given rng state.
+func BoostCrossValidate(ds *Dataset, k int, cfg BoostConfig, rng *rand.Rand) (Result, error) {
+	return eval.BoostCrossValidate(ds, k, cfg, rng)
+}
 
 // ForestAccuracy returns the fraction of test tuples the ensemble predicts
 // correctly.

@@ -1,0 +1,86 @@
+// Command udtlint runs the repo's custom static-analysis suite
+// (internal/lint) plus a curated subset of go vet over the packages matching
+// the given patterns (default ./...). It exits nonzero when any unsuppressed
+// finding remains, so CI can gate on it.
+//
+// Usage:
+//
+//	udtlint [-dir d] [-strict] [-novet] [patterns...]
+//
+// -strict additionally prints every finding silenced by a //udt:*-ok escape
+// hatch, for auditing; suppressed findings never fail the run. -novet skips
+// the go vet passes (useful in tests and tight edit loops — the custom
+// analyzers carry the repo-specific invariants).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+
+	"udt/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("udtlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", ".", "directory to resolve package patterns in")
+	strict := fs.Bool("strict", false, "also print findings silenced by //udt:*-ok directives")
+	novet := fs.Bool("novet", false, "skip the go vet passes")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "udtlint: %v\n", err)
+		return 2
+	}
+
+	failed := false
+	suppressed := 0
+	for _, d := range lint.RunAnalyzers(pkgs, lint.Analyzers) {
+		if d.Suppressed {
+			suppressed++
+			if *strict {
+				fmt.Fprintln(stdout, d)
+			}
+			continue
+		}
+		failed = true
+		fmt.Fprintln(stdout, d)
+	}
+	if *strict && suppressed == 0 {
+		fmt.Fprintln(stdout, "udtlint: no suppressed findings")
+	}
+
+	// The curated vet subset: passes whose findings would break the same
+	// invariants the custom analyzers guard (atomic misuse, copied locks,
+	// unsafe pointer conversions). Passing explicit flags makes vet run only
+	// these.
+	if !*novet {
+		cmd := exec.Command("go", append([]string{"vet", "-atomic", "-copylocks", "-unsafeptr"}, patterns...)...)
+		cmd.Dir = *dir
+		cmd.Stdout = stderr
+		cmd.Stderr = stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(stderr, "udtlint: go vet: %v\n", err)
+			failed = true
+		}
+	}
+
+	if failed {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunCleanOnRepo mirrors the CI gate: the full suite (custom analyzers
+// plus the vet subset) over the whole module must exit 0.
+func TestRunCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go vet over the whole module")
+	}
+	var out, errb strings.Builder
+	if code := run([]string{"-dir", "../..", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.String() != "" {
+		t.Errorf("unexpected findings:\n%s", out.String())
+	}
+}
+
+// TestRunStrictAuditsSuppressions lists the blessed escape hatches without
+// failing the run.
+func TestRunStrictAuditsSuppressions(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-dir", "../..", "-strict", "-novet", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "suppressed by //udt:alloc-ok") {
+		t.Errorf("strict mode did not list the audited outBuf suppressions:\n%s", out.String())
+	}
+}
+
+// TestRunFailsOnSeededViolation drops an unsorted map range into a scratch
+// module's forest package and asserts udtlint exits 1 with a diagnostic
+// naming the file, line and invariant.
+func TestRunFailsOnSeededViolation(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(dir, "forest", "bad.go"), `package forest
+
+func flatten(votes map[string]float64) []float64 {
+	var out []float64
+	for _, v := range votes {
+		out = append(out, v)
+	}
+	return out
+}
+`)
+	var out, errb strings.Builder
+	if code := run([]string{"-dir", dir, "-novet", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	got := out.String()
+	for _, needle := range []string{"bad.go:5:", "[maprange]", "nondeterministic order", "byte-identical"} {
+		if !strings.Contains(got, needle) {
+			t.Errorf("diagnostic missing %q:\n%s", needle, got)
+		}
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

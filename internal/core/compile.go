@@ -160,6 +160,8 @@ func (s *scratch) reset() {
 
 // numView returns a copy of num with attribute a replaced by p, drawn from
 // the scratch slab.
+//
+//udt:hotpath
 func (s *scratch) numView(num []*pdf.PDF, a int, p *pdf.PDF) []*pdf.PDF {
 	base := len(s.nums)
 	s.nums = append(s.nums, num...)
@@ -170,6 +172,8 @@ func (s *scratch) numView(num []*pdf.PDF, a int, p *pdf.PDF) []*pdf.PDF {
 
 // catView returns a copy of cat with attribute a collapsed onto domain value
 // v (the NewCatPoint of the recursive path), drawn from the scratch slabs.
+//
+//udt:hotpath
 func (s *scratch) catView(cat []data.CatDist, a, v, n int) []data.CatDist {
 	mb := len(s.mass)
 	for i := 0; i < n; i++ {
@@ -185,9 +189,11 @@ func (s *scratch) catView(cat []data.CatDist, a, v, n int) []data.CatDist {
 }
 
 // outBuf returns a zeroed distribution buffer of the given arity.
+//
+//udt:hotpath
 func (s *scratch) outBuf(nc int) []float64 {
 	if cap(s.out) < nc {
-		s.out = make([]float64, nc)
+		s.out = make([]float64, nc) //udt:alloc-ok amortised warm-up growth of pooled scratch
 	}
 	s.out = s.out[:nc]
 	for i := range s.out {
@@ -201,6 +207,8 @@ func (s *scratch) outBuf(nc int) []float64 {
 // Children are pushed in reverse so the LIFO stack visits leaves in exactly
 // the recursive order, keeping the floating-point summation identical to
 // Tree.Classify.
+//
+//udt:hotpath
 func (c *Compiled) classify(tu *data.Tuple, out []float64, s *scratch, w0 float64) {
 	nc := len(c.Classes)
 	s.reset()
@@ -272,6 +280,8 @@ func (c *Compiled) classify(tu *data.Tuple, out []float64, s *scratch, w0 float6
 // training weight each received, falling back to the node's own class
 // weights when no child carries weight — the compiled twin of
 // classifyByTrainingWeights.
+//
+//udt:hotpath
 func (c *Compiled) routeMissing(f cframe, out []float64, s *scratch, nc int) {
 	node := int(f.node)
 	lo, hi := int(c.start[node]), int(c.start[node+1])

@@ -363,6 +363,8 @@ var fscratchPool = sync.Pool{New: func() any { return new(fscratch) }}
 
 // projected fills the scratch tuple with tu restricted to the member's
 // attribute subset. The returned pointer is only valid until the next call.
+//
+//udt:hotpath
 func (s *fscratch) projected(tu *data.Tuple, m *member) *data.Tuple {
 	if m.numIdx == nil && m.catIdx == nil {
 		return tu
@@ -380,9 +382,11 @@ func (s *fscratch) projected(tu *data.Tuple, m *member) *data.Tuple {
 }
 
 // outBuf returns a zeroed distribution buffer of the given arity.
+//
+//udt:hotpath
 func (s *fscratch) outBuf(nc int) []float64 {
 	if cap(s.out) < nc {
-		s.out = make([]float64, nc)
+		s.out = make([]float64, nc) //udt:alloc-ok amortised warm-up growth of pooled scratch
 	}
 	s.out = s.out[:nc]
 	for i := range s.out {
@@ -396,6 +400,8 @@ func (s *fscratch) outBuf(nc int) []float64 {
 // summation is deterministic. use filters members; nil means all. It returns
 // the total vote weight that contributed (the member count for bagged
 // ensembles, whose weights are all 1).
+//
+//udt:hotpath
 func (f *Forest) accumulate(tu *data.Tuple, out []float64, s *fscratch, use func(t int) bool) float64 {
 	total := 0.0
 	for t := range f.members {

@@ -1,0 +1,262 @@
+// Package lint implements udtlint, the repo's custom static-analysis suite.
+// Each analyzer mechanically enforces one invariant that the runtime test
+// suite can only check after the fact: byte-identical models and predictions
+// across worker counts and seeds (maprange, seedsource), data-race-free
+// shared counters (atomicfield), and allocation-free inference hot loops
+// (hotalloc). The framework mirrors the golang.org/x/tools/go/analysis API
+// shape but is built on the standard library alone, loading type information
+// from the compiler's export data via `go list -export`.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// render formats an expression for a diagnostic message.
+func render(fset *token.FileSet, n ast.Node) string {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, fset, n); err != nil {
+		return "?"
+	}
+	return sb.String()
+}
+
+// An Analyzer checks one invariant over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Suppress is the comment directive (e.g. "udt:alloc-ok") that silences
+	// a finding when placed on the flagged line or the line directly above.
+	// Suppressed findings are retained with Diagnostic.Suppressed set so the
+	// -strict driver mode can audit them.
+	Suppress string
+	Run      func(*Pass)
+}
+
+// A Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    []Diagnostic
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos        token.Position
+	Analyzer   string
+	Message    string
+	Suppressed bool // an escape-hatch directive covers the site
+}
+
+func (d Diagnostic) String() string {
+	if d.Suppressed {
+		return fmt.Sprintf("%s: [%s] suppressed by //%s: %s", d.Pos, d.Analyzer, suppressDirective(d.Analyzer), d.Message)
+	}
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos, marking it suppressed when the
+// analyzer's escape-hatch directive covers the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	p.diags = append(p.diags, Diagnostic{
+		Pos:        position,
+		Analyzer:   p.Analyzer.Name,
+		Message:    fmt.Sprintf(format, args...),
+		Suppressed: p.Analyzer.Suppress != "" && p.suppressedAt(position),
+	})
+}
+
+// suppressedAt reports whether the analyzer's directive appears on the given
+// line or the line directly above it in the same file.
+func (p *Pass) suppressedAt(pos token.Position) bool {
+	for _, d := range directivesIn(p.Pkg, pos.Filename) {
+		if d.name == p.Analyzer.Suppress && (d.line == pos.Line || d.line == pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// directive is one "//udt:<name> ..." comment.
+type directive struct {
+	line int
+	name string
+}
+
+// directivesIn scans a file's comments for udt: directives.
+func directivesIn(pkg *Package, filename string) []directive {
+	var out []directive
+	for _, f := range pkg.Files {
+		if pkg.Fset.Position(f.Pos()).Filename != filename {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, "udt:") {
+					continue
+				}
+				name := text
+				if i := strings.IndexAny(name, " \t"); i >= 0 {
+					name = name[:i]
+				}
+				out = append(out, directive{line: pkg.Fset.Position(c.Pos()).Line, name: name})
+			}
+		}
+	}
+	return out
+}
+
+// hasDirective reports whether the comment group carries the directive.
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		first := text
+		if i := strings.IndexAny(first, " \t"); i >= 0 {
+			first = first[:i]
+		}
+		if first == name {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressDirective maps an analyzer name to its escape-hatch directive for
+// diagnostic rendering.
+func suppressDirective(analyzer string) string {
+	for _, a := range Analyzers {
+		if a.Name == analyzer {
+			return a.Suppress
+		}
+	}
+	return "udt:?"
+}
+
+// Analyzers is the full udtlint suite in reporting order.
+var Analyzers = []*Analyzer{
+	MapRange,
+	SeedSource,
+	AtomicField,
+	HotAlloc,
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// findings sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			a.Run(pass)
+			out = append(out, pass.diags...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// determinismCritical names the packages whose code paths produce model
+// bytes or predictions: the packages where an unordered map iteration or an
+// unseeded random source silently breaks the byte-identical-model guarantee
+// pinned by TestModelDeterminismMatrix. Gating is by package name (the last
+// import path element), which also lets analysistest fixtures opt in.
+var determinismCritical = map[string]bool{
+	"core":    true,
+	"split":   true,
+	"pdf":     true,
+	"forest":  true,
+	"boost":   true,
+	"modelio": true,
+}
+
+// inDeterminismCritical reports whether the package is gated.
+func inDeterminismCritical(pkg *Package) bool {
+	path := pkg.Path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		path = path[i+1:]
+	}
+	return determinismCritical[path]
+}
+
+// walkStack walks the AST depth-first, calling fn with each node and the
+// stack of its ancestors (outermost first, not including n itself). fn
+// returning false prunes the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false // pruned: Inspect sends no pop for this node
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// pkgFunc reports whether the call's callee is the named package-level
+// function (selector on an imported package, not a method).
+func pkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	obj := calleeObj(info, call)
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name &&
+		isPackageSelector(info, call.Fun)
+}
+
+// calleeObj resolves the object a call expression invokes, nil for builtins
+// and indirect calls.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isBuiltin reports whether the identifier resolves to a language builtin
+// (make, new, append, ...) rather than a user-defined shadow.
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isPackageSelector reports whether expr is pkg.Name with pkg an import (as
+// opposed to a method or field selector).
+func isPackageSelector(info *types.Info, expr ast.Expr) bool {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isPkg := info.Uses[id].(*types.PkgName)
+	return isPkg
+}

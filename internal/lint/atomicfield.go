@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField flags struct fields with mixed atomic and plain access — the
+// race pattern the wrapper types of sync/atomic were introduced to prevent.
+// Two rules:
+//
+//  1. A field passed as &x.f to a sync/atomic function anywhere in the
+//     package must be accessed that way everywhere: any plain read or write
+//     of the same field is reported.
+//  2. A field whose type is an atomic wrapper (atomic.Int64,
+//     atomic.Pointer[T], ...) may only be used as a method-call receiver or
+//     have its address taken; copying the wrapper value out of the struct
+//     is reported (the copy is torn from the atomic timeline).
+//
+// This guards the udtserve metrics counters and hot-reload generation
+// pointer, and the shared pruning threshold of internal/split/parallel.go.
+// The analyzer runs on every package: atomics are rare enough that gating
+// would only hide findings.
+var AtomicField = &Analyzer{
+	Name:     "atomicfield",
+	Doc:      "flags struct fields accessed both atomically and plainly",
+	Suppress: "udt:atomic-ok",
+	Run:      runAtomicField,
+}
+
+func runAtomicField(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Pass 1: find fields that are operands of old-style sync/atomic calls
+	// (atomic.AddInt64(&x.f, ...) and friends).
+	atomicOps := map[types.Object]bool{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFuncCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if fld := addrOfField(info, arg); fld != nil {
+					atomicOps[fld] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: classify every selector use of (a) the fields found above and
+	// (b) fields whose type is an atomic wrapper.
+	for _, f := range pass.Pkg.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fld := fieldObject(info, sel)
+			if fld == nil {
+				return true
+			}
+			if atomicOps[fld] && !isAtomicContext(info, sel, stack) {
+				pass.Reportf(sel.Sel.Pos(),
+					"field %s is accessed via sync/atomic elsewhere in this package but plainly here "+
+						"(invariant: a field on the atomic timeline must never see a plain load/store); "+
+						"use the matching sync/atomic call or an atomic wrapper type",
+					fld.Name())
+				return true
+			}
+			if isAtomicWrapper(fld.Type()) && !isWrapperSafeContext(sel, stack) {
+				pass.Reportf(sel.Sel.Pos(),
+					"atomic wrapper field %s is copied or read as a plain value "+
+						"(invariant: wrapper fields are only usable through their methods or by address); "+
+						"call .Load()/.Store() or pass &%s",
+					fld.Name(), render(pass.Pkg.Fset, sel))
+			}
+			return true
+		})
+	}
+}
+
+// rangeValueless reports whether the range statement binds no value
+// variable (blank counts as none).
+func rangeValueless(rs *ast.RangeStmt) bool {
+	if rs.Value == nil {
+		return true
+	}
+	id, ok := rs.Value.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isAtomicFuncCall reports whether the call invokes a package-level
+// sync/atomic function (Load*/Store*/Add*/Swap*/CompareAndSwap*).
+func isAtomicFuncCall(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeObj(info, call)
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" &&
+		isPackageSelector(info, call.Fun)
+}
+
+// addrOfField returns the field object when expr is &x.f (possibly
+// parenthesised), nil otherwise.
+func addrOfField(info *types.Info, expr ast.Expr) types.Object {
+	un, ok := ast.Unparen(expr).(*ast.UnaryExpr)
+	if !ok || un.Op.String() != "&" {
+		return nil
+	}
+	sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return fieldObject(info, sel)
+}
+
+// fieldObject resolves a selector to a struct field object, nil for
+// methods, package selectors, and non-field selections.
+func fieldObject(info *types.Info, sel *ast.SelectorExpr) types.Object {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj()
+}
+
+// isAtomicContext reports whether the selector is used as &sel inside a
+// sync/atomic call argument.
+func isAtomicContext(info *types.Info, sel *ast.SelectorExpr, stack []ast.Node) bool {
+	// Expect ... CallExpr > UnaryExpr(&) > [ParenExpr...] > sel.
+	i := len(stack) - 1
+	for i >= 0 {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return false
+	}
+	un, ok := stack[i].(*ast.UnaryExpr)
+	if !ok || un.Op.String() != "&" {
+		return false
+	}
+	for j := i - 1; j >= 0; j-- {
+		if _, ok := stack[j].(*ast.ParenExpr); ok {
+			continue
+		}
+		call, ok := stack[j].(*ast.CallExpr)
+		return ok && isAtomicFuncCall(info, call)
+	}
+	return false
+}
+
+// isAtomicWrapper reports whether t is one of the sync/atomic wrapper types
+// (atomic.Int64, atomic.Pointer[T], ...), or an array of them.
+func isAtomicWrapper(t types.Type) bool {
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		return isAtomicWrapper(arr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// isWrapperSafeContext reports whether a selector of an atomic wrapper
+// field appears in a safe position: as the receiver of a further selection
+// (method call), under an address-of, or behind index expressions that lead
+// to one of those (arrays of wrapper counters).
+func isWrapperSafeContext(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	child := ast.Node(sel)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			child = parent
+			continue
+		case *ast.IndexExpr:
+			// s.batch[i] — only transparent when the wrapper selector is
+			// the indexed operand, not the index.
+			if parent.X != child {
+				return false
+			}
+			child = parent
+			continue
+		case *ast.SelectorExpr:
+			// s.n.Load — the wrapper is the receiver of a method selection.
+			return parent.X == child
+		case *ast.UnaryExpr:
+			return parent.Op.String() == "&"
+		case *ast.RangeStmt:
+			// Index-only range over an array of wrappers copies nothing (the
+			// spec skips evaluating a constant-length array when at most one
+			// iteration variable is present); a value variable would copy
+			// every element off the atomic timeline.
+			return parent.X == child && rangeValueless(parent)
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,26 @@
+package lint_test
+
+import (
+	"testing"
+
+	"udt/internal/lint"
+	"udt/internal/lint/linttest"
+)
+
+func TestAtomicFieldPositive(t *testing.T) {
+	linttest.Run(t, "testdata/src/atomicfield_pos", "udt/cmd/udtserve", lint.AtomicField)
+}
+
+func TestAtomicFieldNegative(t *testing.T) {
+	linttest.Run(t, "testdata/src/atomicfield_neg", "udt/cmd/udtserve", lint.AtomicField)
+}
+
+func TestAtomicFieldSuppressionAudited(t *testing.T) {
+	linttest.Suppressed(t, "testdata/src/atomicfield_neg", "udt/cmd/udtserve", lint.AtomicField, 1)
+}
+
+// atomicfield is deliberately ungated: mixed access is a bug in any
+// package, so the positive fixture must fire under any import path.
+func TestAtomicFieldRunsEverywhere(t *testing.T) {
+	linttest.Run(t, "testdata/src/atomicfield_pos", "udt/internal/anything", lint.AtomicField)
+}

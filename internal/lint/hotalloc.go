@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc flags heap allocations inside functions marked //udt:hotpath —
+// the compiled-descent and batch-classify loops where the sync.Pool scratch
+// / arena pattern is mandatory and a stray allocation silently reverts the
+// zero-alloc property pinned by BenchmarkCompiledVsRecursive. Flagged in a
+// hotpath function:
+//
+//   - make(...) and new(...)
+//   - slice, map, and pointer composite literals ([]T{...}, map[K]V{...},
+//     &T{...}; plain value struct literals copied into slabs are fine)
+//   - append to a slice declared inside the function itself (a fresh
+//     accumulator growing per call, rather than a pooled slab reached
+//     through a parameter or receiver)
+//
+// Amortised growth of pooled scratch (the warm-up make in an outBuf-style
+// helper) carries an explicit //udt:alloc-ok comment, which the -strict
+// driver mode reports for audit.
+var HotAlloc = &Analyzer{
+	Name:     "hotalloc",
+	Doc:      "flags allocations in //udt:hotpath functions",
+	Suppress: "udt:alloc-ok",
+	Run:      runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasDirective(fn.Doc, "udt:hotpath") {
+				continue
+			}
+			checkHotFunc(pass, info, fn)
+		}
+	}
+}
+
+func checkHotFunc(pass *Pass, info *types.Info, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && isBuiltin(info, id) {
+				switch id.Name {
+				case "make", "new":
+					pass.Reportf(n.Pos(),
+						"%s allocates inside //udt:hotpath function %s "+
+							"(invariant: hot inference loops perform no steady-state allocation); "+
+							"draw from the pooled scratch/arena or annotate //udt:alloc-ok",
+						id.Name, name)
+				case "append":
+					if dst := localSliceArg(info, fn, n); dst != "" {
+						pass.Reportf(n.Pos(),
+							"append grows function-local slice %s inside //udt:hotpath function %s "+
+								"(invariant: hot inference loops perform no steady-state allocation); "+
+								"reuse a pooled slab ([:0] reset) or annotate //udt:alloc-ok",
+							dst, name)
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(),
+						"&%s escapes to the heap inside //udt:hotpath function %s "+
+							"(invariant: hot inference loops perform no steady-state allocation); "+
+							"recycle via sync.Pool/arena or annotate //udt:alloc-ok",
+						render(pass.Pkg.Fset, cl.Type), name)
+					return false // the literal is already reported as part of this site
+				}
+			}
+		case *ast.CompositeLit:
+			tv, ok := info.Types[n]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(n.Pos(),
+					"composite literal allocates a %s inside //udt:hotpath function %s "+
+						"(invariant: hot inference loops perform no steady-state allocation); "+
+						"reuse pooled storage or annotate //udt:alloc-ok",
+					kindName(tv.Type.Underlying()), name)
+			}
+		}
+		return true
+	})
+}
+
+func kindName(t types.Type) string {
+	switch t.(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "value"
+}
+
+// localSliceArg returns the name of append's destination when it is an
+// identifier declared inside the function body (a fresh per-call
+// accumulator), "" otherwise — appends to slabs reached through receivers,
+// parameters, or package state are the blessed amortised pattern.
+func localSliceArg(info *types.Info, fn *ast.FuncDecl, call *ast.CallExpr) string {
+	if len(call.Args) == 0 {
+		return ""
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	obj := objectOf(info, id)
+	if obj == nil {
+		return ""
+	}
+	if obj.Pos() >= fn.Body.Pos() && obj.Pos() <= fn.Body.End() {
+		return id.Name
+	}
+	return ""
+}

@@ -1,0 +1,26 @@
+package lint_test
+
+import (
+	"testing"
+
+	"udt/internal/lint"
+	"udt/internal/lint/linttest"
+)
+
+func TestHotAllocPositive(t *testing.T) {
+	linttest.Run(t, "testdata/src/hotalloc_pos", "udt/internal/core", lint.HotAlloc)
+}
+
+func TestHotAllocNegative(t *testing.T) {
+	linttest.Run(t, "testdata/src/hotalloc_neg", "udt/internal/core", lint.HotAlloc)
+}
+
+func TestHotAllocSuppressionAudited(t *testing.T) {
+	linttest.Suppressed(t, "testdata/src/hotalloc_neg", "udt/internal/core", lint.HotAlloc, 1)
+}
+
+// hotalloc gates on the //udt:hotpath marker, not the package: marked
+// functions are held to the zero-alloc invariant wherever they live.
+func TestHotAllocMarkerGatedNotPackageGated(t *testing.T) {
+	linttest.Run(t, "testdata/src/hotalloc_pos", "udt/internal/anything", lint.HotAlloc)
+}

@@ -1,0 +1,167 @@
+// Package linttest runs udtlint analyzers over fixture packages under
+// testdata/src, comparing diagnostics against // want "regexp" comments —
+// the same convention as golang.org/x/tools' analysistest, implemented on
+// the repo's stdlib-only lint framework.
+//
+// A fixture directory is one package; the import path passed to Run decides
+// gating (the determinism analyzers gate on the path's last element), so a
+// fixture named testdata/src/maprange_pos can still pose as package "core".
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"udt/internal/lint"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// expectation is one // want comment: a file line plus the regexps every
+// diagnostic on that line must match (one diagnostic per regexp).
+type expectation struct {
+	file string
+	line int
+	res  []*regexp.Regexp
+}
+
+// Run loads the fixture package in dir under the pretend import path,
+// applies the analyzer, and fails the test unless the unsuppressed
+// diagnostics exactly match the fixture's // want comments.
+func Run(t *testing.T, dir, importPath string, a *lint.Analyzer) {
+	t.Helper()
+	diags := run(t, dir, importPath, a)
+
+	var unsuppressed []lint.Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			unsuppressed = append(unsuppressed, d)
+		}
+	}
+	wants, err := parseWants(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	matched := make([]bool, len(unsuppressed))
+	for _, w := range wants {
+		for _, re := range w.res {
+			found := false
+			for i, d := range unsuppressed {
+				if !matched[i] && filepath.Base(d.Pos.Filename) == w.file && d.Pos.Line == w.line && re.MatchString(d.Message) {
+					matched[i] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, re)
+			}
+		}
+	}
+	for i, d := range unsuppressed {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// Empty loads the fixture and asserts the analyzer reports nothing at all,
+// ignoring any // want comments — the harness for gating tests that reuse a
+// positive fixture under an out-of-scope import path.
+func Empty(t *testing.T, dir, importPath string, a *lint.Analyzer) {
+	t.Helper()
+	for _, d := range run(t, dir, importPath, a) {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+// Suppressed loads the fixture and asserts the number of findings the
+// analyzer recorded as silenced by its escape-hatch directive — the set the
+// -strict driver mode audits.
+func Suppressed(t *testing.T, dir, importPath string, a *lint.Analyzer, want int) {
+	t.Helper()
+	diags := run(t, dir, importPath, a)
+	got := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			got++
+		}
+	}
+	if got != want {
+		t.Errorf("%s over %s: %d suppressed findings, want %d\n%v", a.Name, dir, got, want, diags)
+	}
+}
+
+func run(t *testing.T, dir, importPath string, a *lint.Analyzer) []lint.Diagnostic {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a})
+}
+
+// parseWants scans the fixture sources for // want comments.
+func parseWants(dir string) ([]expectation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(raw), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			res, err := parsePatterns(m[1])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", e.Name(), i+1, err)
+			}
+			out = append(out, expectation{file: e.Name(), line: i + 1, res: res})
+		}
+	}
+	return out, nil
+}
+
+// parsePatterns splits a want payload of one or more quoted or backquoted
+// regexps.
+func parsePatterns(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("want pattern must be quoted: %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want pattern: %q", s)
+		}
+		lit := s[:end+2]
+		s = strings.TrimSpace(s[end+2:])
+		text, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, err
+		}
+		re, err := regexp.Compile(text)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, re)
+	}
+	return out, nil
+}

@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path (or the pretend path of a fixture package)
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (resolved relative to dir)
+// and returns each non-dependency match parsed and type-checked. Type
+// information for imports — the standard library included — comes from the
+// compiler's export data reported by `go list -export`, so loading needs
+// only the stdlib go/types machinery and stays proportional to the target
+// packages, not their dependency cone.
+//
+// Only GoFiles are analyzed: _test.go files never ship model bytes, so the
+// determinism analyzers deliberately skip them.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=Dir,ImportPath,Name,Export,GoFiles,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.Bytes())
+	}
+
+	exports := map[string]string{}
+	var targets []listEntry
+	dec := json.NewDecoder(&stdout)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if e.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", e.ImportPath, e.Error.Err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly && !e.Standard {
+			targets = append(targets, e)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	pkgs := make([]*Package, 0, len(targets))
+	for _, e := range targets {
+		files := make([]string, len(e.GoFiles))
+		for i, f := range e.GoFiles {
+			files[i] = filepath.Join(e.Dir, f)
+		}
+		pkg, err := checkFiles(fset, imp, e.ImportPath, e.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package rooted at dir (every
+// non-test .go file in it) under the given import path. It is the fixture
+// loader: testdata packages live outside the module, so the caller assigns
+// the path the analyzers should gate on. Imports are restricted to whatever
+// export data the go tool can produce for them (the standard library, in
+// practice).
+func LoadDir(dir, path string) (*Package, error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	imports := map[string]bool{}
+	for _, n := range names {
+		if n.IsDir() || !strings.HasSuffix(n.Name(), ".go") || strings.HasSuffix(n.Name(), "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, n.Name()))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(files)
+
+	// One pass to discover the fixture's imports so `go list -export` can
+	// materialise their export data.
+	fset := token.NewFileSet()
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, im := range af.Imports {
+			p, err := strconv.Unquote(im.Path.Value)
+			if err == nil {
+				imports[p] = true
+			}
+		}
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		args := append([]string{
+			"list", "-e", "-export", "-deps",
+			"-json=ImportPath,Export,Error",
+		}, sortedKeys(imports)...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = dir
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("go list: %v\n%s", err, stderr.Bytes())
+		}
+		dec := json.NewDecoder(&stdout)
+		for {
+			var e listEntry
+			if err := dec.Decode(&e); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if e.Export != "" {
+				exports[e.ImportPath] = e.Export
+			}
+		}
+	}
+	fset = token.NewFileSet()
+	return checkFiles(fset, newExportImporter(fset, exports), path, dir, files)
+}
+
+// checkFiles parses and type-checks one package's files.
+func checkFiles(fset *token.FileSet, imp types.Importer, path, dir string, files []string) (*Package, error) {
+	asts := make([]*ast.File, 0, len(files))
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, af)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Name:  tpkg.Name(),
+		Dir:   dir,
+		Fset:  fset,
+		Files: asts,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// newExportImporter resolves imports through the compiler export data files
+// indexed by import path ("unsafe" is built in).
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange flags `for range` over a map in determinism-critical packages.
+// Go randomises map iteration order per run, so any map range on a path
+// that produces model bytes or predictions breaks the byte-identical
+// guarantee pinned by TestModelDeterminismMatrix.
+//
+// One idiom is recognised as safe and not reported: a range whose body does
+// nothing but collect the keys into a slice that the same function later
+// sorts (sort.Strings/Ints/Float64s/Slice/SliceStable or slices.Sort*).
+// Anything else — including genuinely order-insensitive folds — must carry
+// an explicit //udt:nondeterministic-ok comment stating why, which the
+// -strict driver mode reports for audit.
+var MapRange = &Analyzer{
+	Name:     "maprange",
+	Doc:      "flags nondeterministic map iteration in determinism-critical packages",
+	Suppress: "udt:nondeterministic-ok",
+	Run:      runMapRange,
+}
+
+func runMapRange(pass *Pass) {
+	if !inDeterminismCritical(pass.Pkg) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sortedKeyCollection(info, rs, enclosingFuncBody(stack)) {
+				return true
+			}
+			pass.Reportf(rs.For,
+				"range over map %s iterates in nondeterministic order inside determinism-critical package %q "+
+					"(invariant: byte-identical models/predictions across runs); "+
+					"sort the keys before use or annotate //udt:nondeterministic-ok",
+				render(pass.Pkg.Fset, rs.X), pass.Pkg.Name)
+			return true
+		})
+	}
+}
+
+// enclosingFuncBody returns the body of the innermost function declaration
+// or literal on the stack, nil when the node is at package scope.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// sortedKeyCollection reports whether rs is the blessed key-collection
+// idiom: the loop body is exactly `keys = append(keys, k)` over the key
+// variable, and the enclosing function later passes that slice to a sort.
+func sortedKeyCollection(info *types.Info, rs *ast.RangeStmt, body *ast.BlockStmt) bool {
+	if body == nil || rs.Body == nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	if rs.Value != nil {
+		if v, ok := rs.Value.(*ast.Ident); !ok || v.Name != "_" {
+			return false
+		}
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	dst, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" || !isBuiltin(info, fn) {
+		return false
+	}
+	src, ok := call.Args[0].(*ast.Ident)
+	if !ok || objectOf(info, src) == nil || objectOf(info, src) != objectOf(info, dst) {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	if !ok || objectOf(info, arg) != objectOf(info, key) {
+		return false
+	}
+	// The collected slice must reach a sort call later in the function.
+	slice := objectOf(info, dst)
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		if !isSortCall(info, call) {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && objectOf(info, id) == slice {
+			sorted = true
+		}
+		return true
+	})
+	return sorted
+}
+
+// isSortCall reports whether the call invokes a sorting function from sort
+// or slices.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeObj(info, call)
+	if obj == nil || obj.Pkg() == nil || !isPackageSelector(info, call.Fun) {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sort":
+		switch obj.Name() {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return true
+		}
+	case "slices":
+		switch obj.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// objectOf resolves an identifier to its object, following both uses and
+// definitions.
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

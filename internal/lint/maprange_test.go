@@ -1,0 +1,29 @@
+package lint_test
+
+import (
+	"testing"
+
+	"udt/internal/lint"
+	"udt/internal/lint/linttest"
+)
+
+func TestMapRangePositive(t *testing.T) {
+	linttest.Run(t, "testdata/src/maprange_pos", "udt/internal/core", lint.MapRange)
+}
+
+func TestMapRangeNegative(t *testing.T) {
+	linttest.Run(t, "testdata/src/maprange_neg", "udt/internal/core", lint.MapRange)
+}
+
+// The escape hatch stays auditable: the suppressed finding is retained for
+// the -strict driver mode rather than dropped.
+func TestMapRangeSuppressionAudited(t *testing.T) {
+	linttest.Suppressed(t, "testdata/src/maprange_neg", "udt/internal/core", lint.MapRange, 1)
+}
+
+// A package outside the determinism-critical set is not gated, no matter
+// how many maps it ranges over.
+func TestMapRangeUngatedPackage(t *testing.T) {
+	linttest.Run(t, "testdata/src/maprange_ungated", "udt/internal/other", lint.MapRange)
+	linttest.Suppressed(t, "testdata/src/maprange_ungated", "udt/internal/other", lint.MapRange, 0)
+}

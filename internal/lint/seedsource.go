@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SeedSource flags random and clock sources that break model-byte
+// reproducibility in determinism-critical packages: calls to the global
+// math/rand (or math/rand/v2) source, explicit reseeding, and time.Now.
+// The blessed pattern is a rand.New(rand.NewSource(seed)) stream whose seed
+// is a constant or derived deterministically — the per-tree splitmix64
+// streams of internal/forest (treeSeed) are the reference.
+var SeedSource = &Analyzer{
+	Name:     "seedsource",
+	Doc:      "flags unseeded randomness and wall-clock reads in model-byte-producing packages",
+	Suppress: "udt:nondeterministic-ok",
+	Run:      runSeedSource,
+}
+
+// randConstructors are the math/rand functions that build an explicit,
+// seedable source rather than drawing from the global one.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runSeedSource(pass *Pass) {
+	if !inDeterminismCritical(pass.Pkg) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObj(info, call)
+			if obj == nil || obj.Pkg() == nil || !isPackageSelector(info, call.Fun) {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if obj.Name() == "Seed" {
+					pass.Reportf(call.Pos(),
+						"rand.Seed reseeds the process-global source inside determinism-critical package %q "+
+							"(invariant: byte-identical models across runs); "+
+							"build a local rand.New(rand.NewSource(seed)) stream instead (see forest.treeSeed)",
+						pass.Pkg.Name)
+					return true
+				}
+				if !randConstructors[obj.Name()] {
+					pass.Reportf(call.Pos(),
+						"%s draws from the process-global math/rand source inside determinism-critical package %q "+
+							"(invariant: byte-identical models across runs); "+
+							"use a rand.New(rand.NewSource(seed)) stream with a constant or derived seed (see forest.treeSeed)",
+						render(pass.Pkg.Fset, call.Fun), pass.Pkg.Name)
+				}
+			case "time":
+				if obj.Name() == "Now" {
+					pass.Reportf(call.Pos(),
+						"time.Now consults the wall clock inside determinism-critical package %q "+
+							"(invariant: model bytes must depend only on data, config, and seed); "+
+							"thread timestamps in from the caller or annotate //udt:nondeterministic-ok",
+						pass.Pkg.Name)
+				}
+			}
+			return true
+		})
+	}
+}

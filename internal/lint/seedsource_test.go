@@ -1,0 +1,26 @@
+package lint_test
+
+import (
+	"testing"
+
+	"udt/internal/lint"
+	"udt/internal/lint/linttest"
+)
+
+func TestSeedSourcePositive(t *testing.T) {
+	linttest.Run(t, "testdata/src/seedsource_pos", "udt/internal/forest", lint.SeedSource)
+}
+
+func TestSeedSourceNegative(t *testing.T) {
+	linttest.Run(t, "testdata/src/seedsource_neg", "udt/internal/forest", lint.SeedSource)
+}
+
+func TestSeedSourceSuppressionAudited(t *testing.T) {
+	linttest.Suppressed(t, "testdata/src/seedsource_neg", "udt/internal/forest", lint.SeedSource, 1)
+}
+
+// The same sources are fine outside the model-byte-producing packages
+// (cmd/udtgen seeds from a flag, examples from constants).
+func TestSeedSourceUngatedPackage(t *testing.T) {
+	linttest.Empty(t, "testdata/src/seedsource_pos", "udt/cmd/udtgen", lint.SeedSource)
+}

@@ -1,0 +1,61 @@
+// Negative atomicfield fixtures: consistent old-style atomics, wrapper
+// fields used through methods, indexed wrapper arrays, address-of, and an
+// audited suppression.
+package srv
+
+import "sync/atomic"
+
+type counters struct {
+	hits    int64
+	gen     atomic.Int64
+	active  atomic.Pointer[counters]
+	batch   [4]atomic.Int64
+	plainN  int64 // never touched atomically: plain access is fine
+	initGen int64
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) read() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counters) wrappers() int64 {
+	c.gen.Add(1)
+	c.batch[2].Add(1)
+	if p := c.active.Load(); p != nil {
+		return p.gen.Load()
+	}
+	return c.gen.Load()
+}
+
+// rangeByIndex iterates the wrapper array without binding values: the spec
+// never evaluates (or copies) the array, every load goes through .Load.
+func (c *counters) rangeByIndex() int64 {
+	t := int64(0)
+	for i := range c.batch {
+		t += c.batch[i].Load()
+	}
+	return t
+}
+
+// byAddress hands the wrapper to a helper by pointer — still one timeline.
+func (c *counters) byAddress() *atomic.Int64 {
+	return &c.gen
+}
+
+func (c *counters) plain() int64 {
+	c.plainN++
+	return c.plainN
+}
+
+// snapshot reads the counter plainly during single-threaded construction,
+// with the audited escape hatch.
+func (c *counters) snapshot() int64 {
+	//udt:atomic-ok constructor runs before any goroutine shares c
+	g := c.initGen
+	atomic.StoreInt64(&c.initGen, g)
+	return g
+}

@@ -1,0 +1,45 @@
+// Positive atomicfield fixtures: mixed atomic/plain access to the same
+// field, and atomic wrapper values copied out of their struct.
+package srv
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64 // accessed via atomic.AddInt64 below
+	gen   atomic.Int64
+	batch [4]atomic.Int64
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// read loads the atomically-written counter with a plain read.
+func (c *counters) read() int64 {
+	return c.hits // want `field hits is accessed via sync/atomic elsewhere in this package but plainly here`
+}
+
+// reset writes it plainly.
+func (c *counters) reset() {
+	c.hits = 0 // want `field hits is accessed via sync/atomic elsewhere in this package but plainly here`
+}
+
+// copyGen tears a wrapper value out of the atomic timeline.
+func (c *counters) copyGen() atomic.Int64 {
+	return c.gen // want `atomic wrapper field gen is copied or read as a plain value`
+}
+
+// copyBatch copies a whole array of wrappers.
+func (c *counters) copyBatch() [4]atomic.Int64 {
+	return c.batch // want `atomic wrapper field batch is copied or read as a plain value`
+}
+
+// rangeCopies binds a value variable, copying every element off the atomic
+// timeline.
+func (c *counters) rangeCopies() int64 {
+	t := int64(0)
+	for _, b := range c.batch { // want `atomic wrapper field batch is copied or read as a plain value`
+		t += b.Load()
+	}
+	return t
+}

@@ -1,0 +1,51 @@
+// Negative hotalloc fixtures: unmarked functions may allocate freely;
+// marked functions using the pooled-slab pattern stay quiet; amortised
+// warm-up growth carries the audited escape hatch.
+package hot
+
+type frame struct {
+	node int
+	w    float64
+}
+
+type scratch struct {
+	frames []frame
+	out    []float64
+}
+
+// cold is not marked: the analyzer has no opinion.
+func cold(n int) []float64 {
+	return make([]float64, n)
+}
+
+// descend appends value literals into a slab reached through the receiver —
+// the blessed zero-steady-state-allocation pattern.
+//
+//udt:hotpath
+func (s *scratch) descend(n int) {
+	s.frames = s.frames[:0]
+	for i := 0; i < n; i++ {
+		s.frames = append(s.frames, frame{node: i, w: 1})
+	}
+}
+
+// fill appends into a slab owned by a parameter.
+//
+//udt:hotpath
+func fill(s *scratch, xs []float64) {
+	s.out = append(s.out, xs...)
+}
+
+// outBuf grows its pooled buffer once during warm-up, audited.
+//
+//udt:hotpath
+func (s *scratch) outBuf(nc int) []float64 {
+	if cap(s.out) < nc {
+		s.out = make([]float64, nc) //udt:alloc-ok amortised warm-up growth of pooled scratch
+	}
+	s.out = s.out[:nc]
+	for i := range s.out {
+		s.out[i] = 0
+	}
+	return s.out
+}

@@ -1,0 +1,43 @@
+// Positive hotalloc fixtures: allocations inside //udt:hotpath functions.
+package hot
+
+type frame struct {
+	node int
+	w    float64
+}
+
+//udt:hotpath
+func viaMake(n int) []float64 {
+	return make([]float64, n) // want `make allocates inside //udt:hotpath function viaMake`
+}
+
+//udt:hotpath
+func viaNew() *frame {
+	return new(frame) // want `new allocates inside //udt:hotpath function viaNew`
+}
+
+//udt:hotpath
+func viaPointerLit(n int) *frame {
+	return &frame{node: n} // want `&frame escapes to the heap inside //udt:hotpath function viaPointerLit`
+}
+
+//udt:hotpath
+func viaSliceLit(n int) []int {
+	return []int{n} // want `composite literal allocates a slice inside //udt:hotpath function viaSliceLit`
+}
+
+//udt:hotpath
+func viaMapLit(k string) map[string]int {
+	return map[string]int{k: 1} // want `composite literal allocates a map inside //udt:hotpath function viaMapLit`
+}
+
+// viaLocalAppend grows a fresh accumulator on every call.
+//
+//udt:hotpath
+func viaLocalAppend(n int) []int {
+	var acc []int
+	for i := 0; i < n; i++ {
+		acc = append(acc, i) // want `append grows function-local slice acc inside //udt:hotpath function viaLocalAppend`
+	}
+	return acc
+}

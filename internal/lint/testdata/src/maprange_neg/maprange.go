@@ -1,0 +1,53 @@
+// Negative maprange fixtures: the sorted-key-collection idiom, an audited
+// suppression, and non-map ranges — none may be reported.
+package core
+
+import (
+	"slices"
+	"sort"
+)
+
+// keysSorted is the blessed idiom: collect, then sort before use.
+func keysSorted(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// keysSlicesSorted uses the slices package for the same idiom.
+func keysSlicesSorted(m map[int]bool) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	slices.Sort(ks)
+	return ks
+}
+
+// total is order-insensitive and says so with the audited escape hatch.
+func total(m map[string]float64) float64 {
+	t := 0.0
+	//udt:nondeterministic-ok summation is order-insensitive up to float rounding, pinned by TestTotals
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// slicesAndChannels exercises non-map ranges, which are always fine.
+func slicesAndChannels(xs []int, ch chan int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	for x := range ch {
+		t += x
+	}
+	for i := range 3 {
+		t += i
+	}
+	return t
+}

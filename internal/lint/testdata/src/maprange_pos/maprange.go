@@ -1,0 +1,32 @@
+// Positive maprange fixtures: package name "core" opts into the
+// determinism-critical gate.
+package core
+
+// sum folds map values in iteration order — nondeterministic.
+func sum(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m { // want `range over map m iterates in nondeterministic order`
+		t += v
+	}
+	return t
+}
+
+// keysUnsorted collects keys but never sorts them.
+func keysUnsorted(m map[string]int) []string {
+	var ks []string
+	for k := range m { // want `range over map m iterates in nondeterministic order`
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// nested maps are still maps.
+func nested(mm map[int]map[int]bool) int {
+	n := 0
+	for k := range mm { // want `range over map mm iterates`
+		for range mm[k] { // want `range over map mm\[k\] iterates`
+			n++
+		}
+	}
+	return n
+}

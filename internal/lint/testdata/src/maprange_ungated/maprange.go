@@ -1,0 +1,11 @@
+// Ungated package: map ranges outside the determinism-critical set are not
+// the maprange analyzer's business.
+package other
+
+func anyOrder(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

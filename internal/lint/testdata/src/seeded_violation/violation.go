@@ -1,0 +1,13 @@
+// A deliberate determinism violation, loaded by the integration test under
+// the pretend path udt/internal/forest: serialising attribute votes straight
+// out of a map range would make model bytes depend on Go's randomized map
+// iteration order.
+package forest
+
+func flatten(votes map[string]float64) []float64 {
+	var out []float64
+	for _, v := range votes {
+		out = append(out, v)
+	}
+	return out
+}

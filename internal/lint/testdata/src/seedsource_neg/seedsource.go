@@ -1,0 +1,38 @@
+// Negative seedsource fixtures: seeded streams and stream methods are the
+// blessed pattern; time.Since-style helpers on caller-provided values and
+// audited suppressions stay quiet.
+package forest
+
+import (
+	"math/rand"
+	"time"
+)
+
+// seeded is the reference pattern: a constant or derived seed.
+func seeded(seed int64, t int) *rand.Rand {
+	return rand.New(rand.NewSource(derive(seed, t)))
+}
+
+// derive mirrors forest.treeSeed: pure arithmetic on the base seed.
+func derive(seed int64, t int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(t+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	return int64(z ^ (z >> 31))
+}
+
+// draw uses stream methods, not package-level functions.
+func draw(rng *rand.Rand, n int) int {
+	return rng.Intn(n)
+}
+
+// elapsed operates on a caller-provided instant; only time.Now is flagged.
+func elapsed(start, end time.Time) time.Duration {
+	return end.Sub(start)
+}
+
+// audited keeps a clock read behind the escape hatch (e.g. training
+// telemetry that never reaches model bytes).
+func audited() int64 {
+	//udt:nondeterministic-ok telemetry only, never serialized into the model
+	return time.Now().UnixNano()
+}

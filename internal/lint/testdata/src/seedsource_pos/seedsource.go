@@ -1,0 +1,36 @@
+// Positive seedsource fixtures: package name "forest" opts into the
+// model-byte-producing gate.
+package forest
+
+import (
+	"math/rand"
+	"time"
+)
+
+// globalDraw uses the process-global source.
+func globalDraw(n int) int {
+	return rand.Intn(n) // want `draws from the process-global math/rand source`
+}
+
+// globalShuffle too, through a different entry point.
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want `draws from the process-global math/rand source`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// reseed mutates the global source for everyone.
+func reseed(seed int64) {
+	rand.Seed(seed) // want `reseeds the process-global source`
+}
+
+// clock reads wall time into a model-byte path.
+func clock() int64 {
+	return time.Now().UnixNano() // want `consults the wall clock`
+}
+
+// timeSeeded builds a stream, but from the clock: both halves are wrong —
+// the clock read itself is flagged.
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `consults the wall clock`
+}

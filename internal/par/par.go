@@ -14,6 +14,8 @@ import (
 // Argmax returns the index of the largest value, lowest index winning ties —
 // the prediction convention of Tree.Predict, shared by every consumer that
 // holds a classification distribution. It panics on an empty slice.
+//
+//udt:hotpath
 func Argmax(xs []float64) int {
 	best, bestP := 0, xs[0]
 	for i, x := range xs {
@@ -36,6 +38,8 @@ const BatchGrain = 64
 // releases it through teardown, so pooled scratch is fetched once per worker
 // rather than once per item. fn must be safe to call concurrently for
 // distinct indices.
+//
+//udt:hotpath
 func ForEach[S any](n, workers int, setup func() S, fn func(i int, s S), teardown func(S)) {
 	if workers > n {
 		workers = n

@@ -30,6 +30,8 @@ func (a *SplitArena) Reset() {
 // SplitAtArena is SplitAt with the result storage drawn from the arena. The
 // returned PDFs are valid until the next call to a.Reset. A nil arena falls
 // back to the allocating SplitAt.
+//
+//udt:hotpath
 func (p *PDF) SplitAtArena(z float64, a *SplitArena) (left, right *PDF, pL float64) {
 	if a == nil {
 		return p.SplitAt(z)

@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: example|datasets|accuracy|noise|time|pruning|s-sweep|w-sweep|gini|point|es-ablation|endpoint-ablation|speedup|forest|boost|stream|all")
+		exp      = flag.String("exp", "all", "experiment: example|datasets|accuracy|noise|time|pruning|s-sweep|w-sweep|gini|point|es-ablation|endpoint-ablation|speedup|forest|boost|earlyexit|stream|all")
 		scale    = flag.Float64("scale", 0.1, "dataset scale in (0,1]; 1 = Table 2 sizes")
 		s        = flag.Int("s", 100, "sample points per pdf")
 		w        = flag.Float64("w", 0.10, "pdf width as a fraction of the attribute range")
@@ -172,6 +172,13 @@ func main() {
 				return err
 			}
 			experiments.FprintBoost(os.Stdout, rows)
+		case "earlyexit":
+			fmt.Println("== staged early-exit inference: members evaluated and throughput vs full ==")
+			rows, err := experiments.EarlyExit(opts, *rounds)
+			if err != nil {
+				return err
+			}
+			experiments.FprintEarlyExit(os.Stdout, rows)
 		case "stream":
 			fmt.Println("== streaming ingestion: whole-file vs fixed-size batch windows ==")
 			rows, err := experiments.StreamPredict(opts, *tuples, []int{64, 512, 4096})
@@ -198,7 +205,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"example", "datasets", "accuracy", "noise", "time", "s-sweep", "w-sweep", "gini", "point", "es-trace", "es-ablation", "endpoint-ablation", "speedup", "forest", "boost", "stream"}
+		names = []string{"example", "datasets", "accuracy", "noise", "time", "s-sweep", "w-sweep", "gini", "point", "es-trace", "es-ablation", "endpoint-ablation", "speedup", "forest", "boost", "earlyexit", "stream"}
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {

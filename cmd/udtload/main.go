@@ -1,0 +1,174 @@
+// Command udtload drives a running udtserve with an open-loop traffic
+// pattern and reports client-side latency percentiles, error counts, and the
+// server's own /metrics deltas as a machine-readable JSON report. Arrivals
+// fire on a fixed schedule at the target QPS whether or not earlier requests
+// have completed, so server slowdown shows up as latency and drops instead
+// of silently throttling the offered load.
+//
+// Usage:
+//
+//	udtload -target http://127.0.0.1:8080 -data test.csv -qps 200 -duration 10s
+//	udtload -target ... -data ... -mix single=0.6,batch=0.3,stream=0.1 -out bench.json
+//
+// Payloads are sampled (deterministically, per -seed) from the rows of the
+// CSV: the same seed against the same CSV issues the identical request
+// sequence, so two reports with equal seeds are directly comparable. The
+// report's schemaVersion field ties it to internal/loadgen.DecodeReport,
+// which CI uses to track the serving-path perf trajectory PR over PR.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"udt/internal/loadgen"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "udtload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("udtload", flag.ContinueOnError)
+	var (
+		target      = fs.String("target", "", "base URL of the udtserve instance (required)")
+		dataPath    = fs.String("data", "", "CSV file to sample request payloads from (required)")
+		qps         = fs.Float64("qps", 100, "target offered load, arrivals per second")
+		duration    = fs.Duration("duration", 10*time.Second, "run length")
+		seed        = fs.Int64("seed", 1, "payload sampling seed")
+		mixSpec     = fs.String("mix", "single=0.7,batch=0.2,stream=0.1", "request-class weights, class=weight comma-separated")
+		batchSize   = fs.Int("batch", 16, "tuples per batch request")
+		streamLines = fs.Int("stream-lines", 32, "NDJSON lines per stream request")
+		maxInFlight = fs.Int("max-inflight", 512, "outstanding-request cap; arrivals beyond it are dropped")
+		timeout     = fs.Duration("timeout", 5*time.Second, "per-request timeout")
+		outPath     = fs.String("out", "", "write the JSON report here (default stdout, suppressing the summary)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *target == "" {
+		return fmt.Errorf("-target is required")
+	}
+	if *dataPath == "" {
+		return fmt.Errorf("-data is required")
+	}
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		return err
+	}
+	payloads, perr := loadgen.PayloadsFromCSV(f, *dataPath)
+	f.Close()
+	if perr != nil {
+		return perr
+	}
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	defer stop()
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:     strings.TrimRight(*target, "/"),
+		QPS:         *qps,
+		Duration:    *duration,
+		Seed:        *seed,
+		Mix:         mix,
+		BatchSize:   *batchSize,
+		StreamLines: *streamLines,
+		MaxInFlight: *maxInFlight,
+		Timeout:     *timeout,
+	}, payloads)
+	if err != nil {
+		return err
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *outPath == "" {
+		_, err := stdout.Write(blob)
+		return err
+	}
+	if err := os.WriteFile(*outPath, blob, 0o644); err != nil {
+		return err
+	}
+	printSummary(stdout, rep, *outPath)
+	return nil
+}
+
+// parseMix parses "single=0.7,batch=0.2,stream=0.1"; omitted classes get
+// weight zero.
+func parseMix(spec string) (loadgen.Mix, error) {
+	var mix loadgen.Mix
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return mix, fmt.Errorf("-mix entry %q is not class=weight", part)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w < 0 {
+			return mix, fmt.Errorf("-mix entry %q has a bad weight", part)
+		}
+		switch name {
+		case "single":
+			mix.Single = w
+		case "batch":
+			mix.Batch = w
+		case "stream":
+			mix.Stream = w
+		default:
+			return mix, fmt.Errorf("-mix class %q is not single|batch|stream", name)
+		}
+	}
+	if mix.Single+mix.Batch+mix.Stream <= 0 {
+		return mix, fmt.Errorf("-mix %q enables no request class", spec)
+	}
+	return mix, nil
+}
+
+// printSummary renders the human digest that accompanies a file report.
+func printSummary(w io.Writer, rep *loadgen.Report, outPath string) {
+	c := rep.Requests
+	fmt.Fprintf(w, "sent %d (ok %d, errors %d, rejected %d, dropped %d)  offered %.0f qps, achieved %.1f qps\n",
+		c.Sent, c.OK, c.Errors, c.Rejected, c.Dropped, rep.OfferedQPS, rep.AchievedQPS)
+	if all := rep.Latency["all"]; all != nil && all.Count > 0 {
+		fmt.Fprintf(w, "latency p50 %dµs  p95 %dµs  p99 %dµs  max %dµs\n",
+			all.P50Micros, all.P95Micros, all.P99Micros, all.MaxMicros)
+	}
+	if srv := rep.Server; srv != nil {
+		fmt.Fprintf(w, "server classified %d tuples", srv.TuplesClassified)
+		if ee := srv.EarlyExit; ee != nil && ee.Predictions > 0 {
+			fmt.Fprintf(w, "; early exit evaluated %.2f members/prediction",
+				float64(ee.MembersEvaluated)/float64(ee.Predictions))
+		}
+		fmt.Fprintln(w)
+	}
+	if cc := rep.CrossCheck; cc != nil {
+		agree := "agree"
+		if !cc.WithinOneBucket {
+			agree = "DISAGREE"
+		}
+		fmt.Fprintf(w, "client p95 %dµs vs server p95 bucket (%d, %d]µs: %s (%d buckets apart)\n",
+			cc.ClientP95Micros, cc.ServerP95LoMicros, cc.ServerP95HiMicros, agree, cc.BucketDistance)
+	}
+	fmt.Fprintf(w, "report written to %s\n", outPath)
+}

@@ -7,7 +7,7 @@
 //	udtree train   -in train.csv -out model.json [-avg] [-measure entropy] [-strategy es] [-max-tuples N]
 //	udtree train   -in train.csv -out model.json -forest [-trees 25] [-sample-ratio 1] [-attrs K]
 //	udtree train   -in train.csv -out model.json -boost [-rounds 10] [-learning-rate 1]
-//	udtree predict -model model.json -in test.csv [-batch 512] [-format human|ndjson]
+//	udtree predict -model model.json -in test.csv [-batch 512] [-format human|ndjson] [-early-exit]
 //	udtree rules   -model model.json
 //	udtree eval    -model model.json -in test.csv [-batch 512]
 //
@@ -71,7 +71,7 @@ func usage() {
   udtree train   -in train.csv -out model.json [-avg] [-measure entropy|gini|gainratio] [-strategy udt|bp|lp|gp|es] [-maxdepth N] [-minweight W] [-postprune] [-workers N] [-parallel N]
                  [-forest] [-trees 25] [-sample-ratio 1] [-attrs K] [-seed N] [-max-tuples N]
                  [-boost] [-rounds 10] [-learning-rate 1]
-  udtree predict -model model.json -in test.csv [-batch 512] [-workers N] [-format human|ndjson]
+  udtree predict -model model.json -in test.csv [-batch 512] [-workers N] [-format human|ndjson] [-early-exit]
   udtree rules   -model model.json
   udtree eval    -model model.json -in test.csv [-batch 512] [-workers N]
   udtree cv      -in data.csv [-folds 10] [-avg] [-measure ...] [-strategy ...] [-seed N] [-workers N] [-parallel N]`)
@@ -323,6 +323,7 @@ func predict(args []string) error {
 	batch := fs.Int("batch", streamBatch, "tuples resident at a time on the streaming path (>= 1)")
 	workers := fs.Int("workers", runtime.NumCPU(), "concurrent classification workers per batch (>= 1)")
 	format := fs.String("format", "human", `output format: "human" (one annotated line per tuple) or "ndjson" (the udtserve /classify/stream protocol)`)
+	earlyExit := fs.Bool("early-exit", false, "predict with staged early exit (ensemble models only): byte-identical classes, members-evaluated counts instead of distributions")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -353,6 +354,13 @@ func predict(args []string) error {
 		return err
 	}
 	defer closer.Close()
+	if *earlyExit {
+		staged, ok := mdl.(modelio.Staged)
+		if !ok {
+			return fmt.Errorf("predict: -early-exit requires an ensemble model, got %s", mdl.Describe())
+		}
+		return streamPredictEarlyExit(os.Stdout, staged, src, *batch, *workers, *format)
+	}
 	return streamPredict(os.Stdout, mdl, src, *batch, *workers, newEmit)
 }
 
@@ -430,6 +438,53 @@ func streamPredict(w io.Writer, mdl modelio.Model, src udt.RowSource, batch, wor
 		// no classes fails validation); an empty stream must not look like a
 		// successful run.
 		return fmt.Errorf("%s has no data rows", src.Name())
+	}
+	return nil
+}
+
+// streamPredictEarlyExit is streamPredict for -early-exit mode: classes are
+// byte-identical to full evaluation, but each tuple reports how many
+// ensemble members were evaluated instead of a distribution (early exit
+// stops before the full distribution exists). The human format appends a
+// mean-members summary line; ndjson emits udtserve's early-exit stream
+// protocol with no summary, keeping the two surfaces byte-compatible.
+func streamPredictEarlyExit(w io.Writer, mdl modelio.Staged, src udt.RowSource, batch, workers int, format string) error {
+	classes, _, _ := mdl.Schema()
+	if err := checkSchema(mdl, src); err != nil {
+		return err
+	}
+	var enc *json.Encoder
+	if format == "ndjson" {
+		enc = json.NewEncoder(w)
+	}
+	stages := mdl.StageCount()
+	n, members := 0, 0
+	err := udt.CollectChunked(src, batch, func(chunk *udt.Dataset) error {
+		preds, evaluated := mdl.PredictBatchEarlyExit(chunk.Tuples, workers)
+		for i, p := range preds {
+			n++
+			members += evaluated[i]
+			if enc != nil {
+				if err := enc.Encode(modelio.NewStagedResult(n, classes, p, evaluated[i])); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "tuple %d: %s (%d/%d members)\n", n, classes[p], evaluated[i], stages); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("%s has no data rows", src.Name())
+	}
+	if enc == nil {
+		fmt.Fprintf(w, "early exit: mean %.2f of %d members evaluated over %d tuples\n",
+			float64(members)/float64(n), stages, n)
 	}
 	return nil
 }

@@ -8,7 +8,13 @@
 //
 //	udtserve -model model.json [-addr :8080] [-workers N]
 //	         [-read-timeout 10s] [-write-timeout 30s] [-watch 0s]
-//	         [-max-streams 0]
+//	         [-max-streams 0] [-early-exit]
+//
+// -early-exit (ensemble models only) switches prediction to staged early
+// exit: members are evaluated in descending vote-weight order and evaluation
+// stops once the leading class can no longer be overtaken. Predicted classes
+// are byte-identical to full evaluation; responses carry membersEvaluated
+// instead of a distribution, and /metrics aggregates the counts.
 //
 // Endpoints:
 //
@@ -32,8 +38,10 @@
 //	GET  /healthz         — liveness plus active model metadata (format,
 //	                        generation, tree count, OOB stats for forests).
 //	GET  /metrics         — request counts, error counts, per-endpoint
-//	                        latency, a batch-size histogram and NDJSON line
-//	                        counters, all plain atomic counters.
+//	                        latency (totals plus a power-of-two histogram for
+//	                        percentile bounds), a batch-size histogram,
+//	                        NDJSON line counters and early-exit counters, all
+//	                        plain atomic state.
 //
 // -watch polls the model file's mtime at the given interval and hot-reloads
 // through the same serialised path as POST /reload, closing the deploy loop
@@ -81,6 +89,7 @@ import (
 	"udt/internal/cliutil"
 	"udt/internal/eval"
 	"udt/internal/forest"
+	"udt/internal/latency"
 	"udt/internal/modelio"
 )
 
@@ -102,6 +111,7 @@ func run(ctx context.Context, args []string) error {
 	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")
 	watch := fs.Duration("watch", 0, "poll the model file at this interval and hot-reload on change (0 = disabled)")
 	maxStreams := fs.Int("max-streams", 0, "max concurrent /classify/stream requests; excess get 503 + Retry-After (0 = unlimited)")
+	earlyExit := fs.Bool("early-exit", false, "predict with staged early exit (ensemble models only): byte-identical classes, no distributions, membersEvaluated reported")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -120,7 +130,7 @@ func run(ctx context.Context, args []string) error {
 	if *maxStreams < 0 {
 		return errors.New("-max-streams must be >= 0")
 	}
-	s, err := newServer(*model, *workers)
+	s, err := newServerMode(*model, *workers, *earlyExit)
 	if err != nil {
 		return err
 	}
@@ -192,16 +202,28 @@ type server struct {
 	// requests get 503 + Retry-After instead of a worker-pool slot.
 	maxStreams    int
 	activeStreams atomic.Int64
+
+	// earlyExit switches prediction to staged early exit (-early-exit):
+	// classes stay byte-identical to full evaluation, distributions are not
+	// produced, and membersEvaluated counters flow to clients and /metrics.
+	// Set before the first loadModel and immutable afterwards.
+	earlyExit bool
 }
 
 // newServer loads and compiles the model file.
 func newServer(modelPath string, workers int) (*server, error) {
+	return newServerMode(modelPath, workers, false)
+}
+
+// newServerMode is newServer plus the early-exit prediction mode.
+func newServerMode(modelPath string, workers int, earlyExit bool) (*server, error) {
 	s := &server{
 		modelPath:          modelPath,
 		workers:            workers,
 		started:            time.Now(),
 		streamReadTimeout:  10 * time.Second,
 		streamWriteTimeout: 30 * time.Second,
+		earlyExit:          earlyExit,
 	}
 	am, err := s.loadModel()
 	if err != nil {
@@ -240,6 +262,14 @@ func (s *server) loadModel() (*activeModel, error) {
 	m, err := modelio.Load(s.modelPath)
 	if err != nil {
 		return nil, err
+	}
+	// Checked on every load, not just startup: a hot reload swapping in a
+	// single-tree model would otherwise crash the early-exit serving path.
+	// The failed reload leaves the previous (staged) model serving.
+	if s.earlyExit {
+		if _, ok := m.(modelio.Staged); !ok {
+			return nil, fmt.Errorf("%s: -early-exit requires an ensemble model, got %s", s.modelPath, m.Describe())
+		}
 	}
 	s.lastStamp.Store(&stamp)
 	return &activeModel{
@@ -321,7 +351,11 @@ type requestJSON struct {
 
 type resultJSON struct {
 	Class string             `json:"class"`
-	Dist  map[string]float64 `json:"dist"`
+	Dist  map[string]float64 `json:"dist,omitempty"`
+	// MembersEvaluated is set only in -early-exit mode: the ensemble members
+	// evaluated before the argmax settled (early exit produces no
+	// distribution — it stops before the full one exists).
+	MembersEvaluated int `json:"membersEvaluated,omitempty"`
 }
 
 func (s *server) classify(w http.ResponseWriter, r *http.Request) {
@@ -355,14 +389,25 @@ func (s *server) classify(w http.ResponseWriter, r *http.Request) {
 		tuples[i] = tu
 	}
 	s.mtr.observeBatch(len(tuples))
-	dists := am.model.ClassifyBatch(tuples, s.workers)
-	results := make([]resultJSON, len(dists))
-	for i, dist := range dists {
-		m := make(map[string]float64, len(dist))
-		for c, p := range dist {
-			m[classes[c]] = p
+	var results []resultJSON
+	if s.earlyExit {
+		// loadModel guarantees every served model is Staged in this mode.
+		preds, evaluated := am.model.(modelio.Staged).PredictBatchEarlyExit(tuples, s.workers)
+		s.mtr.observeEarlyExit(evaluated)
+		results = make([]resultJSON, len(preds))
+		for i, p := range preds {
+			results[i] = resultJSON{Class: classes[p], MembersEvaluated: evaluated[i]}
 		}
-		results[i] = resultJSON{Class: classes[eval.Argmax(dist)], Dist: m}
+	} else {
+		dists := am.model.ClassifyBatch(tuples, s.workers)
+		results = make([]resultJSON, len(dists))
+		for i, dist := range dists {
+			m := make(map[string]float64, len(dist))
+			for c, p := range dist {
+				m[classes[c]] = p
+			}
+			results[i] = resultJSON{Class: classes[eval.Argmax(dist)], Dist: m}
+		}
 	}
 	if batch {
 		reply(w, map[string]any{"results": results})
@@ -442,7 +487,14 @@ func (s *server) classifyStream(w http.ResponseWriter, r *http.Request) {
 			// /classify callers only: a long stream would otherwise drown
 			// the size-1 bucket. Stream volume has its own counters.
 			s.mtr.tuples.Add(1)
-			out = modelio.NewStreamResult(line, classes, am.model.Classify(tu))
+			if s.earlyExit {
+				class, k := am.model.(modelio.Staged).PredictEarlyExit(tu)
+				s.mtr.earlyExitPredictions.Add(1)
+				s.mtr.earlyExitMembers.Add(int64(k))
+				out = modelio.NewStagedResult(line, classes, class, k)
+			} else {
+				out = modelio.NewStreamResult(line, classes, am.model.Classify(tu))
+			}
 		}
 		s.mtr.streamLines.Add(1)
 		if out.Error != "" {
@@ -520,11 +572,14 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 
 // --- metrics -------------------------------------------------------------
 
-// endpointMetrics counts one endpoint's traffic with plain atomics.
+// endpointMetrics counts one endpoint's traffic with plain atomics, plus a
+// power-of-two latency histogram so operators (and udtload's cross-check)
+// get percentile bounds, not just the average.
 type endpointMetrics struct {
 	requests atomic.Int64
 	errors   atomic.Int64 // responses with status >= 400
 	nanos    atomic.Int64 // total handler latency
+	hist     latency.AtomicHist
 }
 
 func (e *endpointMetrics) snapshot() map[string]any {
@@ -537,6 +592,7 @@ func (e *endpointMetrics) snapshot() map[string]any {
 		total := time.Duration(e.nanos.Load())
 		out["totalLatency"] = total.String()
 		out["avgLatency"] = (total / time.Duration(n)).String()
+		out["latency"] = e.hist.Snapshot()
 	}
 	return out
 }
@@ -559,6 +615,19 @@ type metrics struct {
 	streamRejected   atomic.Int64 // streams refused by -max-streams admission control
 	watchReloads     atomic.Int64 // successful -watch hot reloads
 	watchErrors      atomic.Int64 // failed -watch reload attempts
+
+	earlyExitPredictions atomic.Int64 // predictions served in -early-exit mode
+	earlyExitMembers     atomic.Int64 // ensemble members evaluated across them
+}
+
+// observeEarlyExit records one early-exit batch's members-evaluated counts.
+func (m *metrics) observeEarlyExit(evaluated []int) {
+	var members int64
+	for _, k := range evaluated {
+		members += int64(k)
+	}
+	m.earlyExitPredictions.Add(int64(len(evaluated)))
+	m.earlyExitMembers.Add(members)
 }
 
 // observeBatch records one classify call of n tuples.
@@ -611,6 +680,11 @@ func (s *server) metricsHandler(w http.ResponseWriter, r *http.Request) {
 			"reloads": s.mtr.watchReloads.Load(),
 			"errors":  s.mtr.watchErrors.Load(),
 		},
+		"earlyExit": map[string]any{
+			"enabled":          s.earlyExit,
+			"predictions":      s.mtr.earlyExitPredictions.Load(),
+			"membersEvaluated": s.mtr.earlyExitMembers.Load(),
+		},
 		"endpoints": map[string]any{
 			"classify":       s.mtr.classify.snapshot(),
 			"classifyStream": s.mtr.stream.snapshot(),
@@ -662,7 +736,9 @@ func (s *server) instrument(em *endpointMetrics, ctype string, h http.HandlerFun
 					strings.Join(r.Header.Values("Accept"), ", "), ctype))
 		}
 		em.requests.Add(1)
-		em.nanos.Add(time.Since(start).Nanoseconds())
+		elapsed := time.Since(start)
+		em.nanos.Add(elapsed.Nanoseconds())
+		em.hist.Observe(elapsed)
 		if rec.status >= 400 {
 			em.errors.Add(1)
 		}

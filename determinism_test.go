@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"udt"
+	"udt/internal/forest"
 )
 
 // determinismDataset builds a mid-sized two-attribute, three-class dataset
@@ -111,6 +112,140 @@ func TestModelDeterminismMatrix(t *testing.T) {
 			// (dataset, config), with no hidden global state.
 			if rerun := serialize(workerCounts[0]); rerun != want {
 				t.Fatal("same-seed re-run serialises differently")
+			}
+		})
+	}
+}
+
+// TestStagedPrefixMatrix is the staged-inference row of the determinism
+// contract: for every stage k, ClassifyStaged over the first k members in
+// evaluation order must be byte-identical (distribution and argmax) to full
+// evaluation of a standalone ensemble built from exactly those members.
+// Boosted members carry no per-member attribute projections, so the prefix
+// sub-ensemble is reconstructible with forest.FromTrees and the comparison
+// is exact equality, not tolerance.
+func TestStagedPrefixMatrix(t *testing.T) {
+	ds := determinismDataset(t)
+	boosted, err := udt.TrainBoosted(ds, udt.BoostConfig{
+		Rounds:     6,
+		Workers:    1,
+		TreeConfig: udt.Config{MaxDepth: 3, MinWeight: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := boosted.EvalOrder()
+	members := boosted.Members()
+	probes := ds.Tuples[:60]
+	for k := 1; k <= boosted.StageCount(); k++ {
+		prefix := make([]forest.WeightedTree, k)
+		for i, m := range order[:k] {
+			prefix[i] = members[m]
+		}
+		sub, err := forest.FromTrees(prefix, forest.KindBoosted)
+		if err != nil {
+			t.Fatalf("stage %d: %v", k, err)
+		}
+		for i, tu := range probes {
+			staged, err := boosted.ClassifyStaged(tu, k)
+			if err != nil {
+				t.Fatalf("stage %d probe %d: %v", k, i, err)
+			}
+			full := sub.Classify(tu)
+			for c := range staged {
+				if staged[c] != full[c] {
+					t.Fatalf("stage %d probe %d class %d: staged %v, sub-ensemble %v",
+						k, i, c, staged[c], full[c])
+				}
+			}
+			ps, err := boosted.PredictStaged(tu, k)
+			if err != nil {
+				t.Fatalf("stage %d probe %d: %v", k, i, err)
+			}
+			if pf := sub.Predict(tu); ps != pf {
+				t.Fatalf("stage %d probe %d: staged argmax %d, sub-ensemble %d", k, i, ps, pf)
+			}
+		}
+	}
+}
+
+// TestEarlyExitDeterminismMatrix is the early-exit row: predictions and
+// members-evaluated counts must be byte-identical across worker counts and
+// re-runs, and predictions must equal full evaluation — for both ensemble
+// kinds. CI runs this under -race, so a scheduling-dependent divergence
+// shows up either here or as a race report.
+func TestEarlyExitDeterminismMatrix(t *testing.T) {
+	ds := determinismDataset(t)
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+
+	kinds := []struct {
+		name  string
+		train func() (*udt.Forest, error)
+	}{
+		{
+			name: "bagged forest",
+			train: func() (*udt.Forest, error) {
+				return udt.TrainForest(ds, udt.ForestConfig{
+					Trees:        7,
+					Seed:         5,
+					Workers:      1,
+					AttrsPerTree: 1,
+					TreeConfig:   udt.Config{MinWeight: 2},
+				})
+			},
+		},
+		{
+			name: "boosted ensemble",
+			train: func() (*udt.Forest, error) {
+				return udt.TrainBoosted(ds, udt.BoostConfig{
+					Rounds:     6,
+					Workers:    1,
+					TreeConfig: udt.Config{MaxDepth: 3, MinWeight: 2},
+				})
+			},
+		},
+	}
+
+	for _, kind := range kinds {
+		t.Run(kind.name, func(t *testing.T) {
+			f, err := kind.train()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tuples := ds.Tuples
+			fullPreds := f.PredictBatch(tuples, 1)
+			var wantPreds, wantEval []int
+			for _, workers := range workerCounts {
+				preds, evaluated := f.PredictBatchEarlyExit(tuples, workers)
+				for i := range tuples {
+					if preds[i] != fullPreds[i] {
+						t.Fatalf("workers=%d tuple %d: early exit %d, full evaluation %d",
+							workers, i, preds[i], fullPreds[i])
+					}
+					if evaluated[i] < 1 || evaluated[i] > f.StageCount() {
+						t.Fatalf("workers=%d tuple %d: evaluated %d of %d members",
+							workers, i, evaluated[i], f.StageCount())
+					}
+				}
+				if wantPreds == nil {
+					wantPreds, wantEval = preds, evaluated
+					continue
+				}
+				for i := range tuples {
+					if preds[i] != wantPreds[i] || evaluated[i] != wantEval[i] {
+						t.Fatalf("workers=%d tuple %d: (%d, %d) diverges from workers=%d (%d, %d)",
+							workers, i, preds[i], evaluated[i], workerCounts[0], wantPreds[i], wantEval[i])
+					}
+				}
+			}
+			// Same-model re-run: early exit is a pure function of the model
+			// and tuple, with no hidden state in the scratch pool.
+			rerunPreds, rerunEval := f.PredictBatchEarlyExit(tuples, workerCounts[0])
+			for i := range tuples {
+				if rerunPreds[i] != wantPreds[i] || rerunEval[i] != wantEval[i] {
+					t.Fatalf("re-run tuple %d: (%d, %d) diverges from (%d, %d)",
+						i, rerunPreds[i], rerunEval[i], wantPreds[i], wantEval[i])
+				}
 			}
 		})
 	}

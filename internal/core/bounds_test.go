@@ -1,0 +1,46 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestClassUpperBounds pins the bound contract staged early-exit inference
+// rests on: over randomized trees and tuples (missing values included, which
+// exercise the internal-node fallback emissions), Classify(tu)[c] exceeds
+// ClassUpperBounds()[c] by at most floating-point rounding of the descent's
+// summation — many orders of magnitude below the exit slack the forest adds
+// on top of the bound.
+const ubRoundingTol = 1e-12
+
+func TestClassUpperBounds(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ds := randomMixedDataset(rng, 150, 3, 3, 10, true)
+		tree, err := Build(ds, Config{MinWeight: 1, PostPrune: seed%2 == 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := tree.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ub := c.ClassUpperBounds()
+		if len(ub) != len(c.Classes) {
+			t.Fatalf("seed %d: %d bounds for %d classes", seed, len(ub), len(c.Classes))
+		}
+		for ci, b := range ub {
+			if !(b >= 0 && b <= 1) {
+				t.Fatalf("seed %d: bound[%d] = %v out of [0, 1]", seed, ci, b)
+			}
+		}
+		all := append(randomProbes(rng, ds, 300), ds.Tuples...)
+		for i, tu := range all {
+			for ci, p := range c.Classify(tu) {
+				if p > ub[ci]+ubRoundingTol {
+					t.Fatalf("seed %d probe %d: class %d mass %v exceeds bound %v", seed, i, ci, p, ub[ci])
+				}
+			}
+		}
+	}
+}

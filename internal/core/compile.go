@@ -43,6 +43,7 @@ type Compiled struct {
 	child []int32   // child node indices
 	w     []float64 // training weight that reached the node
 	dist  []float64 // arena of per-node class rows; row i is dist[i*C:(i+1)*C]
+	ub    []float64 // per-class emission upper bound; see ClassUpperBounds
 }
 
 // Compile flattens the pointer-linked tree into the contiguous Compiled
@@ -118,7 +119,56 @@ func (t *Tree) Compile() (*Compiled, error) {
 		}
 	}
 	c.start = append(c.start, int32(len(c.child)))
+	c.computeClassUpperBounds()
 	return c, nil
+}
+
+// computeClassUpperBounds fills c.ub: for each class, the largest probability
+// any single point of the descent can emit for it. A descent emits at leaves
+// (the leaf class distribution) and, when every child of a node with a
+// missing test attribute carries zero training weight, at internal nodes (the
+// node's class weights normalised by its own weight). The total mass a
+// descent distributes across emissions never exceeds the root weight (splits
+// conserve mass, sub-epsilon frames are dropped), so w0 * ub[class] bounds
+// the contribution a whole classification can make to one class — the
+// per-member bound staged early-exit inference accumulates over the members
+// not yet evaluated.
+func (c *Compiled) computeClassUpperBounds() {
+	nc := len(c.Classes)
+	c.ub = make([]float64, nc)
+	for node := range c.kind {
+		row := c.dist[node*nc : (node+1)*nc]
+		switch c.kind[node] {
+		case ckLeaf:
+			for ci, p := range row {
+				if p > c.ub[ci] {
+					c.ub[ci] = p
+				}
+			}
+		default:
+			// Internal fallback emission: row holds class weights, scaled by
+			// the node weight when routeMissing bottoms out here.
+			if nodeW := c.w[node]; nodeW > 0 {
+				for ci, cw := range row {
+					if p := cw / nodeW; p > c.ub[ci] {
+						c.ub[ci] = p
+					}
+				}
+			}
+		}
+	}
+}
+
+// ClassUpperBounds returns, per class, an upper bound on the probability mass
+// a classification of any tuple can assign to that class (before weighting):
+// Classify(tu)[c] <= ClassUpperBounds()[c] for every tuple, up to the
+// floating-point rounding of the descent's summation — consumers must add
+// their own rounding slack (forest early exit does). The returned slice is a
+// copy.
+func (c *Compiled) ClassUpperBounds() []float64 {
+	out := make([]float64, len(c.ub))
+	copy(out, c.ub)
+	return out
 }
 
 // NumNodes reports the number of nodes in the compiled tree.

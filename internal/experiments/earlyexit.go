@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"udt/internal/boost"
+	"udt/internal/data"
+	"udt/internal/split"
+	"udt/internal/uci"
+)
+
+// EarlyExitRow is one dataset of an EarlyExit run: how much of a boosted
+// ensemble early-exit inference actually evaluates, whether it ever changed
+// a prediction (it must not — the margin bound guarantees agreement), and
+// the throughput it buys over full evaluation.
+type EarlyExitRow struct {
+	Dataset       string
+	Rounds        int     // configured boosting rounds
+	Kept          int     // members the trained ensemble kept (early stopping)
+	Match         bool    // early-exit predictions identical to full evaluation
+	MeanEvaluated float64 // mean members evaluated per prediction
+	Histogram     []int   // Histogram[k-1] = tuples settled after exactly k members
+	FullTput      float64 // tuples/s, full ensemble evaluation
+	EarlyTput     float64 // tuples/s, early-exit evaluation
+}
+
+// EarlyExit trains a boosted ensemble per bundled dataset and classifies the
+// training tuples twice — full evaluation and early exit — recording the
+// members-evaluated histogram, the agreement oracle, and both throughputs.
+// The early-exit path is interesting exactly when member vote weights are
+// skewed: SAMME's highest-alpha members then decide most tuples after a
+// fraction of the ensemble.
+func EarlyExit(o Options, rounds int) ([]EarlyExitRow, error) {
+	o = o.withDefaults()
+	if rounds <= 0 {
+		rounds = 10
+	}
+	selected := o.Datasets
+	if len(selected) == 0 {
+		selected = boostDefaults
+	}
+	workers := max(o.Workers, 1)
+	var rows []EarlyExitRow
+	for _, name := range selected {
+		spec, err := uci.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		train, _, err := loadInjected(spec, o, o.W, data.GaussianModel)
+		if err != nil {
+			return nil, err
+		}
+		bst, err := boost.Train(train, boost.Config{
+			Rounds:     rounds,
+			Workers:    workers,
+			TreeConfig: boost.WeakMemberConfig(o.treeConfig(split.ES)),
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		row := EarlyExitRow{
+			Dataset:   spec.Name,
+			Rounds:    rounds,
+			Kept:      bst.NumTrees(),
+			Match:     true,
+			Histogram: make([]int, bst.StageCount()),
+		}
+		tuples := train.Tuples
+		fullPreds := bst.PredictBatch(tuples, workers)
+		earlyPreds, evaluated := bst.PredictBatchEarlyExit(tuples, workers)
+		sum := 0
+		for i := range tuples {
+			if earlyPreds[i] != fullPreds[i] {
+				row.Match = false
+			}
+			row.Histogram[evaluated[i]-1]++
+			sum += evaluated[i]
+		}
+		row.MeanEvaluated = float64(sum) / float64(len(tuples))
+		row.FullTput = throughput(train.Len(), func() { bst.PredictBatch(tuples, workers) })
+		row.EarlyTput = throughput(train.Len(), func() { bst.PredictBatchEarlyExit(tuples, workers) })
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FprintEarlyExit renders an EarlyExit run, one dataset per row plus its
+// members-evaluated histogram.
+func FprintEarlyExit(w io.Writer, rows []EarlyExitRow) {
+	fmt.Fprintf(w, "%-14s %7s %5s %6s %10s %12s %13s %9s\n",
+		"dataset", "rounds", "kept", "match", "mean eval", "full tup/s", "early tup/s", "speedup")
+	for _, r := range rows {
+		speedup := 0.0
+		if r.FullTput > 0 {
+			speedup = r.EarlyTput / r.FullTput
+		}
+		fmt.Fprintf(w, "%-14s %7d %5d %6v %10.2f %12.0f %13.0f %8.2fx\n",
+			r.Dataset, r.Rounds, r.Kept, r.Match, r.MeanEvaluated, r.FullTput, r.EarlyTput, speedup)
+	}
+	for _, r := range rows {
+		var sb strings.Builder
+		for k, n := range r.Histogram {
+			if k > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%d:%d", k+1, n)
+		}
+		fmt.Fprintf(w, "%-14s members-evaluated histogram: %s\n", r.Dataset, sb.String())
+	}
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEarlyExit pins the tentpole's value proposition: on the bundled
+// datasets, early-exit inference must agree with full evaluation on every
+// tuple (the margin bound is a guarantee, not a heuristic) while evaluating
+// strictly fewer members than the full ensemble on average.
+func TestEarlyExit(t *testing.T) {
+	opts := Options{Scale: 0.25, S: 40, Seed: 1, Workers: 4, Datasets: []string{"Iris", "Glass"}}
+	rows, err := EarlyExit(opts, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Match {
+			t.Fatalf("%s: early exit changed a prediction", r.Dataset)
+		}
+		if r.Kept < 1 || r.Kept > 15 {
+			t.Fatalf("%s: kept %d members of 15 rounds", r.Dataset, r.Kept)
+		}
+		if len(r.Histogram) != r.Kept {
+			t.Fatalf("%s: histogram has %d stages, ensemble %d", r.Dataset, len(r.Histogram), r.Kept)
+		}
+		if r.MeanEvaluated < 1 || r.MeanEvaluated > float64(r.Kept) {
+			t.Fatalf("%s: mean members evaluated %.3f of %d", r.Dataset, r.MeanEvaluated, r.Kept)
+		}
+		// The early-exit payoff: on ensembles with more than one member, the
+		// mean must be strictly below the full ensemble size.
+		if r.Kept > 1 && !(r.MeanEvaluated < float64(r.Kept)) {
+			t.Fatalf("%s: early exit never fired (mean %.3f of %d members)", r.Dataset, r.MeanEvaluated, r.Kept)
+		}
+		total := 0
+		for _, n := range r.Histogram {
+			total += n
+		}
+		if total == 0 {
+			t.Fatalf("%s: empty members-evaluated histogram", r.Dataset)
+		}
+		if r.FullTput <= 0 || r.EarlyTput <= 0 {
+			t.Fatalf("%s: non-positive throughput (%v, %v)", r.Dataset, r.FullTput, r.EarlyTput)
+		}
+	}
+
+	var sb strings.Builder
+	FprintEarlyExit(&sb, rows)
+	out := sb.String()
+	for _, want := range []string{"dataset", "Iris", "Glass", "mean eval", "members-evaluated histogram"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEarlyExitUnknownDataset surfaces filter typos instead of silently
+// running nothing.
+func TestEarlyExitUnknownDataset(t *testing.T) {
+	if _, err := EarlyExit(Options{Datasets: []string{"NoSuch"}}, 5); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

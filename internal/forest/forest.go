@@ -87,6 +87,11 @@ type Forest struct {
 
 	kind    string // KindBagged or KindBoosted; "" means KindBagged
 	members []member
+
+	// Staged-evaluation state, precomputed by initStaged (see staged.go).
+	order     []int     // member indices by descending vote weight, stable
+	exitUB    []float64 // [(stage)*nc + class]: max vote mass the unevaluated members can add
+	exitSlack float64   // float-rounding safety margin for the exit test
 }
 
 // NumTrees reports the ensemble size.
@@ -151,7 +156,21 @@ func FromTrees(members []WeightedTree, kind string) (*Forest, error) {
 		}
 		f.members[t] = m
 	}
+	f.initStaged()
 	return f, nil
+}
+
+// Members returns the ensemble's trees and their vote weights in member
+// (storage) order, sharing the compiled engines with the forest. Note that
+// FromTrees cannot round-trip members trained with attribute projections
+// (AttrsPerTree > 0): their trees carry the projected schema.
+func (f *Forest) Members() []WeightedTree {
+	out := make([]WeightedTree, len(f.members))
+	for t := range f.members {
+		m := &f.members[t]
+		out[t] = WeightedTree{Tree: m.tree, Compiled: m.compiled, Weight: m.weight}
+	}
+	return out
 }
 
 // Schema returns the class labels and attribute schema, mirroring the
@@ -250,6 +269,7 @@ func Train(ds *data.Dataset, cfg Config) (*Forest, error) {
 			return nil, err
 		}
 	}
+	f.initStaged()
 	f.computeOOB(ds, inBag)
 	return f, nil
 }
@@ -396,16 +416,23 @@ func (s *fscratch) outBuf(nc int) []float64 {
 }
 
 // accumulate sums the weight-scaled member distributions for tu into out
-// (not zeroed), visiting members in index order so the floating-point
-// summation is deterministic. use filters members; nil means all. It returns
-// the total vote weight that contributed (the member count for bagged
-// ensembles, whose weights are all 1).
+// (not zeroed), visiting members in the staged evaluation order (descending
+// vote weight, ties in member order — the member order itself for bagged
+// ensembles) so the floating-point summation is deterministic and every
+// staged prefix is bit-for-bit a prefix of the full sum. use filters members
+// by member index; nil means all. It returns the total vote weight that
+// contributed (the member count for bagged ensembles, whose weights are
+// all 1).
 //
 //udt:hotpath
 func (f *Forest) accumulate(tu *data.Tuple, out []float64, s *fscratch, use func(t int) bool) float64 {
+	if use == nil {
+		return f.accumulateStaged(tu, out, s, len(f.members))
+	}
 	total := 0.0
-	for t := range f.members {
-		if use != nil && !use(t) {
+	for oi := range f.members {
+		t := f.order[oi]
+		if !use(t) {
 			continue
 		}
 		m := &f.members[t]

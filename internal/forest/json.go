@@ -144,6 +144,7 @@ func (f *Forest) UnmarshalJSON(b []byte) error {
 		}
 		f.members[t] = m
 	}
+	f.initStaged()
 	return nil
 }
 

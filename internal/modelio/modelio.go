@@ -34,6 +34,25 @@ type Model interface {
 	Describe() string
 }
 
+// Staged is a Model that supports staged early-exit inference: members are
+// evaluated in a fixed order (descending vote weight) and prediction stops
+// once the argmax is mathematically settled, with byte-identical answers to
+// full evaluation. *forest.Forest is the one implementation; single trees
+// have nothing to stage.
+type Staged interface {
+	Model
+	// StageCount reports the number of ensemble members.
+	StageCount() int
+	// PredictEarlyExit predicts one tuple, reporting how many members were
+	// evaluated before the argmax was settled.
+	PredictEarlyExit(tu *data.Tuple) (class, membersEvaluated int)
+	// PredictBatchEarlyExit predicts a batch with up to workers goroutines;
+	// preds is positionally identical to PredictBatch.
+	PredictBatchEarlyExit(tuples []*data.Tuple, workers int) (preds, evaluated []int)
+}
+
+var _ Staged = (*forest.Forest)(nil)
+
 // TreeModel is a single decision tree loaded from the legacy model.json
 // format, kept in both recursive and compiled form.
 type TreeModel struct {

@@ -35,7 +35,11 @@ type StreamResult struct {
 	Line  int                `json:"line"`
 	Class string             `json:"class,omitempty"`
 	Dist  map[string]float64 `json:"dist,omitempty"`
-	Error string             `json:"error,omitempty"`
+	// MembersEvaluated counts the ensemble members evaluated before the
+	// argmax settled; only early-exit prediction emits it (and no dist, since
+	// early exit stops before the full distribution exists).
+	MembersEvaluated int    `json:"membersEvaluated,omitempty"`
+	Error            string `json:"error,omitempty"`
 }
 
 // NewStreamResult labels a classification distribution with its class names:
@@ -47,6 +51,13 @@ func NewStreamResult(line int, classes []string, dist []float64) StreamResult {
 		m[classes[c]] = p
 	}
 	return StreamResult{Line: line, Class: classes[par.Argmax(dist)], Dist: m}
+}
+
+// NewStagedResult labels an early-exit prediction: the settled class plus the
+// number of members evaluated, with no distribution (early exit stops before
+// the full distribution exists).
+func NewStagedResult(line int, classes []string, class, membersEvaluated int) StreamResult {
+	return StreamResult{Line: line, Class: classes[class], MembersEvaluated: membersEvaluated}
 }
 
 // Decode converts the wire tuple into an uncertain tuple matching the given

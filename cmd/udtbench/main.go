@@ -22,6 +22,7 @@ import (
 	"udt/internal/data"
 	"udt/internal/eval"
 	"udt/internal/experiments"
+	"udt/internal/obs"
 	"udt/internal/pdf"
 	"udt/internal/split"
 	"udt/internal/uci"
@@ -45,8 +46,15 @@ func main() {
 		tuples   = flag.Int("tuples", 10000, "dataset size for the speedup experiment")
 		trees    = flag.Int("trees", 25, "ensemble size for the forest experiment (>= 1)")
 		rounds   = flag.Int("rounds", 15, "boosting rounds for the boost experiment (>= 1)")
+		progress = flag.Bool("progress", false, "narrate tree builds on stderr and print a split-search timing summary")
+		version  = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(cliutil.VersionString("udtbench"))
+		return
+	}
 
 	if err := cliutil.CheckPositive("-trees", *trees); err != nil {
 		fatal(err)
@@ -81,6 +89,11 @@ func main() {
 	}
 	if *datasets != "" {
 		opts.Datasets = strings.Split(*datasets, ",")
+	}
+	var prog *obs.TrainProgress
+	if *progress {
+		prog = obs.NewTrainProgress(os.Stderr)
+		opts.Progress = prog.Hook()
 	}
 
 	run := func(name string) error {
@@ -212,6 +225,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println()
+	}
+	if prog != nil {
+		prog.Summary(os.Stderr)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"os"
 
+	"udt/internal/cliutil"
 	"udt/internal/data"
 	"udt/internal/uci"
 )
@@ -33,8 +34,14 @@ func main() {
 		seed    = flag.Int64("seed", 1, "RNG seed")
 		out     = flag.String("out", "", "output CSV (default stdout); a test split, when the dataset has one, goes to <out>.test.csv")
 		perturb = flag.Float64("u", 0, "pre-injection Gaussian perturbation level (Fig 4's u)")
+		version = flag.Bool("version", false, "print build info and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(cliutil.VersionString("udtgen"))
+		return
+	}
 
 	if *list {
 		fmt.Printf("%-15s %8s %8s %6s %8s %s\n", "name", "train", "test", "attrs", "classes", "kind")

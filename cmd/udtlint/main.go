@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/exec"
 
+	"udt/internal/cliutil"
 	"udt/internal/lint"
 )
 
@@ -33,8 +34,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	dir := fs.String("dir", ".", "directory to resolve package patterns in")
 	strict := fs.Bool("strict", false, "also print findings silenced by //udt:*-ok directives")
 	novet := fs.Bool("novet", false, "skip the go vet passes")
+	version := fs.Bool("version", false, "print build info and exit")
 	if err := fs.Parse(argv); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, cliutil.VersionString("udtlint"))
+		return 0
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {

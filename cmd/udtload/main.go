@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"udt/internal/cliutil"
 	"udt/internal/loadgen"
 )
 
@@ -53,9 +54,14 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		maxInFlight = fs.Int("max-inflight", 512, "outstanding-request cap; arrivals beyond it are dropped")
 		timeout     = fs.Duration("timeout", 5*time.Second, "per-request timeout")
 		outPath     = fs.String("out", "", "write the JSON report here (default stdout, suppressing the summary)")
+		version     = fs.Bool("version", false, "print build info and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, cliutil.VersionString("udtload"))
+		return nil
 	}
 	if *target == "" {
 		return fmt.Errorf("-target is required")
@@ -161,6 +167,10 @@ func printSummary(w io.Writer, rep *loadgen.Report, outPath string) {
 				float64(ee.MembersEvaluated)/float64(ee.Predictions))
 		}
 		fmt.Fprintln(w)
+	}
+	if rt := rep.ServerRuntime; rt != nil {
+		fmt.Fprintf(w, "server runtime: heap %+.1f MiB, goroutines %+d, %d GC cycles (%dµs paused)\n",
+			float64(rt.HeapAllocBytesDelta)/(1<<20), rt.GoroutinesDelta, rt.GCCycles, rt.GCPauseTotalMicros)
 	}
 	if cc := rep.CrossCheck; cc != nil {
 		agree := "agree"

@@ -37,6 +37,7 @@ import (
 	"udt/internal/cliutil"
 	"udt/internal/eval"
 	"udt/internal/modelio"
+	"udt/internal/obs"
 )
 
 func main() {
@@ -56,6 +57,8 @@ func main() {
 		err = evalCmd(os.Args[2:])
 	case "cv":
 		err = cvCmd(os.Args[2:])
+	case "-version", "--version", "version":
+		fmt.Println(cliutil.VersionString("udtree"))
 	default:
 		usage()
 		os.Exit(2)
@@ -70,11 +73,12 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   udtree train   -in train.csv -out model.json [-avg] [-measure entropy|gini|gainratio] [-strategy udt|bp|lp|gp|es] [-maxdepth N] [-minweight W] [-postprune] [-workers N] [-parallel N]
                  [-forest] [-trees 25] [-sample-ratio 1] [-attrs K] [-seed N] [-max-tuples N]
-                 [-boost] [-rounds 10] [-learning-rate 1]
+                 [-boost] [-rounds 10] [-learning-rate 1] [-progress]
   udtree predict -model model.json -in test.csv [-batch 512] [-workers N] [-format human|ndjson] [-early-exit]
   udtree rules   -model model.json
   udtree eval    -model model.json -in test.csv [-batch 512] [-workers N]
-  udtree cv      -in data.csv [-folds 10] [-avg] [-measure ...] [-strategy ...] [-seed N] [-workers N] [-parallel N]`)
+  udtree cv      -in data.csv [-folds 10] [-avg] [-measure ...] [-strategy ...] [-seed N] [-workers N] [-parallel N]
+  udtree -version`)
 }
 
 func parseMeasure(s string) (udt.Measure, error) {
@@ -132,6 +136,7 @@ func train(args []string) error {
 	learningRate := fs.Float64("learning-rate", 1, "boost: shrinkage on the member vote weights (> 0)")
 	seed := fs.Int64("seed", 1, "RNG seed for -forest bootstrap/attribute sampling and the -max-tuples reservoir")
 	maxTuples := fs.Int("max-tuples", 0, "cap resident training tuples: stream the file and keep a uniform reservoir sample of this size (0 = load everything)")
+	progress := fs.Bool("progress", false, "narrate training on stderr (per-member lines, boosting rounds, split-search timing summary)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -211,6 +216,18 @@ func train(args []string) error {
 		Workers:     *workers,
 		Parallelism: *parallel,
 	}
+	// The hook observes training without influencing it, so the trained
+	// model is byte-identical with or without -progress.
+	var prog *obs.TrainProgress
+	if *progress {
+		prog = obs.NewTrainProgress(os.Stderr)
+		cfg.Progress = prog.Hook()
+	}
+	summarize := func() {
+		if prog != nil {
+			prog.Summary(os.Stderr)
+		}
+	}
 	flagSet := func(name string) bool {
 		set := false
 		fs.Visit(func(f *flag.Flag) {
@@ -246,6 +263,7 @@ func train(args []string) error {
 		if err := writeModel(*out, f); err != nil {
 			return err
 		}
+		summarize()
 		s := f.Stats()
 		fmt.Printf("trained forest on %d tuples: %d trees, %d nodes, depth %d, OOB accuracy %.2f%% (Brier %.4f, %d tuples) -> %s\n",
 			ds.Len(), f.NumTrees(), s.Nodes, s.Depth,
@@ -276,6 +294,7 @@ func train(args []string) error {
 		if err := writeModel(*out, f); err != nil {
 			return err
 		}
+		summarize()
 		s := f.Stats()
 		ws := f.Weights()
 		fmt.Printf("trained boosted ensemble on %d tuples: %d/%d rounds kept, %d nodes, depth %d, vote weights %.3f..%.3f -> %s\n",
@@ -295,6 +314,7 @@ func train(args []string) error {
 	if err := writeModel(*out, tree); err != nil {
 		return err
 	}
+	summarize()
 	fmt.Printf("trained on %d tuples: %d nodes, %d leaves, depth %d, %d entropy calcs -> %s\n",
 		ds.Len(), tree.Stats.Nodes, tree.Stats.Leaves, tree.Stats.Depth,
 		tree.Stats.Search.EntropyCalcs(), *out)

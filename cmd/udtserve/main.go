@@ -8,7 +8,8 @@
 //
 //	udtserve -model model.json [-addr :8080] [-workers N]
 //	         [-read-timeout 10s] [-write-timeout 30s] [-watch 0s]
-//	         [-max-streams 0] [-early-exit]
+//	         [-max-streams 0] [-early-exit] [-trace-sample 0]
+//	         [-pprof addr] [-version]
 //
 // -early-exit (ensemble models only) switches prediction to staged early
 // exit: members are evaluated in descending vote-weight order and evaluation
@@ -40,8 +41,23 @@
 //	GET  /metrics         — request counts, error counts, per-endpoint
 //	                        latency (totals plus a power-of-two histogram for
 //	                        percentile bounds), a batch-size histogram,
-//	                        NDJSON line counters and early-exit counters, all
-//	                        plain atomic state.
+//	                        NDJSON line counters, early-exit counters, build
+//	                        info, runtime metrics (heap, GC pauses,
+//	                        goroutines) and trace-span histograms, all plain
+//	                        atomic state. The default view is JSON;
+//	                        ?format=prometheus (or an Accept header that
+//	                        admits text/plain but not application/json)
+//	                        selects the Prometheus text exposition of the
+//	                        same counters.
+//
+// -trace-sample N traces every Nth request (deterministically by arrival
+// order): decode/classify/encode span timings land in per-span /metrics
+// histograms and one structured JSON access-log line per sampled request is
+// written to stderr. 0 (the default) disables tracing; handlers then pay
+// only a nil check.
+//
+// -pprof addr serves net/http/pprof on a separate listener (never on the
+// serving mux), so profiling stays operator-only.
 //
 // -watch polls the model file's mtime at the given interval and hot-reloads
 // through the same serialised path as POST /reload, closing the deploy loop
@@ -66,20 +82,18 @@ import (
 	"bufio"
 	"bytes"
 	"context"
-	cryptorand "crypto/rand"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/bits"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -89,8 +103,8 @@ import (
 	"udt/internal/cliutil"
 	"udt/internal/eval"
 	"udt/internal/forest"
-	"udt/internal/latency"
 	"udt/internal/modelio"
+	"udt/internal/obs"
 )
 
 func main() {
@@ -112,11 +126,21 @@ func run(ctx context.Context, args []string) error {
 	watch := fs.Duration("watch", 0, "poll the model file at this interval and hot-reload on change (0 = disabled)")
 	maxStreams := fs.Int("max-streams", 0, "max concurrent /classify/stream requests; excess get 503 + Retry-After (0 = unlimited)")
 	earlyExit := fs.Bool("early-exit", false, "predict with staged early exit (ensemble models only): byte-identical classes, no distributions, membersEvaluated reported")
+	traceSample := fs.Int("trace-sample", 0, "trace every Nth request: span timings into /metrics plus one JSON access-log line on stderr (0 = off)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
+	version := fs.Bool("version", false, "print build info and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *version {
+		fmt.Println(cliutil.VersionString("udtserve"))
+		return nil
+	}
 	if err := cliutil.RequireString("-model", *model); err != nil {
 		return err
+	}
+	if *traceSample < 0 {
+		return errors.New("-trace-sample must be >= 0")
 	}
 	if err := cliutil.CheckPositive("-workers", *workers); err != nil {
 		return err
@@ -137,8 +161,25 @@ func run(ctx context.Context, args []string) error {
 	s.streamReadTimeout = *readTimeout
 	s.streamWriteTimeout = *writeTimeout
 	s.maxStreams = *maxStreams
+	if *traceSample > 0 {
+		s.mw.SampleEvery = *traceSample
+		s.mw.Log = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 	if *watch > 0 {
 		go s.watchLoop(ctx, *watch)
+	}
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof: %w", err)
+		}
+		fmt.Printf("udtserve: pprof on %s\n", pln.Addr())
+		// Best-effort: a dying pprof listener must not take serving down.
+		go func() {
+			if err := http.Serve(pln, pprofMux()); err != nil {
+				fmt.Fprintf(os.Stderr, "udtserve: pprof listener: %v\n", err)
+			}
+		}()
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -190,6 +231,12 @@ type server struct {
 	active     atomic.Pointer[activeModel]
 	lastStamp  atomic.Pointer[fileStamp] // identity of the model file last loaded
 	mtr        metrics
+
+	// mw is the shared request middleware: request IDs, Accept negotiation,
+	// endpoint accounting, and (when SampleEvery > 0) trace sampling.
+	mw obs.Middleware
+	// rt collects process runtime metrics on /metrics scrapes.
+	rt obs.RuntimeStats
 
 	// Per-line deadline extensions for the stream endpoint (the server's
 	// global read/write timeouts are per-request, which would kill a long
@@ -333,13 +380,29 @@ const (
 	ndjsonType = "application/x-ndjson"
 )
 
+// textType is the bare media type of the Prometheus exposition, for Accept
+// negotiation (obs.TextType carries the full versioned parameters).
+const textType = "text/plain"
+
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /classify", s.instrument(&s.mtr.classify, jsonType, s.classify))
-	mux.HandleFunc("POST /classify/stream", s.instrument(&s.mtr.stream, ndjsonType, s.classifyStream))
-	mux.HandleFunc("POST /reload", s.instrument(&s.mtr.reload, jsonType, s.reload))
-	mux.HandleFunc("GET /healthz", s.instrument(&s.mtr.healthz, jsonType, s.healthz))
-	mux.HandleFunc("GET /metrics", s.instrument(&s.mtr.metricsEP, jsonType, s.metricsHandler))
+	mux.HandleFunc("POST /classify", s.mw.Wrap("classify", &s.mtr.classify, []string{jsonType}, s.classify))
+	mux.HandleFunc("POST /classify/stream", s.mw.Wrap("classifyStream", &s.mtr.stream, []string{ndjsonType}, s.classifyStream))
+	mux.HandleFunc("POST /reload", s.mw.Wrap("reload", &s.mtr.reload, []string{jsonType}, s.reload))
+	mux.HandleFunc("GET /healthz", s.mw.Wrap("healthz", &s.mtr.healthz, []string{jsonType}, s.healthz))
+	mux.HandleFunc("GET /metrics", s.mw.Wrap("metrics", &s.mtr.metricsEP, []string{jsonType, textType}, s.metricsHandler))
+	return mux
+}
+
+// pprofMux serves net/http/pprof on its own mux for the -pprof listener,
+// keeping the profiling surface off the serving handler entirely.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -359,11 +422,15 @@ type resultJSON struct {
 }
 
 func (s *server) classify(w http.ResponseWriter, r *http.Request) {
+	// tr is nil for unsampled requests; every Trace method accepts that, so
+	// the span calls below cost one nil check each when tracing is off.
+	tr := obs.TraceFrom(r.Context())
 	// One load: the whole request is served by this model instance even if
 	// a concurrent /reload swaps the pointer mid-flight.
 	am := s.active.Load()
 	classes, numAttrs, catAttrs := am.model.Schema()
 
+	tr.Begin(obs.SpanDecode)
 	var req requestJSON
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
 	dec.DisallowUnknownFields()
@@ -388,16 +455,22 @@ func (s *server) classify(w http.ResponseWriter, r *http.Request) {
 		}
 		tuples[i] = tu
 	}
+	tr.End(obs.SpanDecode)
+	tr.AddTuples(len(tuples))
 	s.mtr.observeBatch(len(tuples))
 	var results []resultJSON
+	tr.Begin(obs.SpanClassify)
 	if s.earlyExit {
 		// loadModel guarantees every served model is Staged in this mode.
 		preds, evaluated := am.model.(modelio.Staged).PredictBatchEarlyExit(tuples, s.workers)
 		s.mtr.observeEarlyExit(evaluated)
 		results = make([]resultJSON, len(preds))
+		members := 0
 		for i, p := range preds {
+			members += evaluated[i]
 			results[i] = resultJSON{Class: classes[p], MembersEvaluated: evaluated[i]}
 		}
+		tr.AddMembers(members)
 	} else {
 		dists := am.model.ClassifyBatch(tuples, s.workers)
 		results = make([]resultJSON, len(dists))
@@ -409,11 +482,14 @@ func (s *server) classify(w http.ResponseWriter, r *http.Request) {
 			results[i] = resultJSON{Class: classes[eval.Argmax(dist)], Dist: m}
 		}
 	}
+	tr.End(obs.SpanClassify)
+	tr.Begin(obs.SpanEncode)
 	if batch {
 		reply(w, map[string]any{"results": results})
-		return
+	} else {
+		reply(w, results[0])
 	}
-	reply(w, results[0])
+	tr.End(obs.SpanEncode)
 }
 
 // maxStreamLine bounds one NDJSON input line; a single tuple document
@@ -539,6 +615,7 @@ func (s *server) reload(w http.ResponseWriter, r *http.Request) {
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 	am := s.active.Load()
 	classes, _, _ := am.model.Schema()
+	version, commit := cliutil.BuildInfo()
 	resp := map[string]any{
 		"status":      "ok",
 		"model":       s.modelPath,
@@ -547,6 +624,9 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 		"loadedAt":    am.loadedAt.UTC().Format(time.RFC3339),
 		"classes":     classes,
 		"uptime":      time.Since(s.started).Round(time.Second).String(),
+		"version":     version,
+		"commit":      commit,
+		"goVersion":   runtime.Version(),
 	}
 	switch m := am.model.(type) {
 	case *forest.Forest:
@@ -572,43 +652,22 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 
 // --- metrics -------------------------------------------------------------
 
-// endpointMetrics counts one endpoint's traffic with plain atomics, plus a
-// power-of-two latency histogram so operators (and udtload's cross-check)
-// get percentile bounds, not just the average.
-type endpointMetrics struct {
-	requests atomic.Int64
-	errors   atomic.Int64 // responses with status >= 400
-	nanos    atomic.Int64 // total handler latency
-	hist     latency.AtomicHist
-}
-
-func (e *endpointMetrics) snapshot() map[string]any {
-	n := e.requests.Load()
-	out := map[string]any{
-		"requests": n,
-		"errors":   e.errors.Load(),
-	}
-	if n > 0 {
-		total := time.Duration(e.nanos.Load())
-		out["totalLatency"] = total.String()
-		out["avgLatency"] = (total / time.Duration(n)).String()
-		out["latency"] = e.hist.Snapshot()
-	}
-	return out
-}
-
 // batchBuckets is the number of power-of-two batch-size histogram buckets:
 // 1, 2, 3-4, 5-8, ..., the last bucket collecting everything beyond 2^13.
 const batchBuckets = 15
 
 type metrics struct {
-	classify  endpointMetrics
-	stream    endpointMetrics
-	reload    endpointMetrics
-	healthz   endpointMetrics
-	metricsEP endpointMetrics
+	classify  obs.EndpointMetrics
+	stream    obs.EndpointMetrics
+	reload    obs.EndpointMetrics
+	healthz   obs.EndpointMetrics
+	metricsEP obs.EndpointMetrics
 	tuples    atomic.Int64
-	batch     [batchBuckets]atomic.Int64
+	// batchTuples counts only the tuples recorded by observeBatch (tuples
+	// minus the stream endpoint's), so it is the exact sum of the batch-size
+	// histogram — which the Prometheus view needs for its _sum series.
+	batchTuples atomic.Int64
+	batch       [batchBuckets]atomic.Int64
 
 	streamLines      atomic.Int64 // NDJSON lines answered (results + errors)
 	streamLineErrors atomic.Int64 // NDJSON lines answered with an error object
@@ -636,6 +695,7 @@ func (m *metrics) observeBatch(n int) {
 		return
 	}
 	m.tuples.Add(int64(n))
+	m.batchTuples.Add(int64(n))
 	b := bits.Len(uint(n - 1)) // 1→0, 2→1, 3-4→2, 5-8→3, ...
 	if b >= batchBuckets {
 		b = batchBuckets - 1
@@ -659,17 +719,44 @@ func bucketLabel(b int) string {
 }
 
 func (s *server) metricsHandler(w http.ResponseWriter, r *http.Request) {
+	switch format := r.URL.Query().Get("format"); format {
+	case "prometheus":
+		s.promMetrics(w)
+		return
+	case "json":
+	case "":
+		// No explicit format: a client whose Accept header admits text/plain
+		// but not application/json (a Prometheus scraper) gets the text
+		// exposition; everyone else gets JSON. Wrap has already refused
+		// clients that accept neither with 406.
+		accept := r.Header.Values("Accept")
+		if !obs.Accepts(accept, jsonType) && obs.Accepts(accept, textType) {
+			s.promMetrics(w)
+			return
+		}
+	default:
+		fail(w, http.StatusBadRequest, fmt.Errorf("unknown format %q: want json or prometheus", format))
+		return
+	}
 	hist := map[string]int64{}
 	for b := range s.mtr.batch {
 		if n := s.mtr.batch[b].Load(); n > 0 {
 			hist[bucketLabel(b)] = n
 		}
 	}
+	version, commit := cliutil.BuildInfo()
 	reply(w, map[string]any{
 		"uptime":           time.Since(s.started).Round(time.Second).String(),
 		"generation":       s.active.Load().generation,
 		"tuplesClassified": s.mtr.tuples.Load(),
 		"batchSizes":       hist,
+		"build": map[string]string{
+			"version":   version,
+			"commit":    commit,
+			"goVersion": runtime.Version(),
+		},
+		"runtime": s.rt.Snapshot(),
+		"trace":   s.mw.Snapshot(),
 		"stream": map[string]int64{
 			"lines":      s.mtr.streamLines.Load(),
 			"lineErrors": s.mtr.streamLineErrors.Load(),
@@ -686,142 +773,107 @@ func (s *server) metricsHandler(w http.ResponseWriter, r *http.Request) {
 			"membersEvaluated": s.mtr.earlyExitMembers.Load(),
 		},
 		"endpoints": map[string]any{
-			"classify":       s.mtr.classify.snapshot(),
-			"classifyStream": s.mtr.stream.snapshot(),
-			"reload":         s.mtr.reload.snapshot(),
-			"healthz":        s.mtr.healthz.snapshot(),
-			"metrics":        s.mtr.metricsEP.snapshot(),
+			"classify":       s.mtr.classify.Snapshot(),
+			"classifyStream": s.mtr.stream.Snapshot(),
+			"reload":         s.mtr.reload.Snapshot(),
+			"healthz":        s.mtr.healthz.Snapshot(),
+			"metrics":        s.mtr.metricsEP.Snapshot(),
 		},
 	})
 }
 
-// statusRecorder captures the response status for error counting.
-type statusRecorder struct {
-	http.ResponseWriter
-	status int
-}
-
-func (r *statusRecorder) WriteHeader(code int) {
-	r.status = code
-	r.ResponseWriter.WriteHeader(code)
-}
-
-// Flush forwards to the wrapped writer so the NDJSON stream endpoint can
-// deliver each line as it is classified — without this the responses would
-// sit in the server's write buffer until the handler returned.
-func (r *statusRecorder) Flush() {
-	if f, ok := r.ResponseWriter.(http.Flusher); ok {
-		f.Flush()
+// promMetrics writes the Prometheus text exposition of the same counters the
+// JSON view reports (tested counter-for-counter against it).
+func (s *server) promMetrics(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", obs.TextType)
+	if err := obs.WriteText(w, s.promFamilies()); err != nil {
+		fmt.Fprintln(os.Stderr, "udtserve: write prometheus metrics:", err)
 	}
 }
 
-// Unwrap exposes the underlying writer to http.ResponseController, which
-// classifyStream uses for EnableFullDuplex and per-line Flush.
-func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
-
-// instrument wraps a handler with the per-request plumbing shared by every
-// endpoint: an X-Request-Id echoed (or generated) before the handler runs,
-// Accept-header negotiation against the endpoint's content type, and
-// request/error/latency accounting.
-func (s *server) instrument(em *endpointMetrics, ctype string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		w.Header().Set("X-Request-Id", requestID(r))
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		if accepts(r.Header.Values("Accept"), ctype) {
-			h(rec, r)
-		} else {
-			fail(rec, http.StatusNotAcceptable,
-				fmt.Errorf("Accept %q cannot be satisfied: this endpoint produces %s",
-					strings.Join(r.Header.Values("Accept"), ", "), ctype))
-		}
-		em.requests.Add(1)
-		elapsed := time.Since(start)
-		em.nanos.Add(elapsed.Nanoseconds())
-		em.hist.Observe(elapsed)
-		if rec.status >= 400 {
-			em.errors.Add(1)
-		}
-	}
+// counterFam builds a single-series unlabelled family.
+func counterFam(name, help string, t obs.MetricType, v float64) obs.Family {
+	return obs.Family{Name: name, Help: help, Type: t, Samples: []obs.Sample{{Value: v}}}
 }
 
-// requestID returns the caller-supplied X-Request-Id (bounded to 128 bytes)
-// or generates a fresh 64-bit hex ID.
-func requestID(r *http.Request) string {
-	if id := r.Header.Get("X-Request-Id"); id != "" {
-		if len(id) > 128 {
-			id = id[:128]
-		}
-		return id
+// promFamilies renders every /metrics counter as a Prometheus family. Series
+// names and label sets are pinned by the golden fixture in testdata — they
+// are scrape-target API, renaming one breaks dashboards.
+func (s *server) promFamilies() []obs.Family {
+	endpoints := []struct {
+		name string
+		em   *obs.EndpointMetrics
+	}{
+		{"classify", &s.mtr.classify},
+		{"classifyStream", &s.mtr.stream},
+		{"reload", &s.mtr.reload},
+		{"healthz", &s.mtr.healthz},
+		{"metrics", &s.mtr.metricsEP},
 	}
-	var b [8]byte
-	if _, err := cryptorand.Read(b[:]); err != nil {
-		return "unavailable"
+	reqs := obs.Family{Name: "udt_requests_total", Help: "Requests served, by endpoint.", Type: obs.Counter}
+	errs := obs.Family{Name: "udt_request_errors_total", Help: "Responses with status >= 400, by endpoint.", Type: obs.Counter}
+	lat := obs.Family{Name: "udt_request_latency_seconds", Help: "Handler latency, by endpoint.", Type: obs.Histogram}
+	for _, ep := range endpoints {
+		label := obs.Label{Key: "endpoint", Value: ep.name}
+		reqs.Samples = append(reqs.Samples, obs.Sample{Labels: []obs.Label{label}, Value: float64(ep.em.Requests.Load())})
+		errs.Samples = append(errs.Samples, obs.Sample{Labels: []obs.Label{label}, Value: float64(ep.em.Errors.Load())})
+		lat.Hists = append(lat.Hists,
+			obs.HistFromLatency(ep.em.Hist.Snapshot(), float64(ep.em.Nanos.Load())/1e9, label))
 	}
-	return hex.EncodeToString(b[:])
-}
 
-// accepts reports whether the request's Accept header lines admit ctype. An
-// absent (or blank) header accepts everything. Per RFC 9110 §12.5.1 the
-// most specific matching range governs (exact type over "type/*" over
-// "*/*"), so an explicit q=0 on the exact type refuses it even when a
-// wildcard would admit it. Preference ordering among acceptable types is
-// ignored — the server has exactly one representation per endpoint, so only
-// acceptable-vs-refused can change the outcome.
-func accepts(headers []string, ctype string) bool {
-	slash := strings.IndexByte(ctype, '/')
-	seen := false
-	bestSpec, bestQ := -1, 0.0
-	for _, header := range headers {
-		if strings.TrimSpace(header) == "" {
-			continue
-		}
-		seen = true
-		for _, part := range strings.Split(header, ",") {
-			mt := strings.TrimSpace(part)
-			q := 1.0
-			if i := strings.IndexByte(mt, ';'); i >= 0 {
-				q = qvalue(mt[i+1:])
-				mt = strings.TrimSpace(mt[:i])
-			}
-			spec := -1
-			switch {
-			case strings.EqualFold(mt, ctype):
-				spec = 2
-			case strings.HasSuffix(mt, "/*") && strings.EqualFold(mt[:len(mt)-2], ctype[:slash]):
-				spec = 1
-			case mt == "*/*":
-				spec = 0
-			}
-			if spec < 0 {
-				continue
-			}
-			switch {
-			case spec > bestSpec:
-				bestSpec, bestQ = spec, q
-			case spec == bestSpec && q > bestQ:
-				// Duplicate ranges at equal specificity: be generous.
-				bestQ = q
-			}
-		}
+	// Batch-size histogram: bucket b of the power-of-two array becomes the
+	// bucket with upper bound 2^b tuples, the last array slot the overflow.
+	batch := obs.Hist{
+		UpperBounds: make([]float64, batchBuckets-1),
+		Counts:      make([]int64, batchBuckets),
+		Sum:         float64(s.mtr.batchTuples.Load()),
 	}
-	return !seen || (bestSpec >= 0 && bestQ > 0)
-}
+	for b := 0; b < batchBuckets-1; b++ {
+		batch.UpperBounds[b] = float64(int64(1) << b)
+	}
+	for b := range s.mtr.batch {
+		batch.Counts[b] = s.mtr.batch[b].Load()
+	}
 
-// qvalue extracts the quality weight from a media-range parameter list,
-// defaulting to 1 (including for a malformed q, which RFC 9110 leaves
-// unspecified — refusing only on an explicit, well-formed q=0).
-func qvalue(params string) float64 {
-	for _, p := range strings.Split(params, ";") {
-		k, v, ok := strings.Cut(strings.TrimSpace(p), "=")
-		if ok && strings.EqualFold(strings.TrimSpace(k), "q") {
-			if f, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil {
-				return f
-			}
-			return 1
-		}
+	spans := obs.Family{Name: "udt_trace_span_latency_seconds", Help: "Per-span latency of sampled requests.", Type: obs.Histogram}
+	for k := obs.SpanKind(0); k < obs.NumSpans; k++ {
+		spans.Hists = append(spans.Hists, obs.HistFromLatency(
+			s.mw.SpanSnapshot(k), float64(s.mw.SpanTotalNanos(k))/1e9,
+			obs.Label{Key: "span", Value: k.String()}))
 	}
-	return 1
+
+	version, commit := cliutil.BuildInfo()
+	rt := s.rt.Snapshot()
+	return []obs.Family{
+		{Name: "udt_build_info", Help: "Build metadata; value is always 1.", Type: obs.Gauge,
+			Samples: []obs.Sample{{Labels: []obs.Label{
+				{Key: "version", Value: version},
+				{Key: "commit", Value: commit},
+				{Key: "goversion", Value: runtime.Version()},
+			}, Value: 1}}},
+		counterFam("udt_uptime_seconds", "Seconds since the server started.", obs.Gauge, time.Since(s.started).Seconds()),
+		counterFam("udt_model_generation", "Active model generation (1 at startup, +1 per reload).", obs.Gauge, float64(s.active.Load().generation)),
+		reqs, errs, lat,
+		counterFam("udt_tuples_classified_total", "Tuples classified across /classify and /classify/stream.", obs.Counter, float64(s.mtr.tuples.Load())),
+		{Name: "udt_batch_size", Help: "Tuples per /classify request.", Type: obs.Histogram, Hists: []obs.Hist{batch}},
+		counterFam("udt_stream_lines_total", "NDJSON stream lines answered (results plus errors).", obs.Counter, float64(s.mtr.streamLines.Load())),
+		counterFam("udt_stream_line_errors_total", "NDJSON stream lines answered with an error object.", obs.Counter, float64(s.mtr.streamLineErrors.Load())),
+		counterFam("udt_streams_rejected_total", "Streams refused by -max-streams admission control.", obs.Counter, float64(s.mtr.streamRejected.Load())),
+		counterFam("udt_streams_active", "Currently open /classify/stream requests.", obs.Gauge, float64(s.activeStreams.Load())),
+		counterFam("udt_watch_reloads_total", "Successful -watch hot reloads.", obs.Counter, float64(s.mtr.watchReloads.Load())),
+		counterFam("udt_watch_errors_total", "Failed -watch reload attempts.", obs.Counter, float64(s.mtr.watchErrors.Load())),
+		counterFam("udt_early_exit_predictions_total", "Predictions served in -early-exit mode.", obs.Counter, float64(s.mtr.earlyExitPredictions.Load())),
+		counterFam("udt_early_exit_members_total", "Ensemble members evaluated across early-exit predictions.", obs.Counter, float64(s.mtr.earlyExitMembers.Load())),
+		counterFam("udt_trace_sampled_total", "Requests traced by -trace-sample.", obs.Counter, float64(s.mw.Sampled())),
+		spans,
+		counterFam("udt_go_goroutines", "Live goroutines.", obs.Gauge, float64(rt.Goroutines)),
+		counterFam("udt_go_heap_alloc_bytes", "Bytes of allocated heap objects.", obs.Gauge, float64(rt.HeapAllocBytes)),
+		counterFam("udt_go_heap_sys_bytes", "Heap memory obtained from the OS.", obs.Gauge, float64(rt.HeapSysBytes)),
+		counterFam("udt_go_heap_objects", "Live heap objects.", obs.Gauge, float64(rt.HeapObjects)),
+		counterFam("udt_go_gc_cycles_total", "Completed GC cycles.", obs.Counter, float64(rt.GCCycles)),
+		{Name: "udt_go_gc_pause_seconds", Help: "Stop-the-world GC pause durations.", Type: obs.Histogram,
+			Hists: []obs.Hist{obs.HistFromLatency(rt.GCPauses, float64(rt.GCPauseTotalMicros)/1e6)}},
+	}
 }
 
 func reply(w http.ResponseWriter, v any) {
@@ -832,14 +884,8 @@ func reply(w http.ResponseWriter, v any) {
 	}
 }
 
-// fail writes a JSON error body carrying the request ID stamped by
-// instrument, so a client log line and a server metric line correlate.
+// fail writes a JSON error body carrying the request ID stamped by the obs
+// middleware, so a client log line and a server metric line correlate.
 func fail(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", jsonType)
-	w.WriteHeader(code)
-	body := map[string]string{"error": err.Error()}
-	if id := w.Header().Get("X-Request-Id"); id != "" {
-		body["requestId"] = id
-	}
-	json.NewEncoder(w).Encode(body)
+	obs.Fail(w, code, err)
 }

@@ -35,6 +35,7 @@ import (
 	"udt/internal/core"
 	"udt/internal/data"
 	"udt/internal/forest"
+	"udt/internal/obs"
 )
 
 // Config controls boosted training.
@@ -130,6 +131,7 @@ func Train(ds *data.Dataset, cfg Config) (*forest.Forest, error) {
 	}
 
 	chance := 1 - 1/float64(k) // SAMME's no-better-than-chance error bound
+	hook := cfg.TreeConfig.Progress
 	var members []forest.WeightedTree
 	for round := 0; round < cfg.Rounds; round++ {
 		for i := range clones {
@@ -148,6 +150,7 @@ func Train(ds *data.Dataset, cfg Config) (*forest.Forest, error) {
 		preds := compiled.PredictBatch(ds.Tuples, cfg.Workers)
 		errW := weightedError(w, preds, ds.Tuples)
 		if errW >= chance {
+			hook.Round(obs.BoostRound{Round: round + 1, Error: errW, Kept: false})
 			if len(members) == 0 {
 				return nil, fmt.Errorf(
 					"boost: first round weighted error %.4f is no better than chance (%.4f); weaken the members (e.g. lower TreeConfig.MaxDepth) or check the data",
@@ -157,9 +160,11 @@ func Train(ds *data.Dataset, cfg Config) (*forest.Forest, error) {
 		}
 		if errW < errFloor {
 			errW = errFloor
+			a := alpha(cfg.LearningRate, errW, k)
 			members = append(members, forest.WeightedTree{
-				Tree: tree, Compiled: compiled, Weight: alpha(cfg.LearningRate, errW, k),
+				Tree: tree, Compiled: compiled, Weight: a,
 			})
+			hook.Round(obs.BoostRound{Round: round + 1, Error: errW, Alpha: a, Kept: true})
 			break // a perfect member; further rounds would rebuild it forever
 		}
 		a := alpha(cfg.LearningRate, errW, k)
@@ -167,12 +172,14 @@ func Train(ds *data.Dataset, cfg Config) (*forest.Forest, error) {
 			// errW can sit so close to the chance bound that the log rounds
 			// to zero; a zero vote weight is useless and invalid, so treat it
 			// like a chance-level round.
+			hook.Round(obs.BoostRound{Round: round + 1, Error: errW, Alpha: a, Kept: false})
 			if len(members) == 0 {
 				return nil, fmt.Errorf("boost: first round weighted error %.4f is indistinguishable from chance", errW)
 			}
 			break
 		}
 		members = append(members, forest.WeightedTree{Tree: tree, Compiled: compiled, Weight: a})
+		hook.Round(obs.BoostRound{Round: round + 1, Error: errW, Alpha: a, Kept: true})
 
 		// Reweight: misclassified tuples up by exp(alpha), then renormalise
 		// (which moves the correctly classified ones down).

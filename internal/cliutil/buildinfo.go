@@ -1,0 +1,50 @@
+package cliutil
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo returns the module version and VCS revision baked into the
+// binary by the Go toolchain. Version falls back to "devel" when the binary
+// was not built from a tagged module; commit is "unknown" when no VCS stamp
+// is present (go test binaries, source builds outside a checkout), and
+// carries a "+dirty" suffix when the working tree was modified.
+func BuildInfo() (version, commit string) {
+	version, commit = "devel", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, commit
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		version = v
+	}
+	var revision string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if revision != "" {
+		if len(revision) > 12 {
+			revision = revision[:12]
+		}
+		if dirty {
+			revision += "+dirty"
+		}
+		commit = revision
+	}
+	return version, commit
+}
+
+// VersionString renders the one-line -version output shared by every
+// binary.
+func VersionString(binary string) string {
+	version, commit := BuildInfo()
+	return fmt.Sprintf("%s %s (commit %s, %s)", binary, version, commit, runtime.Version())
+}

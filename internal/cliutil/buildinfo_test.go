@@ -1,0 +1,27 @@
+package cliutil
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestBuildInfoAlwaysPopulated(t *testing.T) {
+	version, commit := BuildInfo()
+	if version == "" || commit == "" {
+		t.Fatalf("BuildInfo() = %q, %q; both must be non-empty", version, commit)
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	s := VersionString("udtree")
+	if !strings.HasPrefix(s, "udtree ") {
+		t.Fatalf("VersionString = %q, want binary-name prefix", s)
+	}
+	if !strings.Contains(s, "commit ") || !strings.Contains(s, runtime.Version()) {
+		t.Fatalf("VersionString = %q, want commit and Go version", s)
+	}
+	if strings.ContainsAny(s, "\n") {
+		t.Fatalf("VersionString is not one line: %q", s)
+	}
+}

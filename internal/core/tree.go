@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"udt/internal/data"
+	"udt/internal/obs"
 	"udt/internal/split"
 )
 
@@ -29,6 +30,11 @@ type Config struct {
 	MinGain      float64            // pre-pruning: required dispersion gain (default 1e-9)
 	PostPrune    bool               // pessimistic error post-pruning (C4.5 style)
 	CF           float64            // post-pruning confidence factor (default 0.25)
+
+	// Progress, when non-nil, observes construction (per-node split-search
+	// timing). Purely observational: it never changes the built tree, and it
+	// is excluded from model serialisation.
+	Progress *obs.ProgressHook `json:"-"`
 }
 
 // withDefaults fills zero values with the paper's defaults.
@@ -195,7 +201,12 @@ func (b *builder) build(tuples []*data.Tuple, depth int, usedCat []bool) *Node {
 		return node
 	}
 
+	// The hook owns the clock (this package may not consult it): StartNode
+	// returns a shared no-op when nothing is listening, so an unobserved
+	// build pays one nil check and no time.Now pair.
+	searchDone := b.cfg.Progress.StartNode()
 	attr, z, catIdx, found := b.bestSplit(tuples, usedCat)
+	searchDone(depth, len(tuples), found)
 	if !found {
 		node.Dist = leafDist(classW, total)
 		return node

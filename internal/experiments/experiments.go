@@ -15,6 +15,7 @@ import (
 	"udt/internal/core"
 	"udt/internal/data"
 	"udt/internal/eval"
+	"udt/internal/obs"
 	"udt/internal/split"
 	"udt/internal/uci"
 )
@@ -32,6 +33,10 @@ type Options struct {
 
 	Parallelism int // concurrent subtree builds; <= 1 means serial
 	Workers     int // intra-node split-search workers; <= 1 means serial
+
+	// Progress, when non-nil, observes every tree build an experiment runs
+	// (udtbench -progress). Observational only — results are unchanged.
+	Progress *obs.ProgressHook
 }
 
 // withDefaults fills the paper's default parameters.
@@ -74,6 +79,7 @@ func (o Options) treeConfig(strategy split.Strategy) core.Config {
 		MaxDepth:    o.MaxDepth,
 		Parallelism: o.Parallelism,
 		Workers:     o.Workers,
+		Progress:    o.Progress,
 	}
 }
 

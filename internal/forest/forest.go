@@ -23,6 +23,7 @@ import (
 
 	"udt/internal/core"
 	"udt/internal/data"
+	"udt/internal/obs"
 	"udt/internal/par"
 	"udt/internal/pdf"
 )
@@ -234,9 +235,23 @@ func Train(ds *data.Dataset, cfg Config) (*Forest, error) {
 	}
 	inBag := make([][]bool, cfg.Trees)
 	errs := make([]error, cfg.Trees)
+	// Member events flow through the same hook core.Build uses for node
+	// events — one instrumentation channel for the whole training stack.
+	hook := cfg.TreeConfig.Progress
 	train := func(t int) {
+		// The hook owns the clock — this package may not consult it.
+		memberDone := hook.StartMember()
 		rng := rand.New(rand.NewSource(treeSeed(cfg.Seed, t)))
 		f.members[t], inBag[t], errs[t] = trainOne(ds, cfg, rng)
+		if errs[t] == nil {
+			stats := f.members[t].tree.Stats
+			memberDone(obs.MemberBuild{
+				Index: t,
+				Total: cfg.Trees,
+				Nodes: stats.Nodes,
+				Depth: stats.Depth,
+			})
+		}
 	}
 	workers := cfg.Workers
 	if workers > cfg.Trees {

@@ -58,6 +58,12 @@ func (h *AtomicHist) Observe(d time.Duration) {
 	h.counts[Bucket(d)].Add(1)
 }
 
+// ObserveNanos records one duration given in nanoseconds, for callers whose
+// measurements are already integers (span totals, MemStats pause rings).
+func (h *AtomicHist) ObserveNanos(ns int64) {
+	h.counts[Bucket(time.Duration(ns))].Add(1)
+}
+
 // Snapshot captures the histogram's current counts as a serialisable value.
 func (h *AtomicHist) Snapshot() *Snapshot {
 	s := &Snapshot{

@@ -175,3 +175,23 @@ func TestValidateRejects(t *testing.T) {
 		t.Error("nil snapshot accepted")
 	}
 }
+
+// TestObserveNanos: the int64-nanosecond entry point lands events in the
+// same buckets Observe would, including sub-microsecond and zero inputs.
+func TestObserveNanos(t *testing.T) {
+	var h AtomicHist
+	h.ObserveNanos(0)
+	h.ObserveNanos(999)                           // < 1µs -> bucket 0
+	h.ObserveNanos(int64(3 * time.Microsecond))   // bucket 2
+	h.ObserveNanos(int64(500 * time.Microsecond)) // bucket 9
+	s := h.Snapshot()
+	if s.Counts[0] != 2 || s.Counts[2] != 1 || s.Counts[9] != 1 {
+		t.Fatalf("counts misplaced: %v", s.Counts)
+	}
+
+	var ref AtomicHist
+	ref.Observe(500 * time.Microsecond)
+	if ref.Snapshot().Counts[9] != 1 {
+		t.Fatal("ObserveNanos and Observe disagree on bucket placement")
+	}
+}

@@ -193,6 +193,7 @@ arrivals:
 		rep.Latency[class] = summarize(micros)
 	}
 	rep.Server = serverDelta(before, after)
+	rep.ServerRuntime = runtimeDelta(before, after)
 	rep.CrossCheck = crossCheck(classifyOK, rep.Server)
 	return rep, nil
 }
@@ -304,6 +305,13 @@ type wireMetrics struct {
 		Errors   int64             `json:"errors"`
 		Latency  *latency.Snapshot `json:"latency"`
 	} `json:"endpoints"`
+	Runtime *struct {
+		HeapAllocBytes     uint64 `json:"heapAllocBytes"`
+		HeapObjects        uint64 `json:"heapObjects"`
+		Goroutines         int64  `json:"goroutines"`
+		GCCycles           int64  `json:"gcCycles"`
+		GCPauseTotalMicros int64  `json:"gcPauseTotalMicros"`
+	} `json:"runtime"`
 }
 
 // fetchMetrics samples GET /metrics, returning nil when the endpoint is
@@ -353,6 +361,22 @@ func serverDelta(before, after *wireMetrics) *ServerDelta {
 		}
 	}
 	return d
+}
+
+// runtimeDelta subtracts the before /metrics runtime section from the after
+// one; nil when either sample lacks it (an older server).
+func runtimeDelta(before, after *wireMetrics) *RuntimeDelta {
+	if before == nil || after == nil || before.Runtime == nil || after.Runtime == nil {
+		return nil
+	}
+	b, a := before.Runtime, after.Runtime
+	return &RuntimeDelta{
+		HeapAllocBytesDelta: int64(a.HeapAllocBytes) - int64(b.HeapAllocBytes),
+		HeapObjectsDelta:    int64(a.HeapObjects) - int64(b.HeapObjects),
+		GoroutinesDelta:     a.Goroutines - b.Goroutines,
+		GCCycles:            a.GCCycles - b.GCCycles,
+		GCPauseTotalMicros:  a.GCPauseTotalMicros - b.GCPauseTotalMicros,
+	}
 }
 
 // crossCheck compares the client-side /classify p95 with the server-side

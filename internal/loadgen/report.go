@@ -70,6 +70,18 @@ type ServerDelta struct {
 	ClassifyLatency  *latency.Snapshot `json:"classifyLatency,omitempty"`
 }
 
+// RuntimeDelta is the growth of the server's runtime metrics over the run
+// window, from the /metrics "runtime" section. Heap and goroutine deltas may
+// be negative (GC and handler teardown shrink both); GC cycle and pause
+// totals are monotonic counters, so their deltas must not be.
+type RuntimeDelta struct {
+	HeapAllocBytesDelta int64 `json:"heapAllocBytesDelta"`
+	HeapObjectsDelta    int64 `json:"heapObjectsDelta"`
+	GoroutinesDelta     int64 `json:"goroutinesDelta"`
+	GCCycles            int64 `json:"gcCycles"`
+	GCPauseTotalMicros  int64 `json:"gcPauseTotalMicros"`
+}
+
 // CrossCheck compares the client-side p95 for /classify requests against the
 // server's classify-endpoint histogram delta. The two are bucketed with the
 // same internal/latency geometry; BucketDistance is how many power-of-two
@@ -94,6 +106,7 @@ type Report struct {
 	AchievedQPS   float64             `json:"achievedQPS"`
 	Latency       map[string]*Summary `json:"latency"`
 	Server        *ServerDelta        `json:"server,omitempty"`
+	ServerRuntime *RuntimeDelta       `json:"serverRuntime,omitempty"`
 	CrossCheck    *CrossCheck         `json:"crossCheck,omitempty"`
 }
 
@@ -138,6 +151,13 @@ func DecodeReport(b []byte) (*Report, error) {
 			if err := srv.ClassifyLatency.Validate(); err != nil {
 				return nil, fmt.Errorf("loadgen: server classify histogram: %w", err)
 			}
+		}
+	}
+	if rt := r.ServerRuntime; rt != nil {
+		// Heap and goroutine deltas are legitimately negative; the GC
+		// counters are monotonic, so a negative delta means a bad report.
+		if rt.GCCycles < 0 || rt.GCPauseTotalMicros < 0 {
+			return nil, fmt.Errorf("loadgen: server runtime GC counters went backwards %+v", *rt)
 		}
 	}
 	return &r, nil

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"udt/internal/latency"
+)
+
+// TextType is the content type of the Prometheus text exposition format the
+// writer produces (and the only version the parser accepts).
+const TextType = "text/plain; version=0.0.4; charset=utf-8"
+
+// MetricType is the TYPE line of a family.
+type MetricType string
+
+const (
+	Counter   MetricType = "counter"
+	Gauge     MetricType = "gauge"
+	Histogram MetricType = "histogram"
+)
+
+// Label is one name="value" pair. Families keep labels in slices (not maps)
+// so the exposition is rendered in a deterministic order.
+type Label struct {
+	Key, Value string
+}
+
+// Sample is one counter or gauge series.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// Hist is one histogram series: per-bucket (non-cumulative) counts over
+// upper bounds in seconds, the writer deriving the cumulative _bucket,
+// _sum and _count series Prometheus expects. Counts has one more entry
+// than UpperBounds — the final overflow bucket rendered as le="+Inf".
+type Hist struct {
+	Labels      []Label
+	UpperBounds []float64
+	Counts      []int64
+	Sum         float64
+}
+
+// Family is one metric family: a name, help text, a type, and its series.
+// Counter and Gauge families use Samples; Histogram families use Hists.
+type Family struct {
+	Name    string
+	Help    string
+	Type    MetricType
+	Samples []Sample
+	Hists   []Hist
+}
+
+// HistFromLatency converts an internal/latency snapshot into a histogram
+// series: bucket bounds become seconds, counts stay per-bucket, and the sum
+// is supplied by the caller (the latency snapshot does not track it).
+func HistFromLatency(s *latency.Snapshot, sumSeconds float64, labels ...Label) Hist {
+	h := Hist{
+		Labels:      labels,
+		UpperBounds: make([]float64, len(s.BoundsMicros)),
+		Counts:      append([]int64(nil), s.Counts...),
+		Sum:         sumSeconds,
+	}
+	for i, b := range s.BoundsMicros {
+		h.UpperBounds[i] = float64(b) / 1e6
+	}
+	return h
+}
+
+// WriteText renders the families in the Prometheus text exposition format
+// (version 0.0.4): # HELP and # TYPE per family, cumulative histogram
+// buckets, escaped label values.
+func WriteText(w io.Writer, fams []Family) error {
+	var b strings.Builder
+	for _, f := range fams {
+		if f.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, f.Type)
+		for _, s := range f.Samples {
+			b.WriteString(f.Name)
+			writeLabels(&b, s.Labels, "")
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.Value))
+			b.WriteByte('\n')
+		}
+		for _, h := range f.Hists {
+			var cum int64
+			for i, ub := range h.UpperBounds {
+				cum += h.Counts[i]
+				b.WriteString(f.Name)
+				b.WriteString("_bucket")
+				writeLabels(&b, h.Labels, formatValue(ub))
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatInt(cum, 10))
+				b.WriteByte('\n')
+			}
+			cum += h.Counts[len(h.Counts)-1]
+			b.WriteString(f.Name)
+			b.WriteString("_bucket")
+			writeLabels(&b, h.Labels, "+Inf")
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatInt(cum, 10))
+			b.WriteByte('\n')
+
+			b.WriteString(f.Name)
+			b.WriteString("_sum")
+			writeLabels(&b, h.Labels, "")
+			b.WriteByte(' ')
+			b.WriteString(formatValue(h.Sum))
+			b.WriteByte('\n')
+
+			b.WriteString(f.Name)
+			b.WriteString("_count")
+			writeLabels(&b, h.Labels, "")
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatInt(cum, 10))
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeLabels renders {k="v",...}, appending an le label when non-empty.
+// Nothing is written for an empty label set with no le.
+func writeLabels(b *strings.Builder, labels []Label, le string) {
+	if len(labels) == 0 && le == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// formatValue renders a float the way Prometheus clients do: shortest
+// round-trip representation.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// escapeHelp escapes help text: backslash and newline (quotes are legal).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// SeriesKey builds the canonical series identity used by the parser:
+// name{k="v",...} with label keys sorted, so writer- and hand-built keys
+// compare equal regardless of label order.
+func SeriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}

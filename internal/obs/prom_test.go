@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"udt/internal/latency"
+)
+
+// sampleFamilies builds an exposition exercising every family shape: bare
+// gauges, labelled counters, multi-series histograms, and escapes.
+func sampleFamilies() []Family {
+	var h latency.AtomicHist
+	h.Observe(3 * time.Microsecond)
+	h.Observe(500 * time.Microsecond)
+	h.Observe(20 * time.Second) // overflow bucket
+	return []Family{
+		{Name: "up", Help: "Liveness.", Type: Gauge, Samples: []Sample{{Value: 1}}},
+		{Name: "req_total", Help: "Requests with \\ and \n in help.", Type: Counter, Samples: []Sample{
+			{Labels: []Label{{Key: "endpoint", Value: "classify"}}, Value: 12},
+			{Labels: []Label{{Key: "endpoint", Value: `we"ird\value` + "\n"}}, Value: 0},
+		}},
+		{Name: "lat_seconds", Help: "Latency.", Type: Histogram, Hists: []Hist{
+			HistFromLatency(h.Snapshot(), 20.0005, Label{Key: "endpoint", Value: "classify"}),
+			{Labels: []Label{{Key: "endpoint", Value: "reload"}},
+				UpperBounds: []float64{0.1, 1}, Counts: []int64{2, 1, 0}, Sum: 0.4},
+		}},
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	var b strings.Builder
+	if err := WriteText(&b, sampleFamilies()); err != nil {
+		t.Fatal(err)
+	}
+	e, err := ParseText([]byte(b.String()))
+	if err != nil {
+		t.Fatalf("ParseText: %v\nexposition:\n%s", err, b.String())
+	}
+
+	for name, typ := range map[string]MetricType{"up": Gauge, "req_total": Counter, "lat_seconds": Histogram} {
+		f := e.Families[name]
+		if f == nil || f.Type != typ {
+			t.Fatalf("family %q = %+v, want type %s", name, f, typ)
+		}
+	}
+	if v, ok := e.Value("up"); !ok || v != 1 {
+		t.Fatalf("up = %v, %v", v, ok)
+	}
+	if v, ok := e.Value("req_total", Label{Key: "endpoint", Value: "classify"}); !ok || v != 12 {
+		t.Fatalf("req_total{classify} = %v, %v", v, ok)
+	}
+	// Escaped label round-trips byte-for-byte.
+	if v, ok := e.Value("req_total", Label{Key: "endpoint", Value: `we"ird\value` + "\n"}); !ok || v != 0 {
+		t.Fatalf("escaped label series = %v, %v", v, ok)
+	}
+	// Histogram _count equals the bucket total; +Inf bucket carries it too.
+	ep := Label{Key: "endpoint", Value: "classify"}
+	if v, ok := e.Value("lat_seconds_count", ep); !ok || v != 3 {
+		t.Fatalf("lat_seconds_count = %v, %v", v, ok)
+	}
+	if v, ok := e.Value("lat_seconds_bucket", ep, Label{Key: "le", Value: "+Inf"}); !ok || v != 3 {
+		t.Fatalf("+Inf bucket = %v, %v", v, ok)
+	}
+	// Cumulative: the 1.024ms bound has seen the 3µs and 500µs events.
+	if v, ok := e.Value("lat_seconds_bucket", ep, Label{Key: "le", Value: "0.001024"}); !ok || v != 2 {
+		t.Fatalf("le=0.001024 bucket = %v, %v", v, ok)
+	}
+	if v, ok := e.Value("lat_seconds_sum", ep); !ok || v != 20.0005 {
+		t.Fatalf("lat_seconds_sum = %v, %v", v, ok)
+	}
+}
+
+func TestSeriesKeySortsLabels(t *testing.T) {
+	a := SeriesKey("m", []Label{{Key: "b", Value: "2"}, {Key: "a", Value: "1"}})
+	b := SeriesKey("m", []Label{{Key: "a", Value: "1"}, {Key: "b", Value: "2"}})
+	if a != b {
+		t.Fatalf("SeriesKey order-sensitive: %q vs %q", a, b)
+	}
+	if SeriesKey("m", nil) != "m" {
+		t.Fatalf("unlabelled SeriesKey = %q", SeriesKey("m", nil))
+	}
+}
+
+func TestParseTextRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"sample before TYPE", "foo 1\n"},
+		{"unknown type", "# TYPE foo summary\nfoo 1\n"},
+		{"family declared twice", "# TYPE foo counter\nfoo 1\n# TYPE foo counter\n"},
+		{"duplicate series", "# TYPE foo counter\nfoo 1\nfoo 2\n"},
+		{"timestamp", "# TYPE foo counter\nfoo 1 1712345678\n"},
+		{"bad float", "# TYPE foo counter\nfoo abc\n"},
+		{"negative counter", "# TYPE foo counter\nfoo -1\n"},
+		{"non-finite value", "# TYPE foo gauge\nfoo NaN\n"},
+		{"interleaved family", "# TYPE foo counter\n# TYPE bar counter\nfoo 1\n"},
+		{"histogram stray sample", "# TYPE h histogram\nh 1\n"},
+		{"histogram no +Inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"},
+		{"histogram not cumulative", "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n"},
+		{"histogram count mismatch", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n"},
+		{"histogram missing sum", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n"},
+		{"unterminated label", "# TYPE foo counter\nfoo{a=\"x 1\n"},
+		{"bad escape", "# TYPE foo counter\nfoo{a=\"\\t\"} 1\n"},
+		{"repeated HELP", "# HELP foo a\n# HELP foo b\n# TYPE foo counter\nfoo 1\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseText([]byte(tc.in)); err == nil {
+			t.Errorf("%s: parsed without error:\n%s", tc.name, tc.in)
+		}
+	}
+}
+
+func TestParseTextToleratesComments(t *testing.T) {
+	in := "# just a comment\n# TYPE foo counter\nfoo{a=\"b\"} 3\n\n# trailing comment\n"
+	e, err := ParseText([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := e.Value("foo", Label{Key: "a", Value: "b"}); !ok || v != 3 {
+		t.Fatalf("foo{a=b} = %v, %v", v, ok)
+	}
+}

@@ -1,0 +1,351 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsedFamily is one family's metadata as read back from an exposition.
+type ParsedFamily struct {
+	Name string
+	Help string
+	Type MetricType
+}
+
+// Exposition is a parsed Prometheus text document: family metadata plus a
+// flat map from canonical series key (SeriesKey of the full sample name,
+// labels sorted) to value.
+type Exposition struct {
+	Families map[string]*ParsedFamily
+	Series   map[string]float64
+}
+
+// Value looks up one series by name and labels.
+func (e *Exposition) Value(name string, labels ...Label) (float64, bool) {
+	v, ok := e.Series[SeriesKey(name, labels)]
+	return v, ok
+}
+
+// ParseText parses a Prometheus text-format exposition strictly: every
+// sample must follow a # TYPE line for its family (no untyped metrics, no
+// family interleaving or reappearance), types must be counter, gauge or
+// histogram, values must parse, counters must be finite and non-negative,
+// timestamps are rejected, duplicate series are rejected, and histogram
+// families must be structurally complete (le-ordered cumulative buckets
+// ending in +Inf, with _sum and _count agreeing). Tests use it so the
+// exposition the server emits can never silently drift from the format.
+func ParseText(b []byte) (*Exposition, error) {
+	e := &Exposition{
+		Families: map[string]*ParsedFamily{},
+		Series:   map[string]float64{},
+	}
+	// histSeries[family][groupKey] collects one histogram series' parts.
+	histSeries := map[string]map[string]*histGroup{}
+
+	var cur *ParsedFamily
+	helpSeen := map[string]string{}
+	for ln, line := range strings.Split(string(b), "\n") {
+		lineNo := ln + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && fields[1] == "HELP" {
+				name := fields[2]
+				if _, dup := helpSeen[name]; dup {
+					return nil, fmt.Errorf("obs: line %d: repeated HELP for %q", lineNo, name)
+				}
+				help := ""
+				if len(fields) == 4 {
+					help = fields[3]
+				}
+				helpSeen[name] = help
+				continue
+			}
+			if len(fields) >= 3 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("obs: line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, typ := fields[2], MetricType(fields[3])
+				switch typ {
+				case Counter, Gauge, Histogram:
+				default:
+					return nil, fmt.Errorf("obs: line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := e.Families[name]; dup {
+					return nil, fmt.Errorf("obs: line %d: family %q declared twice", lineNo, name)
+				}
+				cur = &ParsedFamily{Name: name, Help: helpSeen[name], Type: typ}
+				e.Families[name] = cur
+				if typ == Histogram {
+					histSeries[name] = map[string]*histGroup{}
+				}
+				continue
+			}
+			continue // plain comment
+		}
+
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("obs: line %d: sample %q before any # TYPE line", lineNo, name)
+		}
+		base, suffix := name, ""
+		if cur.Type == Histogram {
+			for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(name, sfx) && strings.TrimSuffix(name, sfx) == cur.Name {
+					base, suffix = cur.Name, sfx
+					break
+				}
+			}
+			if suffix == "" {
+				return nil, fmt.Errorf("obs: line %d: sample %q is not a _bucket/_sum/_count of histogram %q", lineNo, name, cur.Name)
+			}
+		}
+		if base != cur.Name {
+			return nil, fmt.Errorf("obs: line %d: sample %q outside its family block (current family %q)", lineNo, name, cur.Name)
+		}
+		if math.IsNaN(value) || math.IsInf(value, 0) {
+			return nil, fmt.Errorf("obs: line %d: %s value %v is not finite", lineNo, name, value)
+		}
+		if (cur.Type == Counter || cur.Type == Histogram) && value < 0 {
+			return nil, fmt.Errorf("obs: line %d: %s %s has negative value %v", lineNo, cur.Type, name, value)
+		}
+		key := SeriesKey(name, labels)
+		if _, dup := e.Series[key]; dup {
+			return nil, fmt.Errorf("obs: line %d: duplicate series %s", lineNo, key)
+		}
+		e.Series[key] = value
+
+		if cur.Type == Histogram {
+			rest, le, hasLE, err := splitLE(labels)
+			if err != nil {
+				return nil, fmt.Errorf("obs: line %d: %s: %w", lineNo, name, err)
+			}
+			gk := SeriesKey("", rest)
+			groups := histSeries[cur.Name]
+			g := groups[gk]
+			if g == nil {
+				g = &histGroup{buckets: map[float64]float64{}}
+				groups[gk] = g
+			}
+			switch suffix {
+			case "_bucket":
+				if !hasLE {
+					return nil, fmt.Errorf("obs: line %d: %s has no le label", lineNo, name)
+				}
+				g.buckets[le] = value
+			case "_sum":
+				if hasLE {
+					return nil, fmt.Errorf("obs: line %d: %s carries an le label", lineNo, name)
+				}
+				v := value
+				g.sum = &v
+			case "_count":
+				if hasLE {
+					return nil, fmt.Errorf("obs: line %d: %s carries an le label", lineNo, name)
+				}
+				v := value
+				g.count = &v
+			}
+		}
+	}
+
+	for fam, groups := range histSeries {
+		for gk, g := range groups {
+			if err := g.validate(); err != nil {
+				return nil, fmt.Errorf("obs: histogram %s%s: %w", fam, gk, err)
+			}
+		}
+	}
+	return e, nil
+}
+
+// histGroup accumulates one histogram series' parts (one per distinct
+// label set) while parsing, for the structural check at the end.
+type histGroup struct {
+	buckets map[float64]float64 // le -> cumulative count
+	sum     *float64
+	count   *float64
+}
+
+// validate checks one histogram series for structural completeness.
+func (g *histGroup) validate() error {
+	if len(g.buckets) == 0 {
+		return fmt.Errorf("no buckets")
+	}
+	les := make([]float64, 0, len(g.buckets))
+	for le := range g.buckets {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	inf := les[len(les)-1]
+	if !math.IsInf(inf, 1) {
+		return fmt.Errorf("no le=\"+Inf\" bucket")
+	}
+	prev := -1.0
+	for _, le := range les {
+		c := g.buckets[le]
+		if c < prev {
+			return fmt.Errorf("buckets not cumulative at le=%v (%v after %v)", le, c, prev)
+		}
+		prev = c
+	}
+	if g.count == nil {
+		return fmt.Errorf("no _count series")
+	}
+	if g.sum == nil {
+		return fmt.Errorf("no _sum series")
+	}
+	if *g.count != g.buckets[inf] {
+		return fmt.Errorf("_count %v != +Inf bucket %v", *g.count, g.buckets[inf])
+	}
+	return nil
+}
+
+// splitLE separates the le label from the rest, parsing its bound ("+Inf"
+// allowed).
+func splitLE(labels []Label) (rest []Label, le float64, hasLE bool, err error) {
+	for _, l := range labels {
+		if l.Key != "le" {
+			rest = append(rest, l)
+			continue
+		}
+		if hasLE {
+			return nil, 0, false, fmt.Errorf("repeated le label")
+		}
+		hasLE = true
+		if l.Value == "+Inf" {
+			le = math.Inf(1)
+			continue
+		}
+		le, err = strconv.ParseFloat(l.Value, 64)
+		if err != nil {
+			return nil, 0, false, fmt.Errorf("bad le %q", l.Value)
+		}
+	}
+	return rest, le, hasLE, nil
+}
+
+// parseSampleLine parses one sample: name, optional {labels}, value — and
+// nothing after the value (timestamps are rejected).
+func parseSampleLine(line string) (name string, labels []Label, value float64, err error) {
+	i := 0
+	for i < len(line) && isNameByte(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample line %q", line)
+	}
+	name = line[:i]
+	if i < len(line) && line[i] == '{' {
+		labels, i, err = parseLabels(line, i)
+		if err != nil {
+			return "", nil, 0, err
+		}
+	}
+	rest := strings.TrimSpace(line[i:])
+	if rest == "" {
+		return "", nil, 0, fmt.Errorf("sample %q has no value", name)
+	}
+	if fields := strings.Fields(rest); len(fields) != 1 {
+		return "", nil, 0, fmt.Errorf("sample %q has trailing data %q (timestamps are rejected)", name, rest)
+	}
+	value, err = strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample %q has bad value %q", name, rest)
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels parses {k="v",...} starting at the '{' at position i,
+// returning the position just past the '}'.
+func parseLabels(line string, i int) ([]Label, int, error) {
+	var labels []Label
+	i++ // consume '{'
+	for {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		if i < len(line) && line[i] == '}' {
+			return labels, i + 1, nil
+		}
+		start := i
+		for i < len(line) && isNameByte(line[i], i == start) {
+			i++
+		}
+		if i == start {
+			return nil, 0, fmt.Errorf("malformed label set in %q", line)
+		}
+		key := line[start:i]
+		if i >= len(line) || line[i] != '=' {
+			return nil, 0, fmt.Errorf("label %q has no value", key)
+		}
+		i++
+		if i >= len(line) || line[i] != '"' {
+			return nil, 0, fmt.Errorf("label %q value is not quoted", key)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(line) {
+				return nil, 0, fmt.Errorf("label %q value is unterminated", key)
+			}
+			c := line[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(line) {
+					return nil, 0, fmt.Errorf("label %q value ends in a bare backslash", key)
+				}
+				switch line[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, 0, fmt.Errorf("label %q value has bad escape \\%c", key, line[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels = append(labels, Label{Key: key, Value: val.String()})
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		if i < len(line) && line[i] == ',' {
+			i++
+			continue
+		}
+		if i < len(line) && line[i] == '}' {
+			return labels, i + 1, nil
+		}
+		return nil, 0, fmt.Errorf("malformed label set in %q", line)
+	}
+}
+
+// isNameByte reports whether c may appear in a metric or label name
+// ([a-zA-Z_:][a-zA-Z0-9_:]* — colons are reserved for recording rules but
+// legal in the format).
+func isNameByte(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+
+	"udt/internal/latency"
+)
+
+// RuntimeStats collects process runtime metrics on demand. GC pauses are
+// folded into a shared-geometry latency histogram incrementally: each
+// Snapshot reads the MemStats pause ring and records only the cycles that
+// finished since the previous Snapshot, so the histogram is cumulative over
+// the process lifetime (bounded by the ring's 256-cycle memory between
+// scrapes).
+type RuntimeStats struct {
+	mu        sync.Mutex
+	lastNumGC uint32
+	pauses    latency.AtomicHist
+}
+
+// RuntimeSnapshot is one point-in-time view of the process runtime,
+// serialised into the /metrics JSON document and the Prometheus view.
+type RuntimeSnapshot struct {
+	HeapAllocBytes     uint64            `json:"heapAllocBytes"`
+	HeapSysBytes       uint64            `json:"heapSysBytes"`
+	HeapObjects        uint64            `json:"heapObjects"`
+	Goroutines         int               `json:"goroutines"`
+	GCCycles           int64             `json:"gcCycles"`
+	GCPauseTotalMicros int64             `json:"gcPauseTotalMicros"`
+	GCPauses           *latency.Snapshot `json:"gcPauses"`
+}
+
+// Snapshot reads the runtime state. Safe for concurrent use; concurrent
+// snapshots serialise so every finished GC cycle's pause is recorded exactly
+// once.
+func (r *RuntimeStats) Snapshot() RuntimeSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	// PauseNs is a circular buffer: the pause of cycle c lives at index
+	// (c+255)%256. Fold in the cycles since the last snapshot, bounded to
+	// the 256 the ring remembers.
+	from := r.lastNumGC
+	if ms.NumGC > from+256 {
+		from = ms.NumGC - 256
+	}
+	for c := from + 1; c <= ms.NumGC; c++ {
+		ns := ms.PauseNs[(c+255)%256]
+		r.pauses.ObserveNanos(int64(ns))
+	}
+	r.lastNumGC = ms.NumGC
+	return RuntimeSnapshot{
+		HeapAllocBytes:     ms.HeapAlloc,
+		HeapSysBytes:       ms.HeapSys,
+		HeapObjects:        ms.HeapObjects,
+		Goroutines:         runtime.NumGoroutine(),
+		GCCycles:           int64(ms.NumGC),
+		GCPauseTotalMicros: int64(ms.PauseTotalNs / 1e3),
+		GCPauses:           r.pauses.Snapshot(),
+	}
+}

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestRuntimeSnapshot(t *testing.T) {
+	var rs RuntimeStats
+	s := rs.Snapshot()
+	if s.HeapAllocBytes == 0 || s.HeapSysBytes == 0 || s.HeapObjects == 0 {
+		t.Fatalf("zero heap stats: %+v", s)
+	}
+	if s.Goroutines < 1 {
+		t.Fatalf("goroutines = %d", s.Goroutines)
+	}
+	if s.GCPauses == nil || s.GCPauses.Validate() != nil {
+		t.Fatalf("gc pause snapshot invalid: %+v", s.GCPauses)
+	}
+}
+
+func TestRuntimeGCPauseFold(t *testing.T) {
+	var rs RuntimeStats
+	base := rs.Snapshot()
+	runtime.GC()
+	runtime.GC()
+	s := rs.Snapshot()
+	if s.GCCycles < base.GCCycles+2 {
+		t.Fatalf("gc cycles %d -> %d, want +2", base.GCCycles, s.GCCycles)
+	}
+	grown := s.GCPauses.Total() - base.GCPauses.Total()
+	if grown < 2 {
+		t.Fatalf("pause histogram grew by %d, want >= 2", grown)
+	}
+	// A second snapshot without new GC folds nothing further.
+	again := rs.Snapshot()
+	if again.GCPauses.Total() < s.GCPauses.Total() {
+		t.Fatal("pause histogram shrank")
+	}
+	if again.GCCycles == s.GCCycles && again.GCPauses.Total() != s.GCPauses.Total() {
+		t.Fatal("pauses double-counted across snapshots")
+	}
+}

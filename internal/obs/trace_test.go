@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTraceSpansAccumulate(t *testing.T) {
+	tr := &Trace{}
+	tr.Begin(SpanDecode)
+	time.Sleep(time.Millisecond)
+	tr.End(SpanDecode)
+	first := tr.SpanNanos(SpanDecode)
+	if first <= 0 {
+		t.Fatalf("first span interval = %d, want > 0", first)
+	}
+	// A second Begin/End pair on the same kind accumulates.
+	tr.Begin(SpanDecode)
+	time.Sleep(time.Millisecond)
+	tr.End(SpanDecode)
+	if got := tr.SpanNanos(SpanDecode); got <= first {
+		t.Fatalf("second interval did not accumulate: %d -> %d", first, got)
+	}
+	// An End with no open Begin is discarded.
+	before := tr.SpanNanos(SpanClassify)
+	tr.End(SpanClassify)
+	if got := tr.SpanNanos(SpanClassify); got != before {
+		t.Fatalf("unopened End recorded %d nanos", got-before)
+	}
+}
+
+func TestTraceNilReceiverSafe(t *testing.T) {
+	var tr *Trace
+	// Every hot-path method must be a no-op on nil — handlers call them
+	// unconditionally whether or not the request was sampled.
+	tr.Begin(SpanDecode)
+	tr.End(SpanDecode)
+	tr.AddTuples(5)
+	tr.AddMembers(3)
+	if tr.SpanNanos(SpanDecode) != 0 || tr.Tuples() != 0 || tr.Members() != 0 {
+		t.Fatal("nil Trace returned non-zero accessors")
+	}
+}
+
+func TestTraceCounters(t *testing.T) {
+	tr := &Trace{}
+	tr.AddTuples(3)
+	tr.AddTuples(2)
+	tr.AddMembers(7)
+	if tr.Tuples() != 5 || tr.Members() != 7 {
+		t.Fatalf("tuples=%d members=%d, want 5, 7", tr.Tuples(), tr.Members())
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("TraceFrom on a bare context is not nil")
+	}
+	tr := &Trace{ID: "abc"}
+	ctx := WithTrace(context.Background(), tr)
+	if got := TraceFrom(ctx); got != tr {
+		t.Fatalf("TraceFrom = %p, want %p", got, tr)
+	}
+}
+
+func TestSpanKindString(t *testing.T) {
+	want := map[SpanKind]string{SpanDecode: "decode", SpanClassify: "classify", SpanEncode: "encode"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("SpanKind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}

@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: example|datasets|accuracy|noise|time|pruning|s-sweep|w-sweep|gini|point|es-ablation|endpoint-ablation|speedup|forest|boost|earlyexit|stream|all")
+		exp      = flag.String("exp", "all", "experiment: example|datasets|accuracy|noise|time|pruning|s-sweep|w-sweep|gini|point|es-ablation|endpoint-ablation|speedup|forest|boost|earlyexit|stream|load|all")
 		scale    = flag.Float64("scale", 0.1, "dataset scale in (0,1]; 1 = Table 2 sizes")
 		s        = flag.Int("s", 100, "sample points per pdf")
 		w        = flag.Float64("w", 0.10, "pdf width as a fraction of the attribute range")
@@ -199,6 +199,13 @@ func main() {
 				return err
 			}
 			experiments.FprintStream(os.Stdout, rows)
+		case "load":
+			fmt.Println("== model cold-start: JSON parse+compile vs binary mmap ==")
+			rows, err := experiments.ModelLoad(opts, *trees)
+			if err != nil {
+				return err
+			}
+			experiments.FprintLoad(os.Stdout, rows)
 		case "speedup":
 			fmt.Println("== intra-node parallel split search: serial vs -workers ==")
 			counts := []int{1, *workers}
@@ -218,7 +225,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"example", "datasets", "accuracy", "noise", "time", "s-sweep", "w-sweep", "gini", "point", "es-trace", "es-ablation", "endpoint-ablation", "speedup", "forest", "boost", "earlyexit", "stream"}
+		names = []string{"example", "datasets", "accuracy", "noise", "time", "s-sweep", "w-sweep", "gini", "point", "es-trace", "es-ablation", "endpoint-ablation", "speedup", "forest", "boost", "earlyexit", "stream", "load"}
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestConvertRoundTrip: JSON -> binary -> JSON, with byte-identical predict
+// output from every intermediate file, for single trees and forests.
+func TestConvertRoundTrip(t *testing.T) {
+	trainPath, testPath, modelPath := writeFixtures(t)
+	dir := filepath.Dir(modelPath)
+
+	cases := []struct {
+		name  string
+		extra []string
+	}{
+		{"tree", nil},
+		{"forest", []string{"-forest", "-trees", "5", "-seed", "3"}},
+		{"boost", []string{"-boost", "-rounds", "4"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			jsonPath := filepath.Join(dir, tc.name+".json")
+			binPath := filepath.Join(dir, tc.name+".udt")
+			backPath := filepath.Join(dir, tc.name+"-back.json")
+			args := append([]string{"-in", trainPath, "-out", jsonPath, "-minweight", "1"}, tc.extra...)
+			if _, err := capture(t, func() error { return train(args) }); err != nil {
+				t.Fatalf("train: %v", err)
+			}
+
+			// JSON -> binary (-to auto picks the opposite of the source).
+			out, err := capture(t, func() error {
+				return convert([]string{"-in", jsonPath, "-out", binPath})
+			})
+			if err != nil {
+				t.Fatalf("convert to binary: %v", err)
+			}
+			if !strings.Contains(out, "(json)") || !strings.Contains(out, "(binary)") {
+				t.Fatalf("convert output: %q", out)
+			}
+			// Binary -> JSON, explicitly.
+			if _, err := capture(t, func() error {
+				return convert([]string{"-in", binPath, "-out", backPath, "-to", "json"})
+			}); err != nil {
+				t.Fatalf("convert back to JSON: %v", err)
+			}
+
+			want, err := capture(t, func() error {
+				return predict([]string{"-model", jsonPath, "-in", testPath, "-format", "ndjson"})
+			})
+			if err != nil {
+				t.Fatalf("predict source: %v", err)
+			}
+			for _, path := range []string{binPath, backPath} {
+				got, err := capture(t, func() error {
+					return predict([]string{"-model", path, "-in", testPath, "-format", "ndjson"})
+				})
+				if err != nil {
+					t.Fatalf("predict %s: %v", path, err)
+				}
+				if got != want {
+					t.Fatalf("predictions from %s diverge:\n%s\nwant:\n%s", path, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestRulesFromBinaryModel: rule extraction decompiles a binary single-tree
+// model and prints the same rules as the JSON source.
+func TestRulesFromBinaryModel(t *testing.T) {
+	trainPath, _, modelPath := writeFixtures(t)
+	if _, err := capture(t, func() error {
+		return train([]string{"-in", trainPath, "-out", modelPath, "-minweight", "1"})
+	}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	binPath := filepath.Join(filepath.Dir(modelPath), "model.udt")
+	if _, err := capture(t, func() error {
+		return convert([]string{"-in", modelPath, "-out", binPath, "-to", "binary"})
+	}); err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	want, err := capture(t, func() error { return rules([]string{"-model", modelPath}) })
+	if err != nil {
+		t.Fatalf("rules on JSON: %v", err)
+	}
+	got, err := capture(t, func() error { return rules([]string{"-model", binPath}) })
+	if err != nil {
+		t.Fatalf("rules on binary: %v", err)
+	}
+	if got != want || !strings.Contains(got, "IF ") {
+		t.Fatalf("binary rules:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestConvertErrors: bad flags and sources fail cleanly.
+func TestConvertErrors(t *testing.T) {
+	dir := t.TempDir()
+	junk := filepath.Join(dir, "junk.json")
+	if err := os.WriteFile(junk, []byte("not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for name, args := range map[string][]string{
+		"missing -in":    {"-out", filepath.Join(dir, "x")},
+		"missing -out":   {"-in", junk},
+		"unknown target": {"-in", junk, "-out", filepath.Join(dir, "x"), "-to", "xml"},
+		"junk source":    {"-in", junk, "-out", filepath.Join(dir, "x")},
+	} {
+		if _, err := capture(t, func() error { return convert(args) }); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestPredictNDJSONGoldenBinary pins predict -format ndjson from a converted
+// binary model to the shared golden stream: the CLI answers the exact same
+// bytes whether it loads the JSON fixture or its binary container.
+func TestPredictNDJSONGoldenBinary(t *testing.T) {
+	fixtures := "../../testdata/stream"
+	binPath := filepath.Join(t.TempDir(), "model.udt")
+	if _, err := capture(t, func() error {
+		return convert([]string{"-in", fixtures + "/model.json", "-out", binPath, "-to", "binary"})
+	}); err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	out, err := capture(t, func() error {
+		return predict([]string{
+			"-model", binPath,
+			"-in", fixtures + "/input.csv",
+			"-format", "ndjson",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(fixtures + "/golden.ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(golden) {
+		t.Fatalf("binary-model predict -format ndjson diverges from the golden stream.\ngot:\n%swant:\n%s", out, golden)
+	}
+}

@@ -10,11 +10,15 @@
 //	udtree predict -model model.json -in test.csv [-batch 512] [-format human|ndjson] [-early-exit]
 //	udtree rules   -model model.json
 //	udtree eval    -model model.json -in test.csv [-batch 512]
+//	udtree convert -in model.json -out model.udt [-to auto|json|binary]
 //
-// predict and eval accept single-tree models and the versioned ensemble
-// containers written by train -forest (bagged, uniform votes) and train
-// -boost (SAMME, weighted votes), and stream the input CSV through the
-// compiled engine in fixed-size batches, so file size never bounds memory.
+// predict, eval, rules and convert accept single-tree models and the
+// versioned ensemble containers written by train -forest (bagged, uniform
+// votes) and train -boost (SAMME, weighted votes), in either the JSON
+// interchange format or the binary serving container (see internal/binfmt);
+// the format is sniffed from the file, never from its name. predict and
+// eval stream the input CSV through the compiled engine in fixed-size
+// batches, so file size never bounds memory.
 // predict -format ndjson emits one JSON object per tuple in exactly the
 // format of udtserve's POST /classify/stream responses, so CLI output pipes
 // into the same downstream consumers. train -max-tuples N streams the file
@@ -55,6 +59,8 @@ func main() {
 		err = rules(os.Args[2:])
 	case "eval":
 		err = evalCmd(os.Args[2:])
+	case "convert":
+		err = convert(os.Args[2:])
 	case "cv":
 		err = cvCmd(os.Args[2:])
 	case "-version", "--version", "version":
@@ -77,6 +83,7 @@ func usage() {
   udtree predict -model model.json -in test.csv [-batch 512] [-workers N] [-format human|ndjson] [-early-exit]
   udtree rules   -model model.json
   udtree eval    -model model.json -in test.csv [-batch 512] [-workers N]
+  udtree convert -in model.json -out model.udt [-to auto|json|binary]
   udtree cv      -in data.csv [-folds 10] [-avg] [-measure ...] [-strategy ...] [-seed N] [-workers N] [-parallel N]
   udtree -version`)
 }
@@ -519,13 +526,84 @@ func rules(args []string) error {
 	if err != nil {
 		return err
 	}
-	tm, ok := mdl.(*modelio.TreeModel)
+	defer modelio.Close(mdl)
+	// TreeSource rather than a concrete type: binary-loaded trees have no
+	// pointer tree resident and decompile one on demand.
+	src, ok := mdl.(modelio.TreeSource)
 	if !ok {
 		return fmt.Errorf("rules: %s is a %s; rule extraction needs a single-tree model", *model, mdl.Describe())
 	}
-	for _, r := range tm.Tree.Rules() {
+	tree, err := src.SourceTree()
+	if err != nil {
+		return err
+	}
+	for _, r := range tree.Rules() {
 		fmt.Println(r)
 	}
+	return nil
+}
+
+// convert rewrites a model file between the JSON interchange format and the
+// binary serving container. The source format is sniffed from the file; -to
+// auto targets the other one. Predictions are byte-identical across the
+// round trip in either direction.
+func convert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "source model file (JSON or binary, sniffed)")
+	out := fs.String("out", "", "destination model file")
+	to := fs.String("to", "auto", `target format: "auto" (the opposite of the source), "json" or "binary"`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := cliutil.RequireString("convert: -in", *in); err != nil {
+		return err
+	}
+	if err := cliutil.RequireString("convert: -out", *out); err != nil {
+		return err
+	}
+	mdl, err := modelio.Load(*in)
+	if err != nil {
+		return err
+	}
+	defer modelio.Close(mdl)
+	from := modelio.ContainerFormat(mdl)
+	target := *to
+	if target == "auto" {
+		if from == modelio.FormatBinary {
+			target = modelio.FormatJSON
+		} else {
+			target = modelio.FormatBinary
+		}
+	}
+	switch target {
+	case modelio.FormatBinary:
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := modelio.EncodeBinary(f, mdl); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	case modelio.FormatJSON:
+		var doc any = mdl
+		if src, ok := mdl.(modelio.TreeSource); ok {
+			// Single-tree models serialize as the tree document, not the
+			// model wrapper; binary-loaded trees decompile here.
+			if doc, err = src.SourceTree(); err != nil {
+				return err
+			}
+		}
+		if err := writeModel(*out, doc); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("convert: unknown -to %q (want auto, json or binary)", *to)
+	}
+	fmt.Printf("converted %s (%s) -> %s (%s): %s\n", *in, from, *out, target, mdl.Describe())
 	return nil
 }
 

@@ -35,7 +35,11 @@
 //	                        pool.
 //	POST /reload          — re-read the model file and swap it in atomically;
 //	                        in-flight requests finish on the model they
-//	                        started with.
+//	                        started with. Binary (mmap-served) models are
+//	                        unmapped only after the last such request drains.
+//	                        Deploys must replace the model file by atomic
+//	                        rename, never in-place truncation: the old file
+//	                        may still be mapped (see internal/binfmt.Load).
 //	GET  /healthz         — liveness plus active model metadata (format,
 //	                        generation, tree count, OOB stats for forests).
 //	GET  /metrics         — request counts, error counts, per-endpoint
@@ -101,6 +105,7 @@ import (
 
 	"udt"
 	"udt/internal/cliutil"
+	"udt/internal/core"
 	"udt/internal/eval"
 	"udt/internal/forest"
 	"udt/internal/modelio"
@@ -185,8 +190,10 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("udtserve: %s [%s] on %s, workers=%d\n",
-		*model, s.active.Load().model.Describe(), ln.Addr(), *workers)
+	am := s.acquire()
+	fmt.Printf("udtserve: %s [%s, %s] on %s, workers=%d\n",
+		*model, am.model.Describe(), modelio.ContainerFormat(am.model), ln.Addr(), *workers)
+	am.release()
 	srv := &http.Server{
 		Handler:      s.handler(),
 		ReadTimeout:  *readTimeout,
@@ -216,10 +223,58 @@ const maxBody = 16 << 20
 // activeModel is one loaded model plus its serving metadata. The server
 // publishes it through an atomic pointer, so /reload swaps models without
 // locks and requests already running keep the instance they loaded.
+//
+// Binary models alias an mmap'd file, so "keep the instance" is a memory-
+// safety requirement, not just a consistency nicety: the mapping may only be
+// released once no request can still be reading it. Each generation is
+// therefore reference-counted — refs starts at 1 (the "published" reference),
+// every request holds one around its model use, and a reload retires the old
+// generation by dropping the published reference. Whoever takes refs to zero
+// closes the model; for JSON models that is a no-op.
 type activeModel struct {
 	model      modelio.Model
 	generation int64 // 1 at startup, +1 per successful reload
 	loadedAt   time.Time
+
+	refs      atomic.Int64 // published reference + in-flight requests
+	retired   atomic.Bool  // set once a newer generation is published
+	closeOnce sync.Once
+}
+
+// acquire returns the current model generation with a reference held; the
+// caller must release it when done with the model. The retire/acquire race is
+// closed by re-checking retired after the increment: an acquirer that caught
+// a generation mid-retirement backs off and takes the new pointer.
+func (s *server) acquire() *activeModel {
+	for {
+		am := s.active.Load()
+		am.refs.Add(1)
+		if !am.retired.Load() {
+			return am
+		}
+		am.release()
+	}
+}
+
+// release drops one reference; the last one out closes the model (unmapping
+// it, if binary). closeOnce guards the zero-crossing race between a retiring
+// reload and a backing-off acquirer.
+func (am *activeModel) release() {
+	if am.refs.Add(-1) == 0 {
+		am.closeOnce.Do(func() {
+			if err := modelio.Close(am.model); err != nil {
+				fmt.Fprintf(os.Stderr, "udtserve: close model generation %d: %v\n", am.generation, err)
+			}
+		})
+	}
+}
+
+// retire marks the generation superseded and drops its published reference.
+// In-flight requests keep serving from it; the mapping is released when the
+// last of them finishes.
+func (am *activeModel) retire() {
+	am.retired.Store(true)
+	am.release()
 }
 
 type server struct {
@@ -315,15 +370,18 @@ func (s *server) loadModel() (*activeModel, error) {
 	// The failed reload leaves the previous (staged) model serving.
 	if s.earlyExit {
 		if _, ok := m.(modelio.Staged); !ok {
+			modelio.Close(m)
 			return nil, fmt.Errorf("%s: -early-exit requires an ensemble model, got %s", s.modelPath, m.Describe())
 		}
 	}
 	s.lastStamp.Store(&stamp)
-	return &activeModel{
+	am := &activeModel{
 		model:      m,
 		generation: s.generation.Add(1),
 		loadedAt:   time.Now(),
-	}, nil
+	}
+	am.refs.Store(1) // the published reference
+	return am, nil
 }
 
 // doReload is the shared hot-reload path of POST /reload and the -watch
@@ -338,7 +396,8 @@ func (s *server) doReload() (*activeModel, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.active.Store(am)
+	old := s.active.Swap(am)
+	old.retire()
 	return am, nil
 }
 
@@ -425,9 +484,11 @@ func (s *server) classify(w http.ResponseWriter, r *http.Request) {
 	// tr is nil for unsampled requests; every Trace method accepts that, so
 	// the span calls below cost one nil check each when tracing is off.
 	tr := obs.TraceFrom(r.Context())
-	// One load: the whole request is served by this model instance even if
-	// a concurrent /reload swaps the pointer mid-flight.
-	am := s.active.Load()
+	// One acquire: the whole request is served by this model instance even if
+	// a concurrent /reload swaps the pointer mid-flight, and a binary model's
+	// mapping stays alive until the reference is released.
+	am := s.acquire()
+	defer am.release()
 	classes, numAttrs, catAttrs := am.model.Schema()
 
 	tr.Begin(obs.SpanDecode)
@@ -522,9 +583,11 @@ func (s *server) classifyStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// One load: the whole stream is classified by one model generation even
-	// if a reload swaps the pointer mid-stream.
-	am := s.active.Load()
+	// One acquire: the whole stream is classified by one model generation
+	// even if a reload swaps the pointer mid-stream; the reference keeps a
+	// binary model's mapping alive for the stream's full duration.
+	am := s.acquire()
+	defer am.release()
 	classes, numAttrs, catAttrs := am.model.Schema()
 
 	// HTTP/1.x is half-duplex by default: the first response write closes
@@ -613,7 +676,8 @@ func (s *server) reload(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
-	am := s.active.Load()
+	am := s.acquire()
+	defer am.release()
 	classes, _, _ := am.model.Schema()
 	version, commit := cliutil.BuildInfo()
 	resp := map[string]any{
@@ -627,9 +691,14 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 		"version":     version,
 		"commit":      commit,
 		"goVersion":   runtime.Version(),
+		// The on-disk container the model was loaded from: "json" or
+		// "binary" (mmap-served). Operators verifying a binary rollout read
+		// this field.
+		"container": modelio.ContainerFormat(am.model),
 	}
-	switch m := am.model.(type) {
-	case *forest.Forest:
+	// AsForest/TreeSource rather than concrete types: binary-loaded models
+	// are wrapper types carrying their mapping.
+	if m, ok := modelio.AsForest(am.model); ok {
 		resp["format"] = "forest"
 		resp["formatVersion"] = forest.Version
 		resp["kind"] = m.Kind()
@@ -643,9 +712,9 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 		if m.OOB.Evaluated > 0 {
 			resp["oob"] = m.OOB
 		}
-	case *modelio.TreeModel:
+	} else if ts, ok := am.model.(interface{ Stats() core.BuildStats }); ok {
 		resp["format"] = "tree"
-		resp["nodes"] = m.Tree.Stats.Nodes
+		resp["nodes"] = ts.Stats().Nodes
 	}
 	reply(w, resp)
 }

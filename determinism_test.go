@@ -11,13 +11,16 @@ package udt_test
 // a data race there.
 
 import (
+	"bytes"
 	"encoding/json"
 	"math/rand"
 	"runtime"
 	"testing"
 
 	"udt"
+	"udt/internal/binfmt"
 	"udt/internal/forest"
+	"udt/internal/modelio"
 )
 
 // determinismDataset builds a mid-sized two-attribute, three-class dataset
@@ -50,7 +53,41 @@ func TestModelDeterminismMatrix(t *testing.T) {
 	ds := determinismDataset(t)
 	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
 
-	kinds := []struct {
+	for _, kind := range determinismKinds(ds) {
+		t.Run(kind.name, func(t *testing.T) {
+			serialize := func(workers int) string {
+				m, err := kind.train(workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				blob, err := json.Marshal(m)
+				if err != nil {
+					t.Fatalf("workers=%d: marshal: %v", workers, err)
+				}
+				return string(blob)
+			}
+			want := serialize(workerCounts[0])
+			for _, workers := range workerCounts[1:] {
+				if got := serialize(workers); got != want {
+					t.Fatalf("workers=%d serialises differently from workers=%d", workers, workerCounts[0])
+				}
+			}
+			// Same-seed re-run: training must be a pure function of
+			// (dataset, config), with no hidden global state.
+			if rerun := serialize(workerCounts[0]); rerun != want {
+				t.Fatal("same-seed re-run serialises differently")
+			}
+		})
+	}
+}
+
+// determinismKinds is the tree/bagged/boosted training table shared by the
+// JSON and binary determinism matrices.
+func determinismKinds(ds *udt.Dataset) []struct {
+	name  string
+	train func(workers int) (any, error)
+} {
+	return []struct {
 		name  string
 		train func(workers int) (any, error)
 	}{
@@ -88,30 +125,132 @@ func TestModelDeterminismMatrix(t *testing.T) {
 			},
 		},
 	}
+}
 
-	for _, kind := range kinds {
+// encodeBinaryModel renders any trained model kind to its binary container
+// bytes.
+func encodeBinaryModel(t *testing.T, m any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	switch m := m.(type) {
+	case *udt.Tree:
+		compiled, err := m.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := binfmt.EncodeTree(&buf, compiled, m.Stats); err != nil {
+			t.Fatal(err)
+		}
+	case *udt.Forest:
+		if err := binfmt.EncodeForest(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	default:
+		t.Fatalf("unexpected model type %T", m)
+	}
+	return buf.Bytes()
+}
+
+// TestBinaryContainerDeterminismMatrix is the binary-format row of the
+// determinism contract: the container bytes — section placement, hash-consed
+// arena, dist payloads, everything — are a pure function of the model, so
+// training at any worker count and re-running with the same seed must emit
+// byte-identical files. This is what makes binary models diffable and
+// content-addressable in deploy pipelines.
+func TestBinaryContainerDeterminismMatrix(t *testing.T) {
+	ds := determinismDataset(t)
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+
+	for _, kind := range determinismKinds(ds) {
 		t.Run(kind.name, func(t *testing.T) {
-			serialize := func(workers int) string {
+			encode := func(workers int) []byte {
 				m, err := kind.train(workers)
 				if err != nil {
 					t.Fatalf("workers=%d: %v", workers, err)
 				}
-				blob, err := json.Marshal(m)
-				if err != nil {
-					t.Fatalf("workers=%d: marshal: %v", workers, err)
-				}
-				return string(blob)
+				return encodeBinaryModel(t, m)
 			}
-			want := serialize(workerCounts[0])
+			want := encode(workerCounts[0])
 			for _, workers := range workerCounts[1:] {
-				if got := serialize(workers); got != want {
-					t.Fatalf("workers=%d serialises differently from workers=%d", workers, workerCounts[0])
+				if !bytes.Equal(encode(workers), want) {
+					t.Fatalf("workers=%d container bytes differ from workers=%d", workers, workerCounts[0])
 				}
 			}
-			// Same-seed re-run: training must be a pure function of
-			// (dataset, config), with no hidden global state.
-			if rerun := serialize(workerCounts[0]); rerun != want {
-				t.Fatal("same-seed re-run serialises differently")
+			if !bytes.Equal(encode(workerCounts[0]), want) {
+				t.Fatal("same-seed re-run emits different container bytes")
+			}
+		})
+	}
+}
+
+// TestBinaryRoundTripPredictionParity chains every model kind through
+// JSON → binary → JSON and demands byte-identical probability distributions
+// at every hop. Binary is a serving format, not a lossy cache: a model
+// converted for mmap serving and converted back must answer exactly like the
+// original, including on tuples with missing values.
+func TestBinaryRoundTripPredictionParity(t *testing.T) {
+	ds := determinismDataset(t)
+	probes := append([]*udt.Tuple(nil), ds.Tuples[:80]...)
+	// A probe with every attribute missing exercises the widest descent.
+	probes = append(probes, &udt.Tuple{Num: make([]*udt.PDF, 2)})
+
+	for _, kind := range determinismKinds(ds) {
+		t.Run(kind.name, func(t *testing.T) {
+			m, err := kind.train(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jsonBlob, err := json.Marshal(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromJSON, err := modelio.Decode(jsonBlob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var bin bytes.Buffer
+			if err := modelio.EncodeBinary(&bin, fromJSON); err != nil {
+				t.Fatal(err)
+			}
+			fromBinary, err := modelio.Decode(bin.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Back to JSON: a tree decompiles to its source form, ensembles
+			// marshal directly; either way the result must still decode.
+			var doc any = fromBinary
+			if src, ok := fromBinary.(modelio.TreeSource); ok {
+				tree, err := src.SourceTree()
+				if err != nil {
+					t.Fatal(err)
+				}
+				doc = tree
+			}
+			jsonAgain, err := json.Marshal(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			backToJSON, err := modelio.Decode(jsonAgain)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for i, tu := range probes {
+				want := fromJSON.Classify(tu)
+				for hop, mdl := range map[string]modelio.Model{
+					"binary":     fromBinary,
+					"json-again": backToJSON,
+				} {
+					got := mdl.Classify(tu)
+					if len(got) != len(want) {
+						t.Fatalf("probe %d: %s returned %d masses, want %d", i, hop, len(got), len(want))
+					}
+					for c := range want {
+						if got[c] != want[c] {
+							t.Fatalf("probe %d class %d: %s mass %v, original %v", i, c, hop, got[c], want[c])
+						}
+					}
+				}
 			}
 		})
 	}

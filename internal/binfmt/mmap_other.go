@@ -1,0 +1,11 @@
+//go:build !unix
+
+package binfmt
+
+import "os"
+
+// mmapFile on platforms without the unix mmap surface: always fall back to
+// the portable slab path.
+func mmapFile(f *os.File, size int64) (data []byte, unmap func() error, ok bool) {
+	return nil, nil, false
+}

@@ -1,0 +1,23 @@
+//go:build unix
+
+package binfmt
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only. A false ok falls the caller back to the
+// portable slab path — empty files, oversized files, and mmap errors all
+// land there (the slab path then reports the real problem, e.g. a too-short
+// preamble, with its file offset).
+func mmapFile(f *os.File, size int64) (data []byte, unmap func() error, ok bool) {
+	if size <= 0 || size > int64(int(^uint(0)>>1)) {
+		return nil, nil, false
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, false
+	}
+	return b, func() error { return syscall.Munmap(b) }, true
+}

@@ -1,0 +1,106 @@
+package binfmt
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+)
+
+// Typed views over section payloads. On little-endian hosts — every platform
+// this repo serves on — a view is a zero-copy reinterpretation of the mapped
+// bytes: the returned slice aliases the file pages. On big-endian hosts the
+// same functions decode element by element into fresh slices, trading the
+// zero-copy property for correctness. All unsafe pointer work lives in this
+// file, inside //udt:alignsafe functions, and every caller hands in payloads
+// whose offsets came from the align helpers, so the casts are always
+// element-aligned.
+
+// hostLittle reports whether the host stores integers little-endian.
+//
+//udt:alignsafe
+var hostLittle = func() bool {
+	var probe uint16 = 1
+	return *(*byte)(unsafe.Pointer(&probe)) == 1
+}()
+
+// viewUint8 returns the payload as a byte slice; identical on every host.
+func viewUint8(b []byte) []uint8 { return b }
+
+// viewInt32 reinterprets the payload as int32 elements.
+//
+//udt:alignsafe
+func viewInt32(b []byte) []int32 {
+	n := len(b) / 4
+	if n == 0 {
+		return nil
+	}
+	if hostLittle {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// viewUint64 reinterprets the payload as uint64 elements.
+//
+//udt:alignsafe
+func viewUint64(b []byte) []uint64 {
+	n := len(b) / 8
+	if n == 0 {
+		return nil
+	}
+	if hostLittle {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return out
+}
+
+// viewFloat64 reinterprets the payload as float64 elements.
+//
+//udt:alignsafe
+func viewFloat64(b []byte) []float64 {
+	n := len(b) / 8
+	if n == 0 {
+		return nil
+	}
+	if hostLittle {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+// alignedSlab returns a byte slice of the given length whose base address is
+// 8-byte aligned, backed by a []uint64 allocation. The portable load path
+// and the in-memory decoder copy file bytes into one of these so the typed
+// views hold regardless of where the input came from.
+//
+//udt:alignsafe
+func alignedSlab(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	words := make([]uint64, (n+7)/8)
+	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), n)
+}
+
+// baseAligned reports whether the slice's backing address is 8-byte aligned
+// (vacuously true for empty slices).
+//
+//udt:alignsafe
+func baseAligned(b []byte) bool {
+	if len(b) == 0 {
+		return true
+	}
+	return uintptr(unsafe.Pointer(&b[0]))%8 == 0
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"udt/internal/data"
+)
+
+// This file is the boundary between the compiled engine and external storage
+// formats: CompiledArrays exposes the flat CSR layout as plain slices, and
+// NewCompiledFromArrays rebuilds an engine over slices owned by someone else
+// (the binary model container points them straight into an mmap'd file).
+
+// Exported node-kind values of the compiled layout, for storage formats that
+// serialize the kind array. They are stable wire constants: changing them
+// breaks every encoded model.
+const (
+	KindLeaf uint8 = ckLeaf
+	KindNum  uint8 = ckNum
+	KindCat  uint8 = ckCat
+)
+
+// CompiledArrays is the flat struct-of-arrays form of a Compiled engine. The
+// slices follow the layout documented on Compiled: node i's children are
+// Child[Start[i]:Start[i+1]] and row i of the Dist arena is
+// Dist[i*C:(i+1)*C] for C = len(Classes). Root is the descent entry point
+// and Nodes the count of nodes reachable from it; the arrays may hold more
+// nodes than that when several engines share one arena.
+type CompiledArrays struct {
+	Classes  []string
+	NumAttrs []data.Attribute
+	CatAttrs []data.Attribute
+
+	Kind  []uint8
+	Attr  []int32
+	Split []float64
+	Start []int32
+	Child []int32
+	W     []float64
+	Dist  []float64
+	UB    []float64 // per-class emission upper bounds (see ClassUpperBounds)
+	Root  int32
+	Nodes int
+}
+
+// Arrays returns the engine's flat arrays. The slices alias the engine's
+// internal storage and must not be mutated.
+func (c *Compiled) Arrays() CompiledArrays {
+	return CompiledArrays{
+		Classes:  c.Classes,
+		NumAttrs: c.NumAttrs,
+		CatAttrs: c.CatAttrs,
+		Kind:     c.kind,
+		Attr:     c.attr,
+		Split:    c.split,
+		Start:    c.start,
+		Child:    c.child,
+		W:        c.w,
+		Dist:     c.dist,
+		UB:       c.ub,
+		Root:     c.root,
+		Nodes:    c.nodes,
+	}
+}
+
+// NewCompiledFromArrays constructs an engine directly over the given arrays
+// without copying them; the caller must keep the backing memory alive and
+// immutable for the engine's lifetime. Only shape consistency is checked
+// here — length agreement across the arrays, the root index, the UB arity.
+// Structural soundness of the node graph (kinds in range, child pointers
+// acyclic and in bounds, attribute indices within the schema) is the
+// responsibility of the decoder that produced the arrays; internal/binfmt
+// validates all of it before calling this.
+func NewCompiledFromArrays(a CompiledArrays) (*Compiled, error) {
+	n := len(a.Kind)
+	nc := len(a.Classes)
+	if nc == 0 {
+		return nil, fmt.Errorf("core: compiled arrays have no classes")
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("core: compiled arrays have no nodes")
+	}
+	if len(a.Attr) != n || len(a.Split) != n || len(a.W) != n {
+		return nil, fmt.Errorf("core: compiled array lengths disagree: kind=%d attr=%d split=%d w=%d",
+			n, len(a.Attr), len(a.Split), len(a.W))
+	}
+	if len(a.Start) != n+1 {
+		return nil, fmt.Errorf("core: start array has %d entries, want nodes+1 = %d", len(a.Start), n+1)
+	}
+	if len(a.Dist) != n*nc {
+		return nil, fmt.Errorf("core: dist arena has %d entries, want nodes*classes = %d", len(a.Dist), n*nc)
+	}
+	if len(a.UB) != nc {
+		return nil, fmt.Errorf("core: upper-bound row has %d entries, want %d classes", len(a.UB), nc)
+	}
+	if a.Root < 0 || int(a.Root) >= n {
+		return nil, fmt.Errorf("core: root %d out of range [0,%d)", a.Root, n)
+	}
+	if a.Nodes <= 0 || a.Nodes > n {
+		return nil, fmt.Errorf("core: reachable node count %d out of range (0,%d]", a.Nodes, n)
+	}
+	return &Compiled{
+		Classes:  a.Classes,
+		NumAttrs: a.NumAttrs,
+		CatAttrs: a.CatAttrs,
+		kind:     a.Kind,
+		attr:     a.Attr,
+		split:    a.Split,
+		start:    a.Start,
+		child:    a.Child,
+		w:        a.W,
+		dist:     a.Dist,
+		ub:       a.UB,
+		root:     a.Root,
+		nodes:    a.Nodes,
+	}, nil
+}

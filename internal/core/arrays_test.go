@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"udt/internal/data"
+)
+
+// TestArraysRoundTrip: an engine rebuilt over its own exported arrays must
+// be indistinguishable from the original — byte-identical distributions and
+// identical upper bounds, since the arrays are shared, not copied.
+func TestArraysRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ds := randomMixedDataset(rng, 150, 3, 3, 9, true)
+	tree, err := Build(ds, Config{MinWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tree.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.Arrays()
+	if a.Root != 0 || a.Nodes != c.NumNodes() || len(a.Kind) != c.NumNodes() {
+		t.Fatalf("arrays root=%d nodes=%d kind=%d, engine has %d nodes", a.Root, a.Nodes, len(a.Kind), c.NumNodes())
+	}
+	c2, err := NewCompiledFromArrays(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := randomProbes(rng, ds, 200)
+	for i, tu := range probes {
+		want, got := c.Classify(tu), c2.Classify(tu)
+		for ci := range want {
+			if want[ci] != got[ci] {
+				t.Fatalf("probe %d: rebuilt dist %v, original %v", i, got, want)
+			}
+		}
+	}
+	ub, ub2 := c.ClassUpperBounds(), c2.ClassUpperBounds()
+	for ci := range ub {
+		if ub[ci] != ub2[ci] {
+			t.Fatalf("upper bounds drifted: %v vs %v", ub2, ub)
+		}
+	}
+}
+
+// TestNewCompiledFromArraysValidation: shape errors must be rejected with a
+// diagnostic instead of building an engine that faults mid-descent.
+func TestNewCompiledFromArraysValidation(t *testing.T) {
+	base := func() CompiledArrays {
+		return CompiledArrays{
+			Classes: []string{"a", "b"},
+			Kind:    []uint8{KindLeaf},
+			Attr:    []int32{0},
+			Split:   []float64{0},
+			Start:   []int32{0, 0},
+			W:       []float64{1},
+			Dist:    []float64{0.5, 0.5},
+			UB:      []float64{0.5, 0.5},
+			Root:    0,
+			Nodes:   1,
+		}
+	}
+	if _, err := NewCompiledFromArrays(base()); err != nil {
+		t.Fatalf("valid arrays rejected: %v", err)
+	}
+	mutations := map[string]func(*CompiledArrays){
+		"no classes":       func(a *CompiledArrays) { a.Classes = nil },
+		"no nodes":         func(a *CompiledArrays) { a.Kind = nil },
+		"attr length":      func(a *CompiledArrays) { a.Attr = nil },
+		"split length":     func(a *CompiledArrays) { a.Split = append(a.Split, 1) },
+		"w length":         func(a *CompiledArrays) { a.W = nil },
+		"start length":     func(a *CompiledArrays) { a.Start = a.Start[:1] },
+		"dist arity":       func(a *CompiledArrays) { a.Dist = a.Dist[:1] },
+		"ub arity":         func(a *CompiledArrays) { a.UB = a.UB[:1] },
+		"root negative":    func(a *CompiledArrays) { a.Root = -1 },
+		"root range":       func(a *CompiledArrays) { a.Root = 1 },
+		"nodes zero":       func(a *CompiledArrays) { a.Nodes = 0 },
+		"nodes overcommit": func(a *CompiledArrays) { a.Nodes = 2 },
+	}
+	for name, mutate := range mutations {
+		a := base()
+		mutate(&a)
+		if _, err := NewCompiledFromArrays(a); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestSharedArenaRoot: engines whose root is not node 0 of a shared arena
+// must descend from their own root. Two single-leaf trees packed into one
+// arena classify to their own leaf distributions.
+func TestSharedArenaRoot(t *testing.T) {
+	a := CompiledArrays{
+		Classes: []string{"a", "b"},
+		Kind:    []uint8{KindLeaf, KindLeaf},
+		Attr:    []int32{0, 0},
+		Split:   []float64{0, 0},
+		Start:   []int32{0, 0, 0},
+		W:       []float64{1, 1},
+		Dist:    []float64{1, 0, 0, 1},
+		UB:      []float64{1, 1},
+		Root:    1,
+		Nodes:   1,
+	}
+	c, err := NewCompiledFromArrays(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := &data.Tuple{Weight: 1}
+	got := c.Classify(tu)
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("root=1 engine classified %v, want [0 1]", got)
+	}
+	if c.NumNodes() != 1 {
+		t.Fatalf("NumNodes = %d, want 1", c.NumNodes())
+	}
+}
+
+// TestDecompileRoundTrip: Decompile must reconstruct a tree whose recursive
+// classification — and whose re-compiled engine — matches the original
+// engine exactly on every probe.
+func TestDecompileRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		ds := randomMixedDataset(rng, 150, 3, 3, 9, seed%2 == 0)
+		tree, err := Build(ds, Config{MinWeight: 1, PostPrune: seed%2 == 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := tree.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := c.Decompile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Stats.Nodes != tree.Stats.Nodes || back.Stats.Leaves != tree.Stats.Leaves || back.Stats.Depth != tree.Stats.Depth {
+			t.Fatalf("seed %d: decompiled stats %+v, original %+v", seed, back.Stats, tree.Stats)
+		}
+		rec, err := back.Compile()
+		if err != nil {
+			t.Fatalf("seed %d: recompile of decompiled tree: %v", seed, err)
+		}
+		probes := append(append([]*data.Tuple{}, ds.Tuples...), randomProbes(rng, ds, 100)...)
+		for i, tu := range probes {
+			want := c.Classify(tu)
+			viaTree := back.Classify(tu)
+			viaRec := rec.Classify(tu)
+			for ci := range want {
+				if want[ci] != viaTree[ci] || want[ci] != viaRec[ci] {
+					t.Fatalf("seed %d probe %d: original %v, decompiled tree %v, recompiled %v",
+						seed, i, want, viaTree, viaRec)
+				}
+			}
+		}
+	}
+}
+
+// TestDecompileRejectsCycles: Decompile terminates with an error on a
+// malformed arena containing a cycle rather than descending forever.
+func TestDecompileRejectsCycles(t *testing.T) {
+	c := &Compiled{
+		Classes: []string{"a", "b"},
+		kind:    []uint8{ckNum, ckNum},
+		attr:    []int32{0, 0},
+		split:   []float64{0, 0},
+		start:   []int32{0, 2, 4},
+		child:   []int32{1, 1, 0, 0},
+		w:       []float64{1, 1},
+		dist:    []float64{0, 0, 0, 0},
+		ub:      []float64{1, 1},
+		root:    0,
+		nodes:   2,
+	}
+	if _, err := c.Decompile(); err == nil {
+		t.Fatal("cyclic arena decompiled without error")
+	}
+}

@@ -31,6 +31,12 @@ const (
 // missing-value routing) for internal nodes.
 //
 // A Compiled is immutable after construction and safe for concurrent use.
+//
+// The arrays need not be exclusive to one tree: several Compiled engines can
+// share one arena (the binary model format hash-conses identical subtrees
+// across ensemble members into shared ranges), in which case each engine
+// keeps its own root index and only the nodes reachable from it belong to
+// the tree. Tree.Compile always produces a root of 0 over a private arena.
 type Compiled struct {
 	Classes  []string
 	NumAttrs []data.Attribute
@@ -44,6 +50,8 @@ type Compiled struct {
 	w     []float64 // training weight that reached the node
 	dist  []float64 // arena of per-node class rows; row i is dist[i*C:(i+1)*C]
 	ub    []float64 // per-class emission upper bound; see ClassUpperBounds
+	root  int32     // descent entry point (0 for Tree.Compile output)
+	nodes int       // nodes reachable from root (len(kind) for private arenas)
 }
 
 // Compile flattens the pointer-linked tree into the contiguous Compiled
@@ -119,6 +127,8 @@ func (t *Tree) Compile() (*Compiled, error) {
 		}
 	}
 	c.start = append(c.start, int32(len(c.child)))
+	c.root = 0
+	c.nodes = len(c.kind)
 	c.computeClassUpperBounds()
 	return c, nil
 }
@@ -171,8 +181,10 @@ func (c *Compiled) ClassUpperBounds() []float64 {
 	return out
 }
 
-// NumNodes reports the number of nodes in the compiled tree.
-func (c *Compiled) NumNodes() int { return len(c.kind) }
+// NumNodes reports the number of nodes in the compiled tree: the nodes
+// reachable from its root, which is every node of the arena for trees built
+// by Tree.Compile but may be a subset when the arena is shared.
+func (c *Compiled) NumNodes() int { return c.nodes }
 
 // cframe is one pending branch of the iterative descent: a node to visit,
 // the probability mass arriving there, and the tuple's current attribute
@@ -262,7 +274,7 @@ func (s *scratch) outBuf(nc int) []float64 {
 func (c *Compiled) classify(tu *data.Tuple, out []float64, s *scratch, w0 float64) {
 	nc := len(c.Classes)
 	s.reset()
-	s.frames = append(s.frames, cframe{node: 0, w: w0, num: tu.Num, cat: tu.Cat})
+	s.frames = append(s.frames, cframe{node: c.root, w: w0, num: tu.Num, cat: tu.Cat})
 	for len(s.frames) > 0 {
 		f := s.frames[len(s.frames)-1]
 		s.frames = s.frames[:len(s.frames)-1]
@@ -272,9 +284,13 @@ func (c *Compiled) classify(tu *data.Tuple, out []float64, s *scratch, w0 float6
 		node := int(f.node)
 		switch c.kind[node] {
 		case ckLeaf:
-			row := c.dist[node*nc : (node+1)*nc]
+			// Reslicing out to the row length lets the compiler drop the
+			// bounds check inside the accumulation loop; the summation
+			// order is unchanged.
+			row := c.dist[node*nc : node*nc+nc]
+			acc := out[:len(row)]
 			for ci, p := range row {
-				out[ci] += f.w * p
+				acc[ci] += f.w * p
 			}
 		case ckCat:
 			a := int(c.attr[node])

@@ -1,0 +1,113 @@
+package forest
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"udt/internal/core"
+)
+
+// TestFromCompiledRoundTrip: a forest reassembled from its own member
+// snapshots — engines only, trees dropped, as a binary load would produce —
+// must classify byte-identically (full, staged, and early-exit), report the
+// same stats, and marshal back to a JSON container that decodes to the same
+// predictions.
+func TestFromCompiledRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ds := mixedDataset(rng, 240, 3, 3)
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"identity", Config{Trees: 7, Seed: 11, TreeConfig: core.Config{MinWeight: 1}}},
+		{"projected", Config{Trees: 7, Seed: 11, AttrsPerTree: 2, TreeConfig: core.Config{MinWeight: 1}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			f := trainForest(t, ds, tc.cfg)
+			snaps := f.MemberSnapshots()
+			for i := range snaps {
+				snaps[i].Stats.Search = f.members[i].stats.Search // survives snapshot; binary drops it
+			}
+			g, err := FromCompiled(f.Classes, f.NumAttrs, f.CatAttrs, snaps, f.Kind(), f.OOB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.Stats() != f.Stats() {
+				t.Fatalf("stats drifted: %+v vs %+v", g.Stats(), f.Stats())
+			}
+			if g.Describe() != f.Describe() {
+				t.Fatalf("describe drifted: %q vs %q", g.Describe(), f.Describe())
+			}
+			probes := ds.Tuples[:100]
+			for i, tu := range probes {
+				want, got := f.Classify(tu), g.Classify(tu)
+				for ci := range want {
+					if want[ci] != got[ci] {
+						t.Fatalf("probe %d: %v vs %v", i, got, want)
+					}
+				}
+				wp, we := f.PredictEarlyExit(tu)
+				gp, ge := g.PredictEarlyExit(tu)
+				if wp != gp || we != ge {
+					t.Fatalf("probe %d: early exit (%d,%d) vs (%d,%d)", i, gp, ge, wp, we)
+				}
+			}
+			// The reassembled forest has no pointer trees; marshalling must
+			// decompile them and the result must decode to the same model.
+			blob, err := json.Marshal(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var h Forest
+			if err := json.Unmarshal(blob, &h); err != nil {
+				t.Fatal(err)
+			}
+			for i, tu := range probes {
+				want, got := f.Classify(tu), h.Classify(tu)
+				for ci := range want {
+					if want[ci] != got[ci] {
+						t.Fatalf("probe %d after JSON round-trip: %v vs %v", i, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFromCompiledValidation: malformed member sets must be rejected.
+func TestFromCompiledValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ds := mixedDataset(rng, 150, 2, 2)
+	f := trainForest(t, ds, Config{Trees: 3, Seed: 5, TreeConfig: core.Config{MinWeight: 1}})
+	snaps := f.MemberSnapshots()
+
+	if _, err := FromCompiled(f.Classes, f.NumAttrs, f.CatAttrs, nil, KindBagged, OOBStats{}); err == nil {
+		t.Error("empty member set accepted")
+	}
+	if _, err := FromCompiled(f.Classes, f.NumAttrs, f.CatAttrs, snaps, "stacked", OOBStats{}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := FromCompiled(nil, f.NumAttrs, f.CatAttrs, snaps, KindBagged, OOBStats{}); err == nil {
+		t.Error("classless ensemble accepted")
+	}
+
+	bad := append([]CompiledMember(nil), snaps...)
+	bad[1].Compiled = nil
+	if _, err := FromCompiled(f.Classes, f.NumAttrs, f.CatAttrs, bad, KindBagged, OOBStats{}); err == nil {
+		t.Error("nil engine accepted")
+	}
+	bad = append([]CompiledMember(nil), snaps...)
+	bad[0].Weight = -1
+	if _, err := FromCompiled(f.Classes, f.NumAttrs, f.CatAttrs, bad, KindBagged, OOBStats{}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	bad = append([]CompiledMember(nil), snaps...)
+	bad[0].NumIdx = []int{0, 1}
+	if _, err := FromCompiled(f.Classes, f.NumAttrs, f.CatAttrs, bad, KindBagged, OOBStats{}); err == nil {
+		t.Error("one-sided index map accepted")
+	}
+	if _, err := FromCompiled([]string{"a", "b", "c"}, f.NumAttrs, f.CatAttrs, snaps, KindBagged, OOBStats{}); err == nil {
+		t.Error("class vocabulary mismatch accepted")
+	}
+}

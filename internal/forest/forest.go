@@ -67,13 +67,18 @@ const (
 // member is one tree of the ensemble. numIdx/catIdx map the member's
 // (possibly projected) attribute schema back onto the forest schema; both
 // nil means the member sees every attribute. weight is the member's vote
-// weight (1 for bagged members, the SAMME alpha for boosted ones).
+// weight (1 for bagged members, the SAMME alpha for boosted ones). tree is
+// the pointer-linked source tree when the member came from training or a
+// JSON container; members loaded from the binary format carry only the
+// compiled engine and a nil tree (stats holds their build statistics either
+// way, so Stats and Describe never need the tree).
 type member struct {
 	tree     *core.Tree
 	compiled *core.Compiled
 	numIdx   []int
 	catIdx   []int
 	weight   float64
+	stats    core.BuildStats
 }
 
 // Forest is a trained ensemble — bagged (uniform votes) or boosted
@@ -185,7 +190,7 @@ func (f *Forest) Schema() (classes []string, num, cat []data.Attribute) {
 func (f *Forest) Stats() core.BuildStats {
 	var s core.BuildStats
 	for i := range f.members {
-		ms := f.members[i].tree.Stats
+		ms := f.members[i].stats
 		s.Search.Add(ms.Search)
 		s.Nodes += ms.Nodes
 		s.Leaves += ms.Leaves
@@ -244,7 +249,7 @@ func Train(ds *data.Dataset, cfg Config) (*Forest, error) {
 		rng := rand.New(rand.NewSource(treeSeed(cfg.Seed, t)))
 		f.members[t], inBag[t], errs[t] = trainOne(ds, cfg, rng)
 		if errs[t] == nil {
-			stats := f.members[t].tree.Stats
+			stats := f.members[t].stats
 			memberDone(obs.MemberBuild{
 				Index: t,
 				Total: cfg.Trees,
@@ -327,7 +332,7 @@ func trainOne(ds *data.Dataset, cfg Config, rng *rand.Rand) (member, []bool, err
 	if err != nil {
 		return member{}, nil, fmt.Errorf("forest: member compile: %w", err)
 	}
-	return member{tree: tree, compiled: compiled, numIdx: numIdx, catIdx: catIdx, weight: 1}, inBag, nil
+	return member{tree: tree, compiled: compiled, numIdx: numIdx, catIdx: catIdx, weight: 1, stats: tree.Stats}, inBag, nil
 }
 
 // pickAttrs selects k of the dataset's attributes uniformly at random,

@@ -77,7 +77,16 @@ func (f *Forest) MarshalJSON() ([]byte, error) {
 	for t := range f.members {
 		m := &f.members[t]
 		w := m.weight
-		doc.Trees[t] = memberJSON{NumIdx: m.numIdx, CatIdx: m.catIdx, Weight: &w, Tree: m.tree}
+		tree := m.tree
+		if tree == nil {
+			// Binary-loaded members carry only the compiled engine;
+			// reconstruct the pointer tree for the interchange format.
+			var err error
+			if tree, err = m.compiled.Decompile(); err != nil {
+				return nil, fmt.Errorf("forest: tree %d: %w", t, err)
+			}
+		}
+		doc.Trees[t] = memberJSON{NumIdx: m.numIdx, CatIdx: m.catIdx, Weight: &w, Tree: tree}
 	}
 	return json.Marshal(doc)
 }
@@ -173,23 +182,39 @@ func (f *Forest) restoreMember(mj memberJSON, precompiled *core.Compiled) (membe
 		weight = *mj.Weight
 	}
 	tree := mj.Tree
-	if err := sameClasses(f.Classes, tree.Classes); err != nil {
-		return member{}, err
-	}
-	numIdx, err := checkIdx(mj.NumIdx, len(tree.NumAttrs), len(f.NumAttrs), "numIdx")
+	numIdx, catIdx, err := f.checkMember(tree.Classes, tree.NumAttrs, tree.CatAttrs, mj.NumIdx, mj.CatIdx)
 	if err != nil {
 		return member{}, err
 	}
-	catIdx, err := checkIdx(mj.CatIdx, len(tree.CatAttrs), len(f.CatAttrs), "catIdx")
-	if err != nil {
-		return member{}, err
+	compiled := precompiled
+	if compiled == nil {
+		if compiled, err = tree.Compile(); err != nil {
+			return member{}, err
+		}
+	}
+	return member{tree: tree, compiled: compiled, numIdx: numIdx, catIdx: catIdx, weight: weight, stats: tree.Stats}, nil
+}
+
+// checkMember validates one member's schema against the forest's: class
+// vocabulary identity, index-map well-formedness, and attribute agreement.
+// It is shared by every member source — JSON containers, FromTrees, and
+// binary containers via FromCompiled.
+func (f *Forest) checkMember(classes []string, numAttrs, catAttrs []data.Attribute, rawNumIdx, rawCatIdx []int) (numIdx, catIdx []int, err error) {
+	if err := sameClasses(f.Classes, classes); err != nil {
+		return nil, nil, err
+	}
+	if numIdx, err = checkIdx(rawNumIdx, len(numAttrs), len(f.NumAttrs), "numIdx"); err != nil {
+		return nil, nil, err
+	}
+	if catIdx, err = checkIdx(rawCatIdx, len(catAttrs), len(f.CatAttrs), "catIdx"); err != nil {
+		return nil, nil, err
 	}
 	// The index maps are all-or-nothing: Train emits either both (a
 	// projected member) or neither (an identity member), and the projection
 	// scratch treats both-nil as identity. A mixed pair would project one
 	// attribute kind and not the other, crashing mid-descent.
 	if (numIdx == nil) != (catIdx == nil) {
-		return member{}, errors.New("numIdx and catIdx must be both present or both absent")
+		return nil, nil, errors.New("numIdx and catIdx must be both present or both absent")
 	}
 	// Attribute identity must agree between the member and the forest
 	// attribute it maps to — names for both kinds, domains value-for-value
@@ -197,41 +222,34 @@ func (f *Forest) restoreMember(mj memberJSON, precompiled *core.Compiled) (membe
 	// schema, and the member's compiled engine interprets positions and
 	// domain indices against its own, so any divergence silently misroutes
 	// mass.
-	for k, a := range tree.NumAttrs {
+	for k, a := range numAttrs {
 		fi := k
 		if numIdx != nil {
 			fi = numIdx[k]
 		}
 		if want := f.NumAttrs[fi].Name; a.Name != want {
-			return member{}, fmt.Errorf("numeric attribute %d is %q, container maps it to %q", k, a.Name, want)
+			return nil, nil, fmt.Errorf("numeric attribute %d is %q, container maps it to %q", k, a.Name, want)
 		}
 	}
-	for k, a := range tree.CatAttrs {
+	for k, a := range catAttrs {
 		fi := k
 		if catIdx != nil {
 			fi = catIdx[k]
 		}
 		if want := f.CatAttrs[fi].Name; a.Name != want {
-			return member{}, fmt.Errorf("categorical attribute %d is %q, container maps it to %q", k, a.Name, want)
+			return nil, nil, fmt.Errorf("categorical attribute %d is %q, container maps it to %q", k, a.Name, want)
 		}
 		want := f.CatAttrs[fi].Domain
 		if len(a.Domain) != len(want) {
-			return member{}, fmt.Errorf("categorical attribute %q has %d domain values, container has %d", a.Name, len(a.Domain), len(want))
+			return nil, nil, fmt.Errorf("categorical attribute %q has %d domain values, container has %d", a.Name, len(a.Domain), len(want))
 		}
 		for v := range want {
 			if a.Domain[v] != want[v] {
-				return member{}, fmt.Errorf("categorical attribute %q domain value %d is %q, container has %q", a.Name, v, a.Domain[v], want[v])
+				return nil, nil, fmt.Errorf("categorical attribute %q domain value %d is %q, container has %q", a.Name, v, a.Domain[v], want[v])
 			}
 		}
 	}
-	compiled := precompiled
-	if compiled == nil {
-		var err error
-		if compiled, err = tree.Compile(); err != nil {
-			return member{}, err
-		}
-	}
-	return member{tree: tree, compiled: compiled, numIdx: numIdx, catIdx: catIdx, weight: weight}, nil
+	return numIdx, catIdx, nil
 }
 
 // sameClasses rejects members whose class vocabulary diverges from the

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AlignField guards the binary container's alignment discipline in packages
+// named binfmt. Two invariants, both load-bearing for mmap'd models:
+//
+//  1. Alignment-mask arithmetic on the off64 offset type (&, &^, %, <<, >>)
+//     may appear only inside functions annotated //udt:alignsafe — in
+//     practice the blessed align/aligned helpers. Every section placement
+//     then flows through one audited rounding rule; a hand-rolled mask in a
+//     new code path is exactly the bug class that produces a misaligned
+//     section and a SIGBUS (or silent slow path) on a strict-alignment host.
+//
+//  2. The unsafe package may be referenced only inside //udt:alignsafe
+//     functions. Reinterpreting mapped bytes as typed slices is legal only
+//     under the alignment and endianness preconditions those functions
+//     document and check; casual unsafe anywhere else in the codec has no
+//     such proof obligation attached.
+//
+// Sites that genuinely need an exception carry //udt:align-ok with a reason,
+// which the -strict driver mode reports for audit.
+var AlignField = &Analyzer{
+	Name:     "alignfield",
+	Doc:      "confines off64 alignment arithmetic and unsafe to //udt:alignsafe functions in binfmt packages",
+	Suppress: "udt:align-ok",
+	Run:      runAlignField,
+}
+
+// alignSafeDirective marks a function audited for alignment/unsafe rules.
+const alignSafeDirective = "udt:alignsafe"
+
+func runAlignField(pass *Pass) {
+	if !isBinfmtPackage(pass.Pkg) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if !usesUnsafe(info, n) || inAlignSafe(stack) {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"unsafe.%s outside a //%s function in package %q "+
+						"(invariant: reinterpreting container bytes requires the audited alignment preconditions); "+
+						"move the cast into an annotated helper or annotate //udt:align-ok with a reason",
+					n.Sel.Name, alignSafeDirective, pass.Pkg.Name)
+			case *ast.BinaryExpr:
+				if !alignMaskOp(n.Op) || !(isOff64(info, n.X) || isOff64(info, n.Y)) || inAlignSafe(stack) {
+					return true
+				}
+				pass.Reportf(n.OpPos,
+					"alignment arithmetic %q on off64 outside a //%s helper "+
+						"(invariant: section placement goes through the blessed align/aligned helpers only); "+
+						"call the helper or annotate //udt:align-ok with a reason",
+					n.Op, alignSafeDirective)
+			case *ast.AssignStmt:
+				if !alignMaskAssignOp(n.Tok) || inAlignSafe(stack) {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if isOff64(info, lhs) {
+						pass.Reportf(n.TokPos,
+							"alignment arithmetic %q on off64 outside a //%s helper "+
+								"(invariant: section placement goes through the blessed align/aligned helpers only); "+
+								"call the helper or annotate //udt:align-ok with a reason",
+							n.Tok, alignSafeDirective)
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isBinfmtPackage gates the analyzer on package name: the binary container
+// codec and any future sibling formats named binfmt.
+func isBinfmtPackage(pkg *Package) bool {
+	return pkg.Name == "binfmt"
+}
+
+// alignMaskOp reports whether the operator belongs to the mask/rounding
+// family that implements (or mis-implements) alignment. Additive offset
+// advancement (+, -, *) is ordinary size arithmetic and stays unrestricted.
+func alignMaskOp(op token.Token) bool {
+	switch op {
+	case token.AND, token.AND_NOT, token.REM, token.SHL, token.SHR:
+		return true
+	}
+	return false
+}
+
+// alignMaskAssignOp is alignMaskOp for the compound-assignment forms.
+func alignMaskAssignOp(tok token.Token) bool {
+	switch tok {
+	case token.AND_ASSIGN, token.AND_NOT_ASSIGN, token.REM_ASSIGN, token.SHL_ASSIGN, token.SHR_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// isOff64 reports whether the expression's type is a named type off64
+// (whatever package declares it — the gate already restricts to binfmt).
+func isOff64(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	return ok && named.Obj() != nil && named.Obj().Name() == "off64"
+}
+
+// usesUnsafe reports whether the selector references the unsafe package.
+func usesUnsafe(info *types.Info, sel *ast.SelectorExpr) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "unsafe"
+}
+
+// inAlignSafe reports whether any enclosing declaration on the stack carries
+// the //udt:alignsafe directive: a function declaration, or a package-level
+// var/const whose initializer does the work (the host-endianness probe).
+// Function literals inherit the annotation of the declaration they are
+// nested in: the audit covers the whole body.
+func inAlignSafe(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if hasDirective(n.Doc, alignSafeDirective) {
+				return true
+			}
+		case *ast.GenDecl:
+			if hasDirective(n.Doc, alignSafeDirective) {
+				return true
+			}
+		case *ast.ValueSpec:
+			if hasDirective(n.Doc, alignSafeDirective) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,29 @@
+package lint_test
+
+import (
+	"testing"
+
+	"udt/internal/lint"
+	"udt/internal/lint/linttest"
+)
+
+func TestAlignFieldPositive(t *testing.T) {
+	linttest.Run(t, "testdata/src/alignfield_pos", "udt/internal/binfmt", lint.AlignField)
+}
+
+func TestAlignFieldNegative(t *testing.T) {
+	linttest.Run(t, "testdata/src/alignfield_neg", "udt/internal/binfmt", lint.AlignField)
+}
+
+// The escape hatch stays auditable: the suppressed finding is retained for
+// the -strict driver mode rather than dropped.
+func TestAlignFieldSuppressionAudited(t *testing.T) {
+	linttest.Suppressed(t, "testdata/src/alignfield_neg", "udt/internal/binfmt", lint.AlignField, 1)
+}
+
+// The analyzer gates on the package name, not the import path: a package
+// not named binfmt is out of scope however it masks its own off64.
+func TestAlignFieldUngatedPackage(t *testing.T) {
+	linttest.Empty(t, "testdata/src/alignfield_ungated", "udt/internal/other", lint.AlignField)
+	linttest.Suppressed(t, "testdata/src/alignfield_ungated", "udt/internal/other", lint.AlignField, 0)
+}

@@ -149,6 +149,7 @@ var Analyzers = []*Analyzer{
 	SeedSource,
 	AtomicField,
 	HotAlloc,
+	AlignField,
 }
 
 // RunAnalyzers applies every analyzer to every package and returns the
@@ -190,6 +191,7 @@ var determinismCritical = map[string]bool{
 	"forest":  true,
 	"boost":   true,
 	"modelio": true,
+	"binfmt":  true,
 }
 
 // inDeterminismCritical reports whether the package is gated.

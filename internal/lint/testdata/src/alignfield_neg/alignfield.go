@@ -1,0 +1,57 @@
+// Negative alignfield fixtures: annotated helpers, plain offset arithmetic,
+// mask arithmetic on other types, and an audited suppression — none may be
+// reported unsuppressed.
+package binfmt
+
+import "unsafe"
+
+type off64 uint64
+
+const sectionAlign = 64
+
+// align is the blessed rounding helper.
+//
+//udt:alignsafe
+func align(o off64) off64 { return (o + sectionAlign - 1) &^ (sectionAlign - 1) }
+
+// aligned is the blessed alignment check.
+//
+//udt:alignsafe
+func aligned(o off64) bool { return o&(sectionAlign-1) == 0 }
+
+// view reinterprets bytes inside an annotated function, including from a
+// nested literal, which inherits the annotation.
+//
+//udt:alignsafe
+func view(b []byte) []uint64 {
+	f := func() []uint64 {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8)
+	}
+	return f()
+}
+
+// probe is an annotated package-level var whose initializer literal
+// inherits the annotation.
+//
+//udt:alignsafe
+var probe = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// advancePlain does additive offset arithmetic, which is ordinary size
+// accounting and unrestricted.
+func advancePlain(o off64, n int) off64 {
+	return o + off64(n)*8
+}
+
+// maskInt masks a plain integer; only off64 is guarded.
+func maskInt(x uint64) uint64 {
+	return x &^ (sectionAlign - 1)
+}
+
+// auditedMask carries the escape hatch with a reason.
+func auditedMask(o off64) off64 {
+	//udt:align-ok fixture exercising the audited suppression path
+	return o &^ 1
+}

@@ -1,0 +1,35 @@
+// Positive alignfield fixtures: alignment-mask arithmetic on off64 and
+// unsafe references outside //udt:alignsafe functions.
+package binfmt
+
+import "unsafe"
+
+type off64 uint64
+
+const sectionAlign = 64
+
+// alignUp hand-rolls the rounding rule without the audit annotation.
+func alignUp(o off64) off64 {
+	return (o + sectionAlign - 1) &^ (sectionAlign - 1) // want `alignment arithmetic "&\^" on off64 outside a //udt:alignsafe helper`
+}
+
+// isAligned masks an offset in an unannotated function.
+func isAligned(o off64) bool {
+	return o&(sectionAlign-1) == 0 // want `alignment arithmetic "&" on off64 outside a //udt:alignsafe helper`
+}
+
+// remAligned uses modulo for the same check.
+func remAligned(o off64) bool {
+	return o%sectionAlign == 0 // want `alignment arithmetic "%" on off64 outside a //udt:alignsafe helper`
+}
+
+// maskInPlace compounds the mask onto the offset.
+func maskInPlace(o off64) off64 {
+	o &^= sectionAlign - 1 // want `alignment arithmetic "&\^=" on off64 outside a //udt:alignsafe helper`
+	return o
+}
+
+// castBytes reinterprets bytes without the audit annotation.
+func castBytes(b []byte) []uint64 {
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8) // want `unsafe.Slice outside a //udt:alignsafe function` `unsafe.Pointer outside a //udt:alignsafe function`
+}

@@ -1,0 +1,15 @@
+// Ungated alignfield fixture: a package not named binfmt may mask its own
+// off64 lookalike and use unsafe freely as far as this analyzer cares.
+package other
+
+import "unsafe"
+
+type off64 uint64
+
+func alignUp(o off64) off64 {
+	return (o + 63) &^ 63
+}
+
+func cast(b []byte) *uint64 {
+	return (*uint64)(unsafe.Pointer(&b[0]))
+}

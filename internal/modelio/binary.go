@@ -1,0 +1,162 @@
+package modelio
+
+import (
+	"fmt"
+	"io"
+
+	"udt/internal/binfmt"
+	"udt/internal/core"
+	"udt/internal/data"
+	"udt/internal/forest"
+)
+
+// Binary container integration. Load sniffs the binfmt magic and routes
+// here; the returned models wrap the mmap-backed container so the serving
+// layer can release the mapping (Close) once a hot reload has drained every
+// request still reading from it.
+
+// Format names reported by ContainerFormat.
+const (
+	FormatJSON   = "json"
+	FormatBinary = "binary"
+)
+
+// Closer is implemented by models that hold OS resources — binary models
+// whose arrays alias an mmap'd file. Close releases the mapping; the model
+// must not be used afterwards. Use modelio.Close to close any model.
+type Closer interface {
+	Close() error
+}
+
+// TreeSource is implemented by single-tree models that can produce their
+// pointer-linked tree — directly (JSON models keep it) or by decompiling the
+// flat arrays (binary models drop it). udtree's rules and convert
+// subcommands consume this.
+type TreeSource interface {
+	SourceTree() (*core.Tree, error)
+}
+
+// SourceTree implements TreeSource for JSON-loaded trees.
+func (m *TreeModel) SourceTree() (*core.Tree, error) { return m.Tree, nil }
+
+// binaryForest is an ensemble loaded from a binary container: the forest's
+// arrays alias the container's memory (the file mapping, when mapped).
+type binaryForest struct {
+	*forest.Forest
+	c *binfmt.Container
+}
+
+// Close releases the container mapping.
+func (m *binaryForest) Close() error { return m.c.Close() }
+
+// binaryTree is a single tree loaded from a binary container. It has no
+// pointer tree; Describe reads the container's stored build statistics and
+// SourceTree decompiles on demand.
+type binaryTree struct {
+	compiled *core.Compiled
+	stats    core.BuildStats
+	c        *binfmt.Container
+}
+
+// Schema implements Model.
+func (m *binaryTree) Schema() (classes []string, num, cat []data.Attribute) {
+	return m.compiled.Classes, m.compiled.NumAttrs, m.compiled.CatAttrs
+}
+
+// Classify implements Model through the compiled engine.
+func (m *binaryTree) Classify(tu *data.Tuple) []float64 { return m.compiled.Classify(tu) }
+
+// Predict implements Model through the compiled engine.
+func (m *binaryTree) Predict(tu *data.Tuple) int { return m.compiled.Predict(tu) }
+
+// ClassifyBatch implements Model through the compiled engine.
+func (m *binaryTree) ClassifyBatch(tuples []*data.Tuple, workers int) [][]float64 {
+	return m.compiled.ClassifyBatch(tuples, workers)
+}
+
+// PredictBatch implements Model through the compiled engine.
+func (m *binaryTree) PredictBatch(tuples []*data.Tuple, workers int) []int {
+	return m.compiled.PredictBatch(tuples, workers)
+}
+
+// Describe implements Model.
+func (m *binaryTree) Describe() string {
+	return fmt.Sprintf("tree (%d nodes, depth %d)", m.stats.Nodes, m.stats.Depth)
+}
+
+// Stats returns the build statistics stored in the container.
+func (m *binaryTree) Stats() core.BuildStats { return m.stats }
+
+// SourceTree implements TreeSource by decompiling the flat arrays.
+func (m *binaryTree) SourceTree() (*core.Tree, error) { return m.compiled.Decompile() }
+
+// Close releases the container mapping.
+func (m *binaryTree) Close() error { return m.c.Close() }
+
+// LoadBinary loads a binary model container, mmap-backed where the platform
+// allows. Callers that reload models must Close the returned model once no
+// request can still be reading it.
+func LoadBinary(path string) (Model, error) {
+	c, err := binfmt.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return wrapContainer(c), nil
+}
+
+// wrapContainer turns a decoded container into the matching model wrapper.
+func wrapContainer(c *binfmt.Container) Model {
+	if c.Forest != nil {
+		return &binaryForest{Forest: c.Forest, c: c}
+	}
+	return &binaryTree{compiled: c.Compiled, stats: c.TreeStats, c: c}
+}
+
+// EncodeBinary writes any loaded model as a binary container.
+func EncodeBinary(w io.Writer, m Model) error {
+	switch m := m.(type) {
+	case *TreeModel:
+		return binfmt.EncodeTree(w, m.Compiled, m.Tree.Stats)
+	case *binaryTree:
+		return binfmt.EncodeTree(w, m.compiled, m.stats)
+	case *forest.Forest:
+		return binfmt.EncodeForest(w, m)
+	case *binaryForest:
+		return binfmt.EncodeForest(w, m.Forest)
+	default:
+		return fmt.Errorf("modelio: cannot binary-encode %T", m)
+	}
+}
+
+// AsForest unwraps the ensemble behind a model, whatever container it was
+// loaded from. It reports false for single-tree models.
+func AsForest(m Model) (*forest.Forest, bool) {
+	switch m := m.(type) {
+	case *forest.Forest:
+		return m, true
+	case *binaryForest:
+		return m.Forest, true
+	default:
+		return nil, false
+	}
+}
+
+// ContainerFormat reports which container format a model was loaded from:
+// FormatBinary for binfmt containers, FormatJSON otherwise.
+func ContainerFormat(m Model) string {
+	switch m.(type) {
+	case *binaryForest, *binaryTree:
+		return FormatBinary
+	default:
+		return FormatJSON
+	}
+}
+
+// Close releases any OS resources the model holds (the file mapping of a
+// binary model). Safe on every model; JSON models are a no-op.
+func Close(m Model) error {
+	if c, ok := m.(Closer); ok {
+		return c.Close()
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package modelio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"udt/internal/core"
+	"udt/internal/forest"
+)
+
+// writeModel encodes the model in the given format to a temp file.
+func writeModel(t *testing.T, m Model, dir, name string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLoadBinaryAutoDetect: Load sniffs the magic and routes binary
+// containers to the mmap loader; loaded models predict identically to their
+// JSON-loaded sources and report their container format.
+func TestLoadBinaryAutoDetect(t *testing.T) {
+	ds := twoClassDataset(80)
+	tree, err := core.Build(ds, core.Config{MinWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := tree.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := forest.Train(ds, forest.Config{Trees: 5, Seed: 3, TreeConfig: core.Config{MinWeight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := &TreeModel{Tree: tree, Compiled: compiled}
+	dir := t.TempDir()
+
+	treeBin := writeModel(t, tm, dir, "tree.udt")
+	forestBin := writeModel(t, fr, dir, "forest.udt")
+
+	btm, err := Load(treeBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Close(btm)
+	bfm, err := Load(forestBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Close(bfm)
+
+	if got := ContainerFormat(btm); got != FormatBinary {
+		t.Fatalf("tree container format %q, want %q", got, FormatBinary)
+	}
+	if got := ContainerFormat(tm); got != FormatJSON {
+		t.Fatalf("JSON tree container format %q, want %q", got, FormatJSON)
+	}
+	if _, ok := AsForest(btm); ok {
+		t.Fatal("binary tree reported as forest")
+	}
+	g, ok := AsForest(bfm)
+	if !ok {
+		t.Fatal("binary forest not unwrapped by AsForest")
+	}
+	if g.NumTrees() != fr.NumTrees() {
+		t.Fatalf("%d trees, want %d", g.NumTrees(), fr.NumTrees())
+	}
+	if btm.Describe() != tm.Describe() {
+		t.Fatalf("binary tree describes %q, JSON %q", btm.Describe(), tm.Describe())
+	}
+
+	for i, tu := range ds.Tuples {
+		wantT, wantF := tm.Classify(tu), fr.Classify(tu)
+		gotT, gotF := btm.Classify(tu), bfm.Classify(tu)
+		for ci := range wantT {
+			if gotT[ci] != wantT[ci] {
+				t.Fatalf("tuple %d: binary tree %v, want %v", i, gotT, wantT)
+			}
+		}
+		for ci := range wantF {
+			if gotF[ci] != wantF[ci] {
+				t.Fatalf("tuple %d: binary forest %v, want %v", i, gotF, wantF)
+			}
+		}
+	}
+
+	// The binary forest keeps satisfying Staged with identical early exits.
+	sf, ok := bfm.(Staged)
+	if !ok {
+		t.Fatal("binary forest lost Staged")
+	}
+	for i, tu := range ds.Tuples[:20] {
+		wp, we := fr.PredictEarlyExit(tu)
+		gp, ge := sf.PredictEarlyExit(tu)
+		if wp != gp || we != ge {
+			t.Fatalf("tuple %d: early exit (%d,%d), want (%d,%d)", i, gp, ge, wp, we)
+		}
+	}
+}
+
+// TestTreeSource: both JSON- and binary-loaded trees surface a pointer tree;
+// the decompiled tree predicts identically to the compiled arrays.
+func TestTreeSource(t *testing.T) {
+	ds := twoClassDataset(60)
+	tree, err := core.Build(ds, core.Config{MinWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := tree.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := &TreeModel{Tree: tree, Compiled: compiled}
+	if src, err := tm.SourceTree(); err != nil || src != tree {
+		t.Fatalf("JSON SourceTree = (%p, %v), want the original tree", src, err)
+	}
+
+	path := writeModel(t, tm, t.TempDir(), "tree.udt")
+	bm, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Close(bm)
+	src, ok := bm.(TreeSource)
+	if !ok {
+		t.Fatalf("%T does not implement TreeSource", bm)
+	}
+	decompiled, err := src.SourceTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tu := range ds.Tuples {
+		want := tm.Classify(tu)
+		got := decompiled.Classify(tu)
+		for ci := range want {
+			if got[ci] != want[ci] {
+				t.Fatalf("tuple %d: decompiled %v, want %v", i, got, want)
+			}
+		}
+	}
+}
+
+// TestEncodeBinaryFromBinary: a binary-loaded model can be re-encoded —
+// convert must work in both directions from any source format.
+func TestEncodeBinaryFromBinary(t *testing.T) {
+	ds := twoClassDataset(60)
+	fr, err := forest.Train(ds, forest.Config{Trees: 3, Seed: 5, TreeConfig: core.Config{MinWeight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := writeModel(t, fr, dir, "a.udt")
+	m, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Close(m)
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ContainerFormat(m2); got != FormatBinary {
+		t.Fatalf("re-encoded container format %q", got)
+	}
+	for i, tu := range ds.Tuples[:20] {
+		if got, want := m2.Predict(tu), fr.Predict(tu); got != want {
+			t.Fatalf("tuple %d: re-encoded model predicts %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestLoadErrorsNamePathAndOffset: decode failures must tell the operator
+// which file and where in it the problem sits.
+func TestLoadErrorsNamePathAndOffset(t *testing.T) {
+	dir := t.TempDir()
+
+	badJSON := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badJSON, []byte(`{"version": 1, "trees": [,]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(badJSON)
+	if err == nil {
+		t.Fatal("broken JSON accepted")
+	}
+	if !strings.Contains(err.Error(), badJSON) {
+		t.Errorf("error %q does not name the path", err)
+	}
+	if !strings.Contains(err.Error(), "byte offset") {
+		t.Errorf("error %q does not name the byte offset", err)
+	}
+
+	// A truncated binary container must name the path (binfmt wraps it) and
+	// a file offset.
+	ds := twoClassDataset(40)
+	fr, err := forest.Train(ds, forest.Config{Trees: 2, Seed: 1, TreeConfig: core.Config{MinWeight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, fr); err != nil {
+		t.Fatal(err)
+	}
+	badBin := filepath.Join(dir, "bad.udt")
+	if err := os.WriteFile(badBin, buf.Bytes()[:buf.Len()/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(badBin)
+	if err == nil {
+		t.Fatal("truncated binary container accepted")
+	}
+	if !strings.Contains(err.Error(), badBin) {
+		t.Errorf("error %q does not name the path", err)
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error %q does not name an offset", err)
+	}
+}

@@ -9,8 +9,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 
+	"udt/internal/binfmt"
 	"udt/internal/core"
 	"udt/internal/data"
 	"udt/internal/forest"
@@ -86,24 +88,34 @@ func (m *TreeModel) Describe() string {
 	return fmt.Sprintf("tree (%d nodes, depth %d)", m.Tree.Stats.Nodes, m.Tree.Stats.Depth)
 }
 
-// Decode parses a model document, auto-detecting the format: documents with
-// a "version" or "trees" field are forest containers, everything else is a
+// Stats returns the tree's build statistics.
+func (m *TreeModel) Stats() core.BuildStats { return m.Tree.Stats }
+
+// Decode parses a model document, auto-detecting the format: blobs starting
+// with the binfmt magic are binary containers, JSON documents with a
+// "version" or "trees" field are forest containers, everything else is a
 // legacy single-tree document. The returned model is compiled and ready to
-// serve. *forest.Forest satisfies Model directly, so callers can type-assert
-// for format-specific metadata (OOB stats, tree count).
+// serve; use AsForest for format-specific metadata (OOB stats, tree count).
 func Decode(blob []byte) (Model, error) {
+	if binfmt.Sniff(blob) {
+		c, err := binfmt.DecodeBytes(blob)
+		if err != nil {
+			return nil, err
+		}
+		return wrapContainer(c), nil
+	}
 	var probe struct {
 		Version *int            `json:"version"`
 		Trees   json.RawMessage `json:"trees"`
 		Root    json.RawMessage `json:"root"`
 	}
 	if err := json.Unmarshal(blob, &probe); err != nil {
-		return nil, err
+		return nil, jsonPos(err)
 	}
 	if probe.Version != nil || probe.Trees != nil {
 		f := new(forest.Forest)
 		if err := json.Unmarshal(blob, f); err != nil {
-			return nil, err
+			return nil, jsonPos(err)
 		}
 		return f, nil
 	}
@@ -112,7 +124,7 @@ func Decode(blob []byte) (Model, error) {
 	}
 	tree := new(core.Tree)
 	if err := json.Unmarshal(blob, tree); err != nil {
-		return nil, err
+		return nil, jsonPos(err)
 	}
 	compiled, err := tree.Compile()
 	if err != nil {
@@ -123,8 +135,33 @@ func Decode(blob []byte) (Model, error) {
 	return &TreeModel{Tree: tree, Compiled: compiled}, nil
 }
 
-// Load reads and decodes a model file.
+// jsonPos annotates a JSON decode failure with the byte offset at which it
+// occurred, when the standard decoder knows it. An operator debugging a
+// corrupt model file gets the position, not just the symptom.
+func jsonPos(err error) error {
+	var syn *json.SyntaxError
+	if errors.As(err, &syn) {
+		return fmt.Errorf("byte offset %d: %w", syn.Offset, err)
+	}
+	var typ *json.UnmarshalTypeError
+	if errors.As(err, &typ) {
+		return fmt.Errorf("byte offset %d: %w", typ.Offset, err)
+	}
+	return err
+}
+
+// Load reads and decodes a model file, auto-detecting the container format.
+// Binary containers (recognized by their magic) are loaded through the
+// mmap-backed binfmt path; everything else is read and parsed as JSON.
 func Load(path string) (Model, error) {
+	binary, err := sniffFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	if binary {
+		// binfmt.Load's errors already carry the path and file offset.
+		return LoadBinary(path)
+	}
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -134,4 +171,23 @@ func Load(path string) (Model, error) {
 		return nil, fmt.Errorf("load %s: %w", path, err)
 	}
 	return m, nil
+}
+
+// sniffFile reports whether the file starts with the binary container magic.
+// Files shorter than the magic are not binary containers.
+func sniffFile(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	prefix := make([]byte, len(binfmt.Magic))
+	n, err := io.ReadFull(f, prefix)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return binfmt.Sniff(prefix[:n]), nil
 }

@@ -9,6 +9,18 @@
 //
 //	udtload -target http://127.0.0.1:8080 -data test.csv -qps 200 -duration 10s
 //	udtload -target ... -data ... -mix single=0.6,batch=0.3,stream=0.1 -out bench.json
+//	udtload -target http://replica1:8080,http://replica2:8080 -data ... \
+//	        -models alpha=0.7,beta=0.3
+//
+// -target accepts several comma-separated base URLs; arrivals fan out
+// round-robin across them (replicas, or a udtproxy in front of replicas —
+// either way the offered load is one schedule). The first URL is also the
+// /metrics source for the report's server-delta section.
+//
+// -models weights a per-model mix: each request draws a model name and hits
+// /v1/models/{name}/classify[/stream] instead of the legacy routes, and the
+// report carries "model:{name}" latency summaries. Without -models the
+// request sequence for a given seed is identical to earlier releases.
 //
 // Payloads are sampled (deterministically, per -seed) from the rows of the
 // CSV: the same seed against the same CSV issues the identical request
@@ -43,7 +55,8 @@ func main() {
 func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("udtload", flag.ContinueOnError)
 	var (
-		target      = fs.String("target", "", "base URL of the udtserve instance (required)")
+		target      = fs.String("target", "", "base URL(s) of udtserve/udtproxy instances, comma-separated (required)")
+		modelsSpec  = fs.String("models", "", "per-model mix, name=weight comma-separated (empty = legacy single-model routes)")
 		dataPath    = fs.String("data", "", "CSV file to sample request payloads from (required)")
 		qps         = fs.Float64("qps", 100, "target offered load, arrivals per second")
 		duration    = fs.Duration("duration", 10*time.Second, "run length")
@@ -73,6 +86,20 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	models, err := parseModels(*modelsSpec)
+	if err != nil {
+		return err
+	}
+	targets := []string{}
+	for _, tgt := range strings.Split(*target, ",") {
+		tgt = strings.TrimRight(strings.TrimSpace(tgt), "/")
+		if tgt != "" {
+			targets = append(targets, tgt)
+		}
+	}
+	if len(targets) == 0 {
+		return fmt.Errorf("-target %q names no URL", *target)
+	}
 
 	f, err := os.Open(*dataPath)
 	if err != nil {
@@ -86,17 +113,22 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
 	defer stop()
-	rep, err := loadgen.Run(ctx, loadgen.Config{
-		BaseURL:     strings.TrimRight(*target, "/"),
+	cfg := loadgen.Config{
+		BaseURL:     targets[0],
 		QPS:         *qps,
 		Duration:    *duration,
 		Seed:        *seed,
 		Mix:         mix,
+		Models:      models,
 		BatchSize:   *batchSize,
 		StreamLines: *streamLines,
 		MaxInFlight: *maxInFlight,
 		Timeout:     *timeout,
-	}, payloads)
+	}
+	if len(targets) > 1 {
+		cfg.Targets = targets
+	}
+	rep, err := loadgen.Run(ctx, cfg, payloads)
 	if err != nil {
 		return err
 	}
@@ -149,6 +181,37 @@ func parseMix(spec string) (loadgen.Mix, error) {
 		return mix, fmt.Errorf("-mix %q enables no request class", spec)
 	}
 	return mix, nil
+}
+
+// parseModels parses "-models alpha=0.7,beta=0.3" into per-model weights;
+// an empty spec means the legacy single-model routes.
+func parseModels(spec string) (map[string]float64, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	models := map[string]float64{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-models entry %q is not name=weight", part)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("-models entry %q has a bad weight", part)
+		}
+		if _, dup := models[name]; dup {
+			return nil, fmt.Errorf("-models names %q twice", name)
+		}
+		models[name] = w
+	}
+	if len(models) == 0 {
+		return nil, fmt.Errorf("-models %q names no model", spec)
+	}
+	return models, nil
 }
 
 // printSummary renders the human digest that accompanies a file report.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -136,5 +137,29 @@ func TestRunFlagErrors(t *testing.T) {
 	}
 	if err := run(ctx, []string{"-target", "http://127.0.0.1:1", "-data", filepath.Join(t.TempDir(), "missing.csv")}, &sink); err == nil {
 		t.Error("missing CSV: no error")
+	}
+}
+
+// TestParseModels: the -models flag grammar.
+func TestParseModels(t *testing.T) {
+	m, err := parseModels("alpha=0.7, beta=0.3")
+	if err != nil || m["alpha"] != 0.7 || m["beta"] != 0.3 {
+		t.Fatalf("parseModels = %v, %v", m, err)
+	}
+	if m, err := parseModels(""); err != nil || m != nil {
+		t.Fatalf("empty spec = %v, %v", m, err)
+	}
+	for _, bad := range []string{"alpha", "=1", "alpha=x", "alpha=-1", "alpha=1,alpha=2", ","} {
+		if _, err := parseModels(bad); err == nil {
+			t.Errorf("parseModels(%q): no error", bad)
+		}
+	}
+}
+
+// TestTargetListValidation: a -target of only separators is refused.
+func TestTargetListValidation(t *testing.T) {
+	err := run(context.Background(), []string{"-target", ",,", "-data", "x.csv"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-target") {
+		t.Fatalf("blank target list: %v", err)
 	}
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -66,48 +67,63 @@ func TestLoadSmoke(t *testing.T) {
 	// the batch regime, where handler work (decode + classify + encode of 64
 	// tuples) dominates the fixed per-request client overhead — the regime
 	// where client- and server-observed percentiles can meaningfully agree.
-	rep, err := loadgen.Run(context.Background(), loadgen.Config{
-		BaseURL:     tsEarly.URL,
-		QPS:         200,
-		Duration:    2 * time.Second,
-		Seed:        7,
-		Mix:         loadgen.Mix{Single: 0.25, Batch: 0.55, Stream: 0.2},
-		BatchSize:   64,
-		StreamLines: 16,
-		Client:      tsEarly.Client(),
-	}, payloads)
-	if err != nil {
-		t.Fatal(err)
-	}
-	c := rep.Requests
-	if c.OK == 0 {
-		t.Fatalf("no successful requests: %+v", c)
-	}
-	if c.Errors != 0 || c.Rejected != 0 || c.Dropped != 0 {
-		t.Fatalf("in-process smoke saw failures: %+v", c)
-	}
-	if rep.Latency["all"].Count != c.OK {
-		t.Fatalf("latency[all] covers %d requests, ok = %d", rep.Latency["all"].Count, c.OK)
-	}
-	srv := rep.Server
-	if srv == nil || srv.TuplesClassified == 0 {
-		t.Fatalf("server delta = %+v", srv)
-	}
-	ee := srv.EarlyExit
-	if ee == nil || ee.Predictions == 0 {
-		t.Fatalf("early-exit delta = %+v", ee)
-	}
-	if ee.MembersEvaluated < ee.Predictions {
-		t.Fatalf("early exit evaluated %d members over %d predictions", ee.MembersEvaluated, ee.Predictions)
-	}
-	if rep.CrossCheck == nil {
-		t.Fatal("no client/server latency cross-check")
-	}
-	if !rep.CrossCheck.WithinOneBucket {
-		t.Fatalf("client p95 %dµs and server p95 (%d, %d]µs landed %d buckets apart",
+	// The cross-check is the one assertion that depends on wall-clock
+	// behaviour outside the server (client-side scheduling), so a transient
+	// divergence under a loaded test machine gets one fresh run before the
+	// test fails; a systematic divergence fails both.
+	var rep *loadgen.Report
+	var ee *loadgen.EarlyExitDelta
+	for attempt := 0; ; attempt++ {
+		var err error
+		rep, err = loadgen.Run(context.Background(), loadgen.Config{
+			BaseURL:     tsEarly.URL,
+			QPS:         200,
+			Duration:    2 * time.Second,
+			Seed:        7,
+			Mix:         loadgen.Mix{Single: 0.25, Batch: 0.55, Stream: 0.2},
+			BatchSize:   64,
+			StreamLines: 16,
+			Client:      tsEarly.Client(),
+		}, payloads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := rep.Requests
+		if c.OK == 0 {
+			t.Fatalf("no successful requests: %+v", c)
+		}
+		if c.Errors != 0 || c.Rejected != 0 || c.Dropped != 0 {
+			t.Fatalf("in-process smoke saw failures: %+v", c)
+		}
+		if rep.Latency["all"].Count != c.OK {
+			t.Fatalf("latency[all] covers %d requests, ok = %d", rep.Latency["all"].Count, c.OK)
+		}
+		srv := rep.Server
+		if srv == nil || srv.TuplesClassified == 0 {
+			t.Fatalf("server delta = %+v", srv)
+		}
+		ee = srv.EarlyExit
+		if ee == nil || ee.Predictions == 0 {
+			t.Fatalf("early-exit delta = %+v", ee)
+		}
+		if ee.MembersEvaluated < ee.Predictions {
+			t.Fatalf("early exit evaluated %d members over %d predictions", ee.MembersEvaluated, ee.Predictions)
+		}
+		if rep.CrossCheck == nil {
+			t.Fatal("no client/server latency cross-check")
+		}
+		if rep.CrossCheck.WithinOneBucket {
+			break
+		}
+		msg := fmt.Sprintf("client p95 %dµs and server p95 (%d, %d]µs landed %d buckets apart",
 			rep.CrossCheck.ClientP95Micros, rep.CrossCheck.ServerP95LoMicros,
 			rep.CrossCheck.ServerP95HiMicros, rep.CrossCheck.BucketDistance)
+		if attempt > 0 {
+			t.Fatal(msg)
+		}
+		t.Logf("%s; retrying once (contended test machine?)", msg)
 	}
+	c := rep.Requests
 
 	outPath := os.Getenv("UDT_BENCH_OUT")
 	if outPath == "" {

@@ -1,15 +1,29 @@
-// Command udtserve serves a trained uncertain-decision-tree model over HTTP.
-// It loads the model.json written by "udtree train" — a legacy single-tree
-// document or the versioned forest container of "udtree train -forest" —
-// compiles it into the flat-array inference engine, and classifies tuples
-// from JSON requests in batches.
+// Command udtserve serves trained uncertain-decision-tree models over HTTP.
+// It loads one model file written by "udtree train" — or a whole registry of
+// named models from a directory or manifest — compiles them into the
+// flat-array inference engine, and classifies tuples from JSON requests in
+// batches.
 //
 // Usage:
 //
-//	udtserve -model model.json [-addr :8080] [-workers N]
+//	udtserve -model model.json [-shadow candidate.json] | -models dir-or-manifest
+//	         [-addr :8080] [-workers N]
 //	         [-read-timeout 10s] [-write-timeout 30s] [-watch 0s]
 //	         [-max-streams 0] [-early-exit] [-trace-sample 0]
 //	         [-pprof addr] [-version]
+//
+// -model serves a single model as the registry's "default" entry; -shadow
+// optionally attaches a candidate model to it for shadow comparison. -models
+// serves many: a directory (one entry per model file, named by basename
+// minus extension; an entry named "default" — or a lone entry — backs the
+// legacy routes) or a JSON manifest (path ending in .manifest or
+// .manifest.json) of the form
+//
+//	{"models": [{"name": "a", "path": "a.udt", "shadow": "a-next.udt",
+//	             "maxStreams": 8, "default": true}, ...]}
+//
+// with model paths relative to the manifest's directory. Per-model
+// maxStreams is a QoS budget layered under the global -max-streams cap.
 //
 // -early-exit (ensemble models only) switches prediction to staged early
 // exit: members are evaluated in descending vote-weight order and evaluation
@@ -41,11 +55,14 @@
 //	                        rename, never in-place truncation: the old file
 //	                        may still be mapped (see internal/binfmt.Load).
 //	GET  /healthz         — liveness plus active model metadata (format,
-//	                        generation, tree count, OOB stats for forests).
+//	                        generation, tree count, OOB stats for forests)
+//	                        and the registry's model names.
 //	GET  /metrics         — request counts, error counts, per-endpoint
 //	                        latency (totals plus a power-of-two histogram for
 //	                        percentile bounds), a batch-size histogram,
-//	                        NDJSON line counters, early-exit counters, build
+//	                        NDJSON line counters, early-exit counters,
+//	                        per-model counters (requests, errors, latency,
+//	                        tuples, stream budget, shadow divergence), build
 //	                        info, runtime metrics (heap, GC pauses,
 //	                        goroutines) and trace-span histograms, all plain
 //	                        atomic state. The default view is JSON;
@@ -53,6 +70,27 @@
 //	                        admits text/plain but not application/json)
 //	                        selects the Prometheus text exposition of the
 //	                        same counters.
+//
+// The legacy routes above serve the registry's default entry. Every model is
+// additionally served under its name:
+//
+//	POST   /v1/models/{model}/classify        — as /classify
+//	POST   /v1/models/{model}/classify/stream — as /classify/stream
+//	POST   /v1/models/{model}/reload          — as /reload
+//	GET    /v1/models/{model}/healthz         — as /healthz
+//	DELETE /v1/models/{model}                 — evict the model: it leaves
+//	                                            the table immediately,
+//	                                            in-flight requests drain,
+//	                                            the mapping closes after the
+//	                                            last one. The default entry
+//	                                            cannot be evicted.
+//
+// A model configured with a shadow serves every request from its primary
+// generation and synchronously mirrors classify traffic to the shadow
+// (candidate) generation, comparing predicted classes and full
+// distributions; divergence counters in /metrics gate promotion. Shadow
+// load is real load by design — the mirror is the candidate's dress
+// rehearsal.
 //
 // -trace-sample N traces every Nth request (deterministically by arrival
 // order): decode/classify/encode span timings land in per-span /metrics
@@ -63,9 +101,10 @@
 // -pprof addr serves net/http/pprof on a separate listener (never on the
 // serving mux), so profiling stays operator-only.
 //
-// -watch polls the model file's mtime at the given interval and hot-reloads
-// through the same serialised path as POST /reload, closing the deploy loop
-// without an operator call.
+// -watch polls every registry entry's model file mtime at the given interval
+// and hot-reloads through the same serialised path as POST /reload, closing
+// the deploy loop without an operator call. Reload outcomes are logged as
+// structured JSON records on stderr.
 //
 // Every response carries an X-Request-Id header — echoed from the request
 // when present, generated otherwise — and error bodies repeat it as
@@ -98,7 +137,6 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
-	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -110,6 +148,7 @@ import (
 	"udt/internal/forest"
 	"udt/internal/modelio"
 	"udt/internal/obs"
+	"udt/internal/registry"
 )
 
 func main() {
@@ -123,13 +162,15 @@ func main() {
 
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("udtserve", flag.ExitOnError)
-	model := fs.String("model", "", "model file written by udtree train (required)")
+	model := fs.String("model", "", "model file written by udtree train (serves as the default model)")
+	models := fs.String("models", "", "model directory or .manifest.json serving many named models (exclusive with -model)")
+	shadowPath := fs.String("shadow", "", "candidate model mirrored by the default model's classify traffic (requires -model)")
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", runtime.NumCPU(), "concurrent classification workers per batch (>= 1)")
 	readTimeout := fs.Duration("read-timeout", 10*time.Second, "HTTP server read timeout")
 	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")
-	watch := fs.Duration("watch", 0, "poll the model file at this interval and hot-reload on change (0 = disabled)")
-	maxStreams := fs.Int("max-streams", 0, "max concurrent /classify/stream requests; excess get 503 + Retry-After (0 = unlimited)")
+	watch := fs.Duration("watch", 0, "poll every model file at this interval and hot-reload on change (0 = disabled)")
+	maxStreams := fs.Int("max-streams", 0, "max concurrent /classify/stream requests across all models; excess get 503 + Retry-After (0 = unlimited)")
 	earlyExit := fs.Bool("early-exit", false, "predict with staged early exit (ensemble models only): byte-identical classes, no distributions, membersEvaluated reported")
 	traceSample := fs.Int("trace-sample", 0, "trace every Nth request: span timings into /metrics plus one JSON access-log line on stderr (0 = off)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this separate address (empty = disabled)")
@@ -141,8 +182,14 @@ func run(ctx context.Context, args []string) error {
 		fmt.Println(cliutil.VersionString("udtserve"))
 		return nil
 	}
-	if err := cliutil.RequireString("-model", *model); err != nil {
-		return err
+	if *model == "" && *models == "" {
+		return errors.New("-model is required (or -models for a multi-model registry)")
+	}
+	if *model != "" && *models != "" {
+		return errors.New("-model and -models are mutually exclusive")
+	}
+	if *shadowPath != "" && *model == "" {
+		return errors.New("-shadow requires -model (manifests carry per-model shadows)")
 	}
 	if *traceSample < 0 {
 		return errors.New("-trace-sample must be >= 0")
@@ -159,7 +206,15 @@ func run(ctx context.Context, args []string) error {
 	if *maxStreams < 0 {
 		return errors.New("-max-streams must be >= 0")
 	}
-	s, err := newServerMode(*model, *workers, *earlyExit)
+	path := *model
+	if path == "" {
+		path = *models
+	}
+	s, err := newServerOpts(registry.Options{
+		Path:          path,
+		Shadow:        *shadowPath,
+		RequireStaged: *earlyExit,
+	}, *workers, *earlyExit)
 	if err != nil {
 		return err
 	}
@@ -168,7 +223,7 @@ func run(ctx context.Context, args []string) error {
 	s.maxStreams = *maxStreams
 	if *traceSample > 0 {
 		s.mw.SampleEvery = *traceSample
-		s.mw.Log = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		s.mw.Log = s.log
 	}
 	if *watch > 0 {
 		go s.watchLoop(ctx, *watch)
@@ -190,10 +245,8 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	am := s.acquire()
-	fmt.Printf("udtserve: %s [%s, %s] on %s, workers=%d\n",
-		*model, am.model.Describe(), modelio.ContainerFormat(am.model), ln.Addr(), *workers)
-	am.release()
+	fmt.Printf("udtserve: serving %d model(s) [%s] from %s on %s, workers=%d\n",
+		s.reg.Len(), joinNames(s.reg.Names()), path, ln.Addr(), *workers)
 	srv := &http.Server{
 		Handler:      s.handler(),
 		ReadTimeout:  *readTimeout,
@@ -211,81 +264,40 @@ func run(ctx context.Context, args []string) error {
 		if err := srv.Shutdown(shutCtx); err != nil {
 			return err
 		}
+		s.reg.Close()
 		fmt.Println("udtserve: shut down")
 		return nil
 	}
+}
+
+// joinNames renders the registry's model names for the startup line.
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += " "
+		}
+		out += n
+	}
+	return out
 }
 
 // maxBody bounds a request body; a 16 MiB batch is far beyond any sane
 // classification request.
 const maxBody = 16 << 20
 
-// activeModel is one loaded model plus its serving metadata. The server
-// publishes it through an atomic pointer, so /reload swaps models without
-// locks and requests already running keep the instance they loaded.
-//
-// Binary models alias an mmap'd file, so "keep the instance" is a memory-
-// safety requirement, not just a consistency nicety: the mapping may only be
-// released once no request can still be reading it. Each generation is
-// therefore reference-counted — refs starts at 1 (the "published" reference),
-// every request holds one around its model use, and a reload retires the old
-// generation by dropping the published reference. Whoever takes refs to zero
-// closes the model; for JSON models that is a no-op.
-type activeModel struct {
-	model      modelio.Model
-	generation int64 // 1 at startup, +1 per successful reload
-	loadedAt   time.Time
-
-	refs      atomic.Int64 // published reference + in-flight requests
-	retired   atomic.Bool  // set once a newer generation is published
-	closeOnce sync.Once
-}
-
-// acquire returns the current model generation with a reference held; the
-// caller must release it when done with the model. The retire/acquire race is
-// closed by re-checking retired after the increment: an acquirer that caught
-// a generation mid-retirement backs off and takes the new pointer.
-func (s *server) acquire() *activeModel {
-	for {
-		am := s.active.Load()
-		am.refs.Add(1)
-		if !am.retired.Load() {
-			return am
-		}
-		am.release()
-	}
-}
-
-// release drops one reference; the last one out closes the model (unmapping
-// it, if binary). closeOnce guards the zero-crossing race between a retiring
-// reload and a backing-off acquirer.
-func (am *activeModel) release() {
-	if am.refs.Add(-1) == 0 {
-		am.closeOnce.Do(func() {
-			if err := modelio.Close(am.model); err != nil {
-				fmt.Fprintf(os.Stderr, "udtserve: close model generation %d: %v\n", am.generation, err)
-			}
-		})
-	}
-}
-
-// retire marks the generation superseded and drops its published reference.
-// In-flight requests keep serving from it; the mapping is released when the
-// last of them finishes.
-func (am *activeModel) retire() {
-	am.retired.Store(true)
-	am.release()
-}
-
 type server struct {
-	modelPath  string
-	workers    int
-	started    time.Time
-	reloadMu   sync.Mutex // serialises reloads: file read + generation + swap
-	generation atomic.Int64
-	active     atomic.Pointer[activeModel]
-	lastStamp  atomic.Pointer[fileStamp] // identity of the model file last loaded
-	mtr        metrics
+	// reg is the named model table: per-entry refcounted generations,
+	// serialised reloads, per-model metrics and stream budgets, shadow
+	// generations. The legacy single-model routes serve its default entry.
+	reg     *registry.Registry
+	workers int
+	started time.Time
+	mtr     metrics
+
+	// log is the structured JSON logger shared by the watch poller, the
+	// registry's close-error reporting, and (when tracing) the access log.
+	log *slog.Logger
 
 	// mw is the shared request middleware: request IDs, Accept negotiation,
 	// endpoint accounting, and (when SampleEvery > 0) trace sampling.
@@ -300,111 +312,59 @@ type server struct {
 	streamWriteTimeout time.Duration
 
 	// Stream admission control: at most maxStreams concurrent
-	// /classify/stream requests when positive (0 = unlimited); excess
-	// requests get 503 + Retry-After instead of a worker-pool slot.
+	// /classify/stream requests across all models when positive (0 =
+	// unlimited); excess requests get 503 + Retry-After instead of a
+	// worker-pool slot. Each registry entry may layer a tighter per-model
+	// budget underneath.
 	maxStreams    int
 	activeStreams atomic.Int64
 
 	// earlyExit switches prediction to staged early exit (-early-exit):
 	// classes stay byte-identical to full evaluation, distributions are not
 	// produced, and membersEvaluated counters flow to clients and /metrics.
-	// Set before the first loadModel and immutable afterwards.
+	// Set at construction and immutable afterwards.
 	earlyExit bool
 }
 
-// newServer loads and compiles the model file.
+// newServer loads and compiles a single model file as the default entry.
 func newServer(modelPath string, workers int) (*server, error) {
 	return newServerMode(modelPath, workers, false)
 }
 
 // newServerMode is newServer plus the early-exit prediction mode.
 func newServerMode(modelPath string, workers int, earlyExit bool) (*server, error) {
-	s := &server{
-		modelPath:          modelPath,
+	return newServerOpts(registry.Options{Path: modelPath, RequireStaged: earlyExit}, workers, earlyExit)
+}
+
+// newServerOpts builds the server over a model registry: a single file, a
+// directory of models, or a manifest, per registry.Open.
+func newServerOpts(opts registry.Options, workers int, earlyExit bool) (*server, error) {
+	log := opts.Log
+	if log == nil {
+		log = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		opts.Log = log
+	}
+	reg, err := registry.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &server{
+		reg:                reg,
 		workers:            workers,
 		started:            time.Now(),
+		log:                log,
 		streamReadTimeout:  10 * time.Second,
 		streamWriteTimeout: 30 * time.Second,
 		earlyExit:          earlyExit,
-	}
-	am, err := s.loadModel()
-	if err != nil {
-		return nil, err
-	}
-	s.active.Store(am)
-	return s, nil
+	}, nil
 }
 
-// fileStamp identifies a version of the model file for -watch change
-// detection. Size is compared alongside mtime because coarse filesystem
-// clocks (1s on some mounts) can give two quick deploys the same mtime.
-type fileStamp struct {
-	modNanos int64
-	size     int64
-}
-
-// stampOf stats the model file; a stat failure yields the zero stamp, which
-// never equals a real one.
-func (s *server) stampOf() fileStamp {
-	fi, err := os.Stat(s.modelPath)
-	if err != nil {
-		return fileStamp{}
-	}
-	return fileStamp{modNanos: fi.ModTime().UnixNano(), size: fi.Size()}
-}
-
-// loadModel reads the model file and stamps the next generation number,
-// recording the file's identity so the -watch poller knows what version is
-// serving. The stat happens BEFORE the read: if the file is replaced
-// between the two calls the recorded stamp is older than the loaded
-// content, so the poller's worst case is one redundant reload — never a
-// newer file mistaken for already-loaded.
-func (s *server) loadModel() (*activeModel, error) {
-	stamp := s.stampOf()
-	m, err := modelio.Load(s.modelPath)
-	if err != nil {
-		return nil, err
-	}
-	// Checked on every load, not just startup: a hot reload swapping in a
-	// single-tree model would otherwise crash the early-exit serving path.
-	// The failed reload leaves the previous (staged) model serving.
-	if s.earlyExit {
-		if _, ok := m.(modelio.Staged); !ok {
-			modelio.Close(m)
-			return nil, fmt.Errorf("%s: -early-exit requires an ensemble model, got %s", s.modelPath, m.Describe())
-		}
-	}
-	s.lastStamp.Store(&stamp)
-	am := &activeModel{
-		model:      m,
-		generation: s.generation.Add(1),
-		loadedAt:   time.Now(),
-	}
-	am.refs.Store(1) // the published reference
-	return am, nil
-}
-
-// doReload is the shared hot-reload path of POST /reload and the -watch
-// poller: re-read the model file and swap it in atomically. On failure the
-// previous model keeps serving. Reloads are serialised so a slow file read
-// can never overwrite a newer model with an older one (generation moves
-// strictly forward).
-func (s *server) doReload() (*activeModel, error) {
-	s.reloadMu.Lock()
-	defer s.reloadMu.Unlock()
-	am, err := s.loadModel()
-	if err != nil {
-		return nil, err
-	}
-	old := s.active.Swap(am)
-	old.retire()
-	return am, nil
-}
-
-// watchLoop polls the model file's identity (mtime + size) and hot-reloads
-// on change until the context ends. A failed reload leaves the old model
-// serving and retries on the next change (a broken file that stays broken
-// is reported once per write, not once per tick).
+// watchLoop polls every registry entry's model file identity (mtime + size)
+// and hot-reloads changed ones until the context ends. A failed reload
+// leaves the old model serving and retries on the next change (a broken file
+// that stays broken is reported once per write, not once per tick).
+// Outcomes are structured log records, machine-parseable at registry-scale
+// reload churn.
 func (s *server) watchLoop(ctx context.Context, every time.Duration) {
 	t := time.NewTicker(every)
 	defer t.Stop()
@@ -414,22 +374,18 @@ func (s *server) watchLoop(ctx context.Context, every time.Duration) {
 			return
 		case <-t.C:
 		}
-		stamp := s.stampOf()
-		if stamp == (fileStamp{}) || stamp == *s.lastStamp.Load() {
-			continue
+		for _, res := range s.reg.Poll() {
+			if res.Err != nil {
+				s.mtr.watchErrors.Add(1)
+				s.log.Error("watch reload failed",
+					"model", res.Entry.Name, "path", res.Entry.Path, "err", res.Err)
+				continue
+			}
+			s.mtr.watchReloads.Add(1)
+			s.log.Info("watch reloaded",
+				"model", res.Entry.Name, "path", res.Entry.Path,
+				"description", res.Describe, "generation", res.Generation)
 		}
-		// Remember the stamp that triggered this attempt even if the load
-		// fails, so a persistently broken file is not re-tried every tick.
-		s.lastStamp.Store(&stamp)
-		am, err := s.doReload()
-		if err != nil {
-			s.mtr.watchErrors.Add(1)
-			fmt.Fprintf(os.Stderr, "udtserve: watch reload: %v\n", err)
-			continue
-		}
-		s.mtr.watchReloads.Add(1)
-		fmt.Printf("udtserve: watch reloaded %s [%s] generation %d\n",
-			s.modelPath, am.model.Describe(), am.generation)
 	}
 }
 
@@ -444,13 +400,70 @@ const (
 const textType = "text/plain"
 
 func (s *server) handler() http.Handler {
+	// Per-request model metrics resolvers for WrapModel: the legacy routes
+	// feed the default entry's counters, the /v1 routes the named entry's.
+	// A nil resolution (no default, unknown name) leaves only the endpoint
+	// counters moving; the handler then refuses the request.
+	defEM := func(pick func(*registry.Metrics) *obs.EndpointMetrics) func(*http.Request) *obs.EndpointMetrics {
+		return func(*http.Request) *obs.EndpointMetrics {
+			if e := s.reg.Default(); e != nil {
+				return pick(&e.Metrics)
+			}
+			return nil
+		}
+	}
+	namedEM := func(pick func(*registry.Metrics) *obs.EndpointMetrics) func(*http.Request) *obs.EndpointMetrics {
+		return func(r *http.Request) *obs.EndpointMetrics {
+			if e := s.reg.Get(r.PathValue("model")); e != nil {
+				return pick(&e.Metrics)
+			}
+			return nil
+		}
+	}
+	pickClassify := func(m *registry.Metrics) *obs.EndpointMetrics { return &m.Classify }
+	pickStream := func(m *registry.Metrics) *obs.EndpointMetrics { return &m.Stream }
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /classify", s.mw.Wrap("classify", &s.mtr.classify, []string{jsonType}, s.classify))
-	mux.HandleFunc("POST /classify/stream", s.mw.Wrap("classifyStream", &s.mtr.stream, []string{ndjsonType}, s.classifyStream))
+	mux.HandleFunc("POST /classify",
+		s.mw.WrapModel("classify", &s.mtr.classify, defEM(pickClassify), []string{jsonType}, s.classify))
+	mux.HandleFunc("POST /classify/stream",
+		s.mw.WrapModel("classifyStream", &s.mtr.stream, defEM(pickStream), []string{ndjsonType}, s.classifyStream))
 	mux.HandleFunc("POST /reload", s.mw.Wrap("reload", &s.mtr.reload, []string{jsonType}, s.reload))
 	mux.HandleFunc("GET /healthz", s.mw.Wrap("healthz", &s.mtr.healthz, []string{jsonType}, s.healthz))
 	mux.HandleFunc("GET /metrics", s.mw.Wrap("metrics", &s.mtr.metricsEP, []string{jsonType, textType}, s.metricsHandler))
+
+	mux.HandleFunc("POST /v1/models/{model}/classify",
+		s.mw.WrapModel("modelClassify", &s.mtr.modelClassify, namedEM(pickClassify), []string{jsonType}, s.modelClassify))
+	mux.HandleFunc("POST /v1/models/{model}/classify/stream",
+		s.mw.WrapModel("modelClassifyStream", &s.mtr.modelStream, namedEM(pickStream), []string{ndjsonType}, s.modelClassifyStream))
+	mux.HandleFunc("POST /v1/models/{model}/reload",
+		s.mw.Wrap("modelReload", &s.mtr.modelReload, []string{jsonType}, s.modelReload))
+	mux.HandleFunc("GET /v1/models/{model}/healthz",
+		s.mw.Wrap("modelHealthz", &s.mtr.modelHealthz, []string{jsonType}, s.modelHealthz))
+	mux.HandleFunc("DELETE /v1/models/{model}",
+		s.mw.Wrap("modelRemove", &s.mtr.modelRemove, []string{jsonType}, s.modelRemove))
 	return mux
+}
+
+// defaultEntry resolves the legacy routes' backing entry, refusing with 404
+// when the registry has several models and no designated default.
+func (s *server) defaultEntry(w http.ResponseWriter) *registry.Entry {
+	e := s.reg.Default()
+	if e == nil {
+		fail(w, http.StatusNotFound,
+			fmt.Errorf("no default model (serving: %v); use /v1/models/{name}/...", s.reg.Names()))
+	}
+	return e
+}
+
+// namedEntry resolves a /v1/models/{model}/... route's entry.
+func (s *server) namedEntry(w http.ResponseWriter, r *http.Request) *registry.Entry {
+	name := r.PathValue("model")
+	e := s.reg.Get(name)
+	if e == nil {
+		fail(w, http.StatusNotFound, fmt.Errorf("no model %q (serving: %v)", name, s.reg.Names()))
+	}
+	return e
 }
 
 // pprofMux serves net/http/pprof on its own mux for the -pprof listener,
@@ -481,15 +494,31 @@ type resultJSON struct {
 }
 
 func (s *server) classify(w http.ResponseWriter, r *http.Request) {
+	if e := s.defaultEntry(w); e != nil {
+		s.classifyEntry(e, w, r)
+	}
+}
+
+func (s *server) modelClassify(w http.ResponseWriter, r *http.Request) {
+	if e := s.namedEntry(w, r); e != nil {
+		s.classifyEntry(e, w, r)
+	}
+}
+
+func (s *server) classifyEntry(e *registry.Entry, w http.ResponseWriter, r *http.Request) {
 	// tr is nil for unsampled requests; every Trace method accepts that, so
 	// the span calls below cost one nil check each when tracing is off.
 	tr := obs.TraceFrom(r.Context())
 	// One acquire: the whole request is served by this model instance even if
-	// a concurrent /reload swaps the pointer mid-flight, and a binary model's
+	// a concurrent reload swaps the pointer mid-flight, and a binary model's
 	// mapping stays alive until the reference is released.
-	am := s.acquire()
-	defer am.release()
-	classes, numAttrs, catAttrs := am.model.Schema()
+	am := e.Acquire()
+	if am == nil {
+		fail(w, http.StatusNotFound, fmt.Errorf("model %q evicted", e.Name))
+		return
+	}
+	defer am.Release()
+	classes, numAttrs, catAttrs := am.Model.Schema()
 
 	tr.Begin(obs.SpanDecode)
 	var req requestJSON
@@ -519,11 +548,15 @@ func (s *server) classify(w http.ResponseWriter, r *http.Request) {
 	tr.End(obs.SpanDecode)
 	tr.AddTuples(len(tuples))
 	s.mtr.observeBatch(len(tuples))
+	e.Metrics.Tuples.Add(int64(len(tuples)))
 	var results []resultJSON
+	preds := make([]int, len(tuples))
+	var dists [][]float64
 	tr.Begin(obs.SpanClassify)
 	if s.earlyExit {
-		// loadModel guarantees every served model is Staged in this mode.
-		preds, evaluated := am.model.(modelio.Staged).PredictBatchEarlyExit(tuples, s.workers)
+		// The registry guarantees every served model is Staged in this mode.
+		var evaluated []int
+		preds, evaluated = am.Model.(modelio.Staged).PredictBatchEarlyExit(tuples, s.workers)
 		s.mtr.observeEarlyExit(evaluated)
 		results = make([]resultJSON, len(preds))
 		members := 0
@@ -533,15 +566,22 @@ func (s *server) classify(w http.ResponseWriter, r *http.Request) {
 		}
 		tr.AddMembers(members)
 	} else {
-		dists := am.model.ClassifyBatch(tuples, s.workers)
+		dists = am.Model.ClassifyBatch(tuples, s.workers)
 		results = make([]resultJSON, len(dists))
 		for i, dist := range dists {
 			m := make(map[string]float64, len(dist))
 			for c, p := range dist {
 				m[classes[c]] = p
 			}
-			results[i] = resultJSON{Class: classes[eval.Argmax(dist)], Dist: m}
+			preds[i] = eval.Argmax(dist)
+			results[i] = resultJSON{Class: classes[preds[i]], Dist: m}
 		}
+	}
+	// Shadow mirror: the candidate generation classifies the same tuples and
+	// divergence lands in the entry's counters. Synchronous by design (dists
+	// is nil in early-exit mode — argmax comparison only).
+	if e.ShadowPath != "" {
+		e.ShadowCompare(tuples, preds, dists, s.workers)
 	}
 	tr.End(obs.SpanClassify)
 	tr.Begin(obs.SpanEncode)
@@ -557,24 +597,39 @@ func (s *server) classify(w http.ResponseWriter, r *http.Request) {
 // beyond 1 MiB is malformed, not big.
 const maxStreamLine = 1 << 20
 
-// classifyStream handles POST /classify/stream: each request line is one
-// tuple document, each response line one result object, decoded, classified
-// and flushed as it arrives — the whole stream is never resident, so body
-// size is unbounded (per line, maxStreamLine applies). A malformed line
-// produces an error object on its line and the stream continues; the HTTP
-// status is 200 once the first line has been answered, so per-line errors
-// are in-band by design. Response lines are modelio.StreamResult documents,
-// the same protocol "udtree predict -format ndjson" emits.
-//
-// When -max-streams is set, at most that many streams run concurrently:
-// excess requests are refused immediately with 503 and a Retry-After header
-// instead of queueing into the worker pool, so a flood of long-lived streams
-// cannot wedge the batch endpoints.
 func (s *server) classifyStream(w http.ResponseWriter, r *http.Request) {
-	// The active gauge counts every stream, capped or not, so /metrics
+	if e := s.defaultEntry(w); e != nil {
+		s.classifyStreamEntry(e, w, r)
+	}
+}
+
+func (s *server) modelClassifyStream(w http.ResponseWriter, r *http.Request) {
+	if e := s.namedEntry(w, r); e != nil {
+		s.classifyStreamEntry(e, w, r)
+	}
+}
+
+// classifyStreamEntry handles a classify/stream request against one entry:
+// each request line is one tuple document, each response line one result
+// object, decoded, classified and flushed as it arrives — the whole stream
+// is never resident, so body size is unbounded (per line, maxStreamLine
+// applies). A malformed line produces an error object on its line and the
+// stream continues; the HTTP status is 200 once the first line has been
+// answered, so per-line errors are in-band by design. Response lines are
+// modelio.StreamResult documents, the same protocol "udtree predict -format
+// ndjson" emits.
+//
+// Admission is two-layered: the global -max-streams cap guards the worker
+// pool against stream floods of any shape, then the entry's MaxStreams
+// budget guards one model's share — both refuse with 503 + Retry-After
+// instead of queueing.
+func (s *server) classifyStreamEntry(e *registry.Entry, w http.ResponseWriter, r *http.Request) {
+	// The active gauges count every stream, capped or not, so /metrics
 	// reports stream load even in the default unlimited configuration.
 	n := s.activeStreams.Add(1)
 	defer s.activeStreams.Add(-1)
+	en := e.ActiveStreams.Add(1)
+	defer e.ActiveStreams.Add(-1)
 	if s.maxStreams > 0 && n > int64(s.maxStreams) {
 		s.mtr.streamRejected.Add(1)
 		w.Header().Set("Retry-After", "1")
@@ -582,13 +637,24 @@ func (s *server) classifyStream(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("stream admission: %d streams already active (cap %d); retry shortly", n-1, s.maxStreams))
 		return
 	}
+	if e.MaxStreams > 0 && en > int64(e.MaxStreams) {
+		e.Metrics.StreamRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		fail(w, http.StatusServiceUnavailable,
+			fmt.Errorf("stream admission: model %q has %d streams active (budget %d); retry shortly", e.Name, en-1, e.MaxStreams))
+		return
+	}
 
 	// One acquire: the whole stream is classified by one model generation
 	// even if a reload swaps the pointer mid-stream; the reference keeps a
 	// binary model's mapping alive for the stream's full duration.
-	am := s.acquire()
-	defer am.release()
-	classes, numAttrs, catAttrs := am.model.Schema()
+	am := e.Acquire()
+	if am == nil {
+		fail(w, http.StatusNotFound, fmt.Errorf("model %q evicted", e.Name))
+		return
+	}
+	defer am.Release()
+	classes, numAttrs, catAttrs := am.Model.Schema()
 
 	// HTTP/1.x is half-duplex by default: the first response write closes
 	// the request body, so an interactive client that waits for answer N
@@ -626,13 +692,21 @@ func (s *server) classifyStream(w http.ResponseWriter, r *http.Request) {
 			// /classify callers only: a long stream would otherwise drown
 			// the size-1 bucket. Stream volume has its own counters.
 			s.mtr.tuples.Add(1)
+			e.Metrics.Tuples.Add(1)
 			if s.earlyExit {
-				class, k := am.model.(modelio.Staged).PredictEarlyExit(tu)
+				class, k := am.Model.(modelio.Staged).PredictEarlyExit(tu)
 				s.mtr.earlyExitPredictions.Add(1)
 				s.mtr.earlyExitMembers.Add(int64(k))
+				if e.ShadowPath != "" {
+					e.ShadowCompare([]*udt.Tuple{tu}, []int{class}, nil, 1)
+				}
 				out = modelio.NewStagedResult(line, classes, class, k)
 			} else {
-				out = modelio.NewStreamResult(line, classes, am.model.Classify(tu))
+				dist := am.Model.Classify(tu)
+				if e.ShadowPath != "" {
+					e.ShadowCompare([]*udt.Tuple{tu}, []int{eval.Argmax(dist)}, [][]float64{dist}, 1)
+				}
+				out = modelio.NewStreamResult(line, classes, dist)
 			}
 		}
 		s.mtr.streamLines.Add(1)
@@ -660,32 +734,89 @@ func (s *server) classifyStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// reload is the POST /reload handler over the shared doReload path.
 func (s *server) reload(w http.ResponseWriter, r *http.Request) {
-	am, err := s.doReload()
+	if e := s.defaultEntry(w); e != nil {
+		s.reloadEntry(e, w)
+	}
+}
+
+func (s *server) modelReload(w http.ResponseWriter, r *http.Request) {
+	if e := s.namedEntry(w, r); e != nil {
+		s.reloadEntry(e, w)
+	}
+}
+
+// reloadEntry serves POST reload over the entry's serialised reload path.
+func (s *server) reloadEntry(e *registry.Entry, w http.ResponseWriter) {
+	am, err := e.Reload()
 	if err != nil {
 		fail(w, http.StatusInternalServerError, fmt.Errorf("reload: %w", err))
 		return
 	}
 	reply(w, map[string]any{
 		"status":      "reloaded",
-		"model":       s.modelPath,
-		"generation":  am.generation,
-		"description": am.model.Describe(),
+		"name":        e.Name,
+		"model":       e.Path,
+		"generation":  am.Generation,
+		"description": am.Model.Describe(),
 	})
 }
 
+// modelRemove serves DELETE /v1/models/{model}: the entry leaves the table
+// immediately, in-flight requests drain, and the model closes (unmaps) after
+// the last of them.
+func (s *server) modelRemove(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("model")
+	if _, err := s.reg.Remove(name); err != nil {
+		fail(w, http.StatusNotFound, err)
+		return
+	}
+	s.log.Info("model evicted", "model", name)
+	reply(w, map[string]any{"status": "evicted", "name": name})
+}
+
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
-	am := s.acquire()
-	defer am.release()
-	classes, _, _ := am.model.Schema()
+	// Legacy healthz keeps working with no default entry: liveness plus the
+	// registry's model names, without per-model fields.
+	e := s.reg.Default()
+	if e == nil {
+		version, commit := cliutil.BuildInfo()
+		reply(w, map[string]any{
+			"status":    "ok",
+			"models":    s.reg.Names(),
+			"uptime":    time.Since(s.started).Round(time.Second).String(),
+			"version":   version,
+			"commit":    commit,
+			"goVersion": runtime.Version(),
+		})
+		return
+	}
+	s.healthzEntry(e, w)
+}
+
+func (s *server) modelHealthz(w http.ResponseWriter, r *http.Request) {
+	if e := s.namedEntry(w, r); e != nil {
+		s.healthzEntry(e, w)
+	}
+}
+
+func (s *server) healthzEntry(e *registry.Entry, w http.ResponseWriter) {
+	am := e.Acquire()
+	if am == nil {
+		fail(w, http.StatusNotFound, fmt.Errorf("model %q evicted", e.Name))
+		return
+	}
+	defer am.Release()
+	classes, _, _ := am.Model.Schema()
 	version, commit := cliutil.BuildInfo()
 	resp := map[string]any{
 		"status":      "ok",
-		"model":       s.modelPath,
-		"description": am.model.Describe(),
-		"generation":  am.generation,
-		"loadedAt":    am.loadedAt.UTC().Format(time.RFC3339),
+		"name":        e.Name,
+		"model":       e.Path,
+		"models":      s.reg.Names(),
+		"description": am.Model.Describe(),
+		"generation":  am.Generation,
+		"loadedAt":    am.LoadedAt.UTC().Format(time.RFC3339),
 		"classes":     classes,
 		"uptime":      time.Since(s.started).Round(time.Second).String(),
 		"version":     version,
@@ -694,11 +825,14 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 		// The on-disk container the model was loaded from: "json" or
 		// "binary" (mmap-served). Operators verifying a binary rollout read
 		// this field.
-		"container": modelio.ContainerFormat(am.model),
+		"container": modelio.ContainerFormat(am.Model),
+	}
+	if e.ShadowPath != "" {
+		resp["shadow"] = e.ShadowPath
 	}
 	// AsForest/TreeSource rather than concrete types: binary-loaded models
 	// are wrapper types carrying their mapping.
-	if m, ok := modelio.AsForest(am.model); ok {
+	if m, ok := modelio.AsForest(am.Model); ok {
 		resp["format"] = "forest"
 		resp["formatVersion"] = forest.Version
 		resp["kind"] = m.Kind()
@@ -712,7 +846,7 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 		if m.OOB.Evaluated > 0 {
 			resp["oob"] = m.OOB
 		}
-	} else if ts, ok := am.model.(interface{ Stats() core.BuildStats }); ok {
+	} else if ts, ok := am.Model.(interface{ Stats() core.BuildStats }); ok {
 		resp["format"] = "tree"
 		resp["nodes"] = ts.Stats().Nodes
 	}
@@ -731,7 +865,17 @@ type metrics struct {
 	reload    obs.EndpointMetrics
 	healthz   obs.EndpointMetrics
 	metricsEP obs.EndpointMetrics
-	tuples    atomic.Int64
+
+	// The /v1/models/{model}/... routes' endpoint dimension; the per-model
+	// dimension lives on each registry entry and is fed by the same
+	// middleware observation (obs.Middleware.WrapModel).
+	modelClassify obs.EndpointMetrics
+	modelStream   obs.EndpointMetrics
+	modelReload   obs.EndpointMetrics
+	modelHealthz  obs.EndpointMetrics
+	modelRemove   obs.EndpointMetrics
+
+	tuples atomic.Int64
 	// batchTuples counts only the tuples recorded by observeBatch (tuples
 	// minus the stream endpoint's), so it is the exact sum of the batch-size
 	// histogram — which the Prometheus view needs for its _sum series.
@@ -787,6 +931,16 @@ func bucketLabel(b int) string {
 	return fmt.Sprintf("%d-%d", lo, hi)
 }
 
+// defaultGeneration reports the default entry's generation, 0 when the
+// registry has no default (the legacy udt_model_generation series and JSON
+// field keep existing either way).
+func (s *server) defaultGeneration() int64 {
+	if e := s.reg.Default(); e != nil {
+		return e.Generation()
+	}
+	return 0
+}
+
 func (s *server) metricsHandler(w http.ResponseWriter, r *http.Request) {
 	switch format := r.URL.Query().Get("format"); format {
 	case "prometheus":
@@ -813,10 +967,33 @@ func (s *server) metricsHandler(w http.ResponseWriter, r *http.Request) {
 			hist[bucketLabel(b)] = n
 		}
 	}
+	modelsDoc := map[string]any{}
+	for _, e := range s.reg.Entries() {
+		doc := map[string]any{
+			"generation":     e.Generation(),
+			"tuples":         e.Metrics.Tuples.Load(),
+			"classify":       e.Metrics.Classify.Snapshot(),
+			"classifyStream": e.Metrics.Stream.Snapshot(),
+			"streams": map[string]int64{
+				"active":   e.ActiveStreams.Load(),
+				"rejected": e.Metrics.StreamRejected.Load(),
+				"budget":   int64(e.MaxStreams),
+			},
+		}
+		if e.ShadowPath != "" {
+			doc["shadow"] = map[string]any{
+				"path":             e.ShadowPath,
+				"comparisons":      e.Metrics.ShadowComparisons.Load(),
+				"argmaxDivergence": e.Metrics.ShadowArgmaxDivergence.Load(),
+				"distDivergence":   e.Metrics.ShadowDistDivergence.Load(),
+			}
+		}
+		modelsDoc[e.Name] = doc
+	}
 	version, commit := cliutil.BuildInfo()
 	reply(w, map[string]any{
 		"uptime":           time.Since(s.started).Round(time.Second).String(),
-		"generation":       s.active.Load().generation,
+		"generation":       s.defaultGeneration(),
 		"tuplesClassified": s.mtr.tuples.Load(),
 		"batchSizes":       hist,
 		"build": map[string]string{
@@ -841,12 +1018,22 @@ func (s *server) metricsHandler(w http.ResponseWriter, r *http.Request) {
 			"predictions":      s.mtr.earlyExitPredictions.Load(),
 			"membersEvaluated": s.mtr.earlyExitMembers.Load(),
 		},
+		"registry": map[string]any{
+			"models":  s.reg.Len(),
+			"default": s.reg.DefaultName(),
+		},
+		"models": modelsDoc,
 		"endpoints": map[string]any{
-			"classify":       s.mtr.classify.Snapshot(),
-			"classifyStream": s.mtr.stream.Snapshot(),
-			"reload":         s.mtr.reload.Snapshot(),
-			"healthz":        s.mtr.healthz.Snapshot(),
-			"metrics":        s.mtr.metricsEP.Snapshot(),
+			"classify":            s.mtr.classify.Snapshot(),
+			"classifyStream":      s.mtr.stream.Snapshot(),
+			"reload":              s.mtr.reload.Snapshot(),
+			"healthz":             s.mtr.healthz.Snapshot(),
+			"metrics":             s.mtr.metricsEP.Snapshot(),
+			"modelClassify":       s.mtr.modelClassify.Snapshot(),
+			"modelClassifyStream": s.mtr.modelStream.Snapshot(),
+			"modelReload":         s.mtr.modelReload.Snapshot(),
+			"modelHealthz":        s.mtr.modelHealthz.Snapshot(),
+			"modelRemove":         s.mtr.modelRemove.Snapshot(),
 		},
 	})
 }
@@ -878,6 +1065,11 @@ func (s *server) promFamilies() []obs.Family {
 		{"reload", &s.mtr.reload},
 		{"healthz", &s.mtr.healthz},
 		{"metrics", &s.mtr.metricsEP},
+		{"modelClassify", &s.mtr.modelClassify},
+		{"modelClassifyStream", &s.mtr.modelStream},
+		{"modelReload", &s.mtr.modelReload},
+		{"modelHealthz", &s.mtr.modelHealthz},
+		{"modelRemove", &s.mtr.modelRemove},
 	}
 	reqs := obs.Family{Name: "udt_requests_total", Help: "Requests served, by endpoint.", Type: obs.Counter}
 	errs := obs.Family{Name: "udt_request_errors_total", Help: "Responses with status >= 400, by endpoint.", Type: obs.Counter}
@@ -888,6 +1080,42 @@ func (s *server) promFamilies() []obs.Family {
 		errs.Samples = append(errs.Samples, obs.Sample{Labels: []obs.Label{label}, Value: float64(ep.em.Errors.Load())})
 		lat.Hists = append(lat.Hists,
 			obs.HistFromLatency(ep.em.Hist.Snapshot(), float64(ep.em.Nanos.Load())/1e9, label))
+	}
+
+	// Per-model families: the second accounting dimension, one series per
+	// registry entry (x endpoint for the middleware-fed request metrics).
+	mreqs := obs.Family{Name: "udt_model_requests_total", Help: "Requests served, by model and endpoint.", Type: obs.Counter}
+	merrs := obs.Family{Name: "udt_model_request_errors_total", Help: "Responses with status >= 400, by model and endpoint.", Type: obs.Counter}
+	mlat := obs.Family{Name: "udt_model_request_latency_seconds", Help: "Handler latency, by model and endpoint.", Type: obs.Histogram}
+	mtuples := obs.Family{Name: "udt_model_tuples_total", Help: "Tuples classified, by model.", Type: obs.Counter}
+	mgen := obs.Family{Name: "udt_registry_generation", Help: "Model generation, by model (1 at load, +1 per reload).", Type: obs.Gauge}
+	mstrAct := obs.Family{Name: "udt_model_streams_active", Help: "Currently open streams, by model.", Type: obs.Gauge}
+	mstrRej := obs.Family{Name: "udt_model_streams_rejected_total", Help: "Streams refused by the model's stream budget.", Type: obs.Counter}
+	mshCmp := obs.Family{Name: "udt_model_shadow_comparisons_total", Help: "Tuples mirrored to the model's shadow generation.", Type: obs.Counter}
+	mshArg := obs.Family{Name: "udt_model_shadow_argmax_divergence_total", Help: "Mirrored tuples whose predicted class diverged.", Type: obs.Counter}
+	mshDist := obs.Family{Name: "udt_model_shadow_dist_divergence_total", Help: "Mirrored tuples whose distribution diverged.", Type: obs.Counter}
+	for _, e := range s.reg.Entries() {
+		mlabel := obs.Label{Key: "model", Value: e.Name}
+		for _, dim := range []struct {
+			endpoint string
+			em       *obs.EndpointMetrics
+		}{
+			{"classify", &e.Metrics.Classify},
+			{"classifyStream", &e.Metrics.Stream},
+		} {
+			labels := []obs.Label{mlabel, {Key: "endpoint", Value: dim.endpoint}}
+			mreqs.Samples = append(mreqs.Samples, obs.Sample{Labels: labels, Value: float64(dim.em.Requests.Load())})
+			merrs.Samples = append(merrs.Samples, obs.Sample{Labels: labels, Value: float64(dim.em.Errors.Load())})
+			mlat.Hists = append(mlat.Hists,
+				obs.HistFromLatency(dim.em.Hist.Snapshot(), float64(dim.em.Nanos.Load())/1e9, labels...))
+		}
+		mtuples.Samples = append(mtuples.Samples, obs.Sample{Labels: []obs.Label{mlabel}, Value: float64(e.Metrics.Tuples.Load())})
+		mgen.Samples = append(mgen.Samples, obs.Sample{Labels: []obs.Label{mlabel}, Value: float64(e.Generation())})
+		mstrAct.Samples = append(mstrAct.Samples, obs.Sample{Labels: []obs.Label{mlabel}, Value: float64(e.ActiveStreams.Load())})
+		mstrRej.Samples = append(mstrRej.Samples, obs.Sample{Labels: []obs.Label{mlabel}, Value: float64(e.Metrics.StreamRejected.Load())})
+		mshCmp.Samples = append(mshCmp.Samples, obs.Sample{Labels: []obs.Label{mlabel}, Value: float64(e.Metrics.ShadowComparisons.Load())})
+		mshArg.Samples = append(mshArg.Samples, obs.Sample{Labels: []obs.Label{mlabel}, Value: float64(e.Metrics.ShadowArgmaxDivergence.Load())})
+		mshDist.Samples = append(mshDist.Samples, obs.Sample{Labels: []obs.Label{mlabel}, Value: float64(e.Metrics.ShadowDistDivergence.Load())})
 	}
 
 	// Batch-size histogram: bucket b of the power-of-two array becomes the
@@ -921,7 +1149,7 @@ func (s *server) promFamilies() []obs.Family {
 				{Key: "goversion", Value: runtime.Version()},
 			}, Value: 1}}},
 		counterFam("udt_uptime_seconds", "Seconds since the server started.", obs.Gauge, time.Since(s.started).Seconds()),
-		counterFam("udt_model_generation", "Active model generation (1 at startup, +1 per reload).", obs.Gauge, float64(s.active.Load().generation)),
+		counterFam("udt_model_generation", "Default model generation (1 at startup, +1 per reload).", obs.Gauge, float64(s.defaultGeneration())),
 		reqs, errs, lat,
 		counterFam("udt_tuples_classified_total", "Tuples classified across /classify and /classify/stream.", obs.Counter, float64(s.mtr.tuples.Load())),
 		{Name: "udt_batch_size", Help: "Tuples per /classify request.", Type: obs.Histogram, Hists: []obs.Hist{batch}},
@@ -933,6 +1161,8 @@ func (s *server) promFamilies() []obs.Family {
 		counterFam("udt_watch_errors_total", "Failed -watch reload attempts.", obs.Counter, float64(s.mtr.watchErrors.Load())),
 		counterFam("udt_early_exit_predictions_total", "Predictions served in -early-exit mode.", obs.Counter, float64(s.mtr.earlyExitPredictions.Load())),
 		counterFam("udt_early_exit_members_total", "Ensemble members evaluated across early-exit predictions.", obs.Counter, float64(s.mtr.earlyExitMembers.Load())),
+		counterFam("udt_registry_models", "Models currently served by the registry.", obs.Gauge, float64(s.reg.Len())),
+		mreqs, merrs, mlat, mtuples, mgen, mstrAct, mstrRej, mshCmp, mshArg, mshDist,
 		counterFam("udt_trace_sampled_total", "Requests traced by -trace-sample.", obs.Counter, float64(s.mw.Sampled())),
 		spans,
 		counterFam("udt_go_goroutines", "Live goroutines.", obs.Gauge, float64(rt.Goroutines)),

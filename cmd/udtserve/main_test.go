@@ -20,6 +20,7 @@ import (
 	"udt"
 	"udt/internal/forest"
 	"udt/internal/modelio"
+	"udt/internal/registry"
 )
 
 // trainCSV mirrors the cmd/udtree fixture: a mixed point/pdf dataset whose
@@ -908,24 +909,29 @@ func TestWatchReload(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	waitGen := func(want int64) *activeModel {
+	entry := s.reg.Default()
+	waitGen := func(want int64) *registry.Active {
 		t.Helper()
 		deadline := time.Now().Add(5 * time.Second)
 		for {
-			am := s.active.Load()
-			if am.generation == want {
-				return am
+			if entry.Generation() == want {
+				am := entry.Acquire()
+				if am.Generation == want {
+					return am
+				}
+				am.Release()
 			}
 			if time.Now().After(deadline) {
-				t.Fatalf("watch poller never reached generation %d (at %d)", want, am.generation)
+				t.Fatalf("watch poller never reached generation %d (at %d)", want, entry.Generation())
 			}
 			time.Sleep(5 * time.Millisecond)
 		}
 	}
 	am := waitGen(2)
-	if _, ok := am.model.(*forest.Forest); !ok {
-		t.Fatalf("watch reloaded the wrong model: %s", am.model.Describe())
+	if _, ok := am.Model.(*forest.Forest); !ok {
+		t.Fatalf("watch reloaded the wrong model: %s", am.Model.Describe())
 	}
+	am.Release()
 	if s.mtr.watchReloads.Load() != 1 {
 		t.Fatalf("watchReloads = %d", s.mtr.watchReloads.Load())
 	}
@@ -937,9 +943,10 @@ func TestWatchReload(t *testing.T) {
 		t.Fatal(err)
 	}
 	am = waitGen(3)
-	if _, ok := am.model.(*modelio.TreeModel); !ok {
-		t.Fatalf("same-mtime replace loaded the wrong model: %s", am.model.Describe())
+	if _, ok := am.Model.(*modelio.TreeModel); !ok {
+		t.Fatalf("same-mtime replace loaded the wrong model: %s", am.Model.Describe())
 	}
+	am.Release()
 }
 
 // TestWatchFlagValidation: a negative -watch interval is rejected.

@@ -278,7 +278,7 @@ func TestMetricsPrometheusMatchesJSON(t *testing.T) {
 	mustEqual("udt_early_exit_members_total", float64(js.EarlyExit.MembersEvaluated))
 	mustEqual("udt_trace_sampled_total", float64(js.Trace.Sampled))
 
-	if len(js.Endpoints) != 5 {
+	if len(js.Endpoints) != 10 {
 		t.Fatalf("JSON endpoints = %v", js.Endpoints)
 	}
 	for name, ep := range js.Endpoints {

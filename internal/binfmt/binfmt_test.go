@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"udt/internal/boost"
@@ -297,5 +298,61 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 func TestLoadMissingFile(t *testing.T) {
 	if _, err := Load(filepath.Join(t.TempDir(), "absent.udt")); err == nil {
 		t.Fatal("missing file loaded")
+	}
+}
+
+// TestCloseIdempotent: Close must be safe to call twice — and from many
+// goroutines at once — on both mapped and slab containers, and on nil. A
+// registry evicting a model can race its hot-reload drain's retire; only one
+// of them may run the munmap. Run under -race.
+func TestCloseIdempotent(t *testing.T) {
+	ds := testDataset(17, 120)
+	tree, err := core.Build(ds, core.Config{MinWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := tree.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := encodeToFile(t, func(b *bytes.Buffer) error { return EncodeTree(b, compiled, tree.Stats) })
+
+	mapped, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slab, err := DecodeBytes(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, c := range map[string]*Container{"mapped": mapped, "slab": slab} {
+		t.Run(name, func(t *testing.T) {
+			wasMapped := c.Mapped()
+			var wg sync.WaitGroup
+			for i := 0; i < 8; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if err := c.Close(); err != nil {
+						t.Errorf("concurrent Close: %v", err)
+					}
+				}()
+			}
+			wg.Wait()
+			if err := c.Close(); err != nil {
+				t.Fatalf("repeat Close: %v", err)
+			}
+			if c.Mapped() != wasMapped {
+				t.Fatalf("Mapped changed across Close: was %v, now %v", wasMapped, c.Mapped())
+			}
+		})
+	}
+	var nilC *Container
+	if err := nilC.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
 	}
 }

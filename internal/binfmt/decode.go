@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"sync"
 
 	"udt/internal/core"
 	"udt/internal/data"
@@ -20,25 +21,34 @@ type Container struct {
 	Compiled  *core.Compiled  // KindTree
 	TreeStats core.BuildStats // KindTree build statistics from the stats section
 	kind      string
-	closer    func() error
+	closer    func() error // immutable after decode; consumed exactly once by Close
+	closeOnce sync.Once
 }
 
 // Kind reports the model kind: KindTree, KindBagged, or KindBoosted.
 func (c *Container) Kind() string { return c.kind }
 
-// Mapped reports whether the model's arrays alias an mmap'd file (true) or
-// live in allocated memory (false).
+// Mapped reports whether the container was loaded over an mmap'd file (true)
+// or allocated memory (false). The answer does not change on Close.
 func (c *Container) Mapped() bool { return c.closer != nil }
 
 // Close releases the file mapping, if any. The model must not be used
-// afterwards. Close is idempotent.
+// afterwards. Close is idempotent and safe on a nil container, including
+// under concurrent double-close: a registry evicting a model can race a
+// retiring hot-reload drain, and a second munmap of the same (possibly
+// re-used) address range would be undefined behavior, so exactly one caller
+// runs the unmap and everyone else gets nil.
 func (c *Container) Close() error {
-	if c.closer == nil {
+	if c == nil {
 		return nil
 	}
-	cl := c.closer
-	c.closer = nil
-	return cl()
+	var err error
+	c.closeOnce.Do(func() {
+		if c.closer != nil {
+			err = c.closer()
+		}
+	})
+	return err
 }
 
 // Sniff reports whether the blob begins with the binary container magic.

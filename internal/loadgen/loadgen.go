@@ -28,6 +28,64 @@ type Config struct {
 	MaxInFlight int           // arrivals beyond this many outstanding requests are dropped (default 512)
 	Timeout     time.Duration // per-request timeout (default 5s)
 	Client      *http.Client  // optional; lets tests inject an httptest client
+
+	// Targets, when non-empty, fans arrivals out round-robin (by arrival
+	// index, deterministically) across several base URLs — replicas behind
+	// no proxy, or mixed direct/proxy endpoints. BaseURL remains the
+	// /metrics source for the server-delta section; it need not appear in
+	// Targets.
+	Targets []string
+
+	// Models, when non-empty, adds a per-model dimension to the mix: each
+	// arrival draws a model name by weight and requests
+	// /v1/models/{name}/classify[/stream] instead of the legacy routes.
+	// Per-model latencies land in the report under "model:{name}" keys. An
+	// empty map preserves the legacy paths AND the exact seeded draw
+	// sequence of earlier releases (no extra RNG consumption), so old and
+	// new reports with equal seeds stay comparable.
+	Models map[string]float64
+}
+
+// modelPicker draws model names by cumulative weight, in sorted-name order
+// so the draw is deterministic for a given seed regardless of map iteration.
+type modelPicker struct {
+	names []string
+	cum   []float64 // running totals; cum[len-1] is the weight sum
+}
+
+func newModelPicker(models map[string]float64) (*modelPicker, error) {
+	if len(models) == 0 {
+		return nil, nil
+	}
+	p := &modelPicker{}
+	for name := range models {
+		p.names = append(p.names, name)
+	}
+	sort.Strings(p.names)
+	total := 0.0
+	for _, name := range p.names {
+		w := models[name]
+		if name == "" || w < 0 {
+			return nil, fmt.Errorf("loadgen: invalid model weight %q=%g", name, w)
+		}
+		total += w
+		p.cum = append(p.cum, total)
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("loadgen: model mix %v enables no model", models)
+	}
+	return p, nil
+}
+
+// pick consumes one uniform draw.
+func (p *modelPicker) pick(u float64) string {
+	x := u * p.cum[len(p.cum)-1]
+	for i, c := range p.cum {
+		if x < c {
+			return p.names[i]
+		}
+	}
+	return p.names[len(p.names)-1]
 }
 
 // Request-class names, used as Report.Latency keys alongside "all".
@@ -47,6 +105,7 @@ const (
 
 type sample struct {
 	class   string
+	model   string // "" on the legacy routes
 	micros  int64
 	outcome outcome
 }
@@ -99,6 +158,19 @@ func Run(ctx context.Context, cfg Config, p *Payloads) (*Report, error) {
 	if client == nil {
 		client = &http.Client{}
 	}
+	picker, err := newModelPicker(cfg.Models)
+	if err != nil {
+		return nil, err
+	}
+	targets := cfg.Targets
+	if len(targets) == 0 {
+		targets = []string{cfg.BaseURL}
+	}
+	for _, tgt := range targets {
+		if tgt == "" {
+			return nil, errors.New("loadgen: empty target URL")
+		}
+	}
 	smp, err := newSampler(cfg.Seed, p)
 	if err != nil {
 		return nil, err
@@ -132,8 +204,16 @@ arrivals:
 			break arrivals
 		}
 		// Draw before the admission check: the request sequence is then
-		// seed-deterministic whether or not arrivals are dropped.
+		// seed-deterministic whether or not arrivals are dropped. The model
+		// draw happens only when a model mix is configured, so legacy runs
+		// consume the RNG exactly as before and stay seed-comparable.
 		class, body, contentType, path := smp.draw(mix, cfg.BatchSize, cfg.StreamLines)
+		model := ""
+		if picker != nil {
+			model = picker.pick(smp.rng.Float64())
+			path = "/v1/models/" + model + path
+		}
+		base := targets[i%len(targets)]
 		if inFlight.Load() >= int64(cfg.MaxInFlight) {
 			dropped++
 			continue
@@ -143,7 +223,9 @@ arrivals:
 		go func() {
 			defer wg.Done()
 			defer inFlight.Add(-1)
-			samples <- issue(ctx, client, cfg.BaseURL+path, contentType, body, cfg.Timeout, class)
+			s := issue(ctx, client, base+path, contentType, body, cfg.Timeout, class)
+			s.model = model
+			samples <- s
 		}()
 	}
 	wg.Wait()
@@ -160,6 +242,7 @@ arrivals:
 			DurationSeconds: cfg.Duration.Seconds(),
 			Seed:            cfg.Seed,
 			Mix:             mix,
+			Models:          cfg.Models,
 			BatchSize:       cfg.BatchSize,
 			StreamLines:     cfg.StreamLines,
 		},
@@ -168,6 +251,9 @@ arrivals:
 		Latency:    map[string]*Summary{},
 	}
 
+	if len(cfg.Targets) > 0 {
+		rep.Targets = cfg.Targets
+	}
 	perClass := map[string][]int64{}
 	var classifyOK []int64 // single + batch, the /classify endpoint's view
 	for s := range samples {
@@ -177,6 +263,9 @@ arrivals:
 			rep.Requests.OK++
 			perClass[s.class] = append(perClass[s.class], s.micros)
 			perClass["all"] = append(perClass["all"], s.micros)
+			if s.model != "" {
+				perClass["model:"+s.model] = append(perClass["model:"+s.model], s.micros)
+			}
 			if s.class != classStream {
 				classifyOK = append(classifyOK, s.micros)
 			}

@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -314,5 +316,165 @@ func TestDecodeReportRejects(t *testing.T) {
 		if _, err := DecodeReport(b); err == nil {
 			t.Errorf("%s: decoded", name)
 		}
+	}
+}
+
+// modelStub records per-model and legacy-route hits behind both the legacy
+// and /v1/models/{model}/ surfaces.
+type modelStub struct {
+	legacy atomic.Int64
+	hits   sync.Map // model name -> *atomic.Int64
+}
+
+func (s *modelStub) bump(model string) {
+	v, _ := s.hits.LoadOrStore(model, new(atomic.Int64))
+	v.(*atomic.Int64).Add(1)
+}
+
+func (s *modelStub) count(model string) int64 {
+	v, ok := s.hits.Load(model)
+	if !ok {
+		return 0
+	}
+	return v.(*atomic.Int64).Load()
+}
+
+func (s *modelStub) handler() http.Handler {
+	classify := func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"class":"lo"}`))
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /classify", func(w http.ResponseWriter, r *http.Request) {
+		s.legacy.Add(1)
+		classify(w, r)
+	})
+	mux.HandleFunc("POST /v1/models/{model}/classify", func(w http.ResponseWriter, r *http.Request) {
+		s.bump(r.PathValue("model"))
+		classify(w, r)
+	})
+	mux.HandleFunc("POST /v1/models/{model}/classify/stream", func(w http.ResponseWriter, r *http.Request) {
+		s.bump(r.PathValue("model"))
+		sc := bufio.NewScanner(r.Body)
+		enc := json.NewEncoder(w)
+		line := 0
+		for sc.Scan() {
+			line++
+			enc.Encode(map[string]any{"line": line, "class": "lo"})
+		}
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"tuplesClassified":0,"endpoints":{}}`))
+	})
+	return mux
+}
+
+// TestRunModelMix: with a per-model mix every request goes to the named
+// routes, weights steer the split, and the report carries per-model latency
+// keys; without a mix the legacy route serves everything.
+func TestRunModelMix(t *testing.T) {
+	stub := &modelStub{}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	cfg := Config{
+		BaseURL:     ts.URL,
+		QPS:         400,
+		Duration:    250 * time.Millisecond,
+		Seed:        11,
+		Mix:         Mix{Single: 0.8, Stream: 0.2},
+		StreamLines: 4,
+		Models:      map[string]float64{"alpha": 3, "beta": 1},
+		Client:      ts.Client(),
+	}
+	rep, err := Run(context.Background(), cfg, mustPayloads(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests.OK == 0 || rep.Requests.Errors != 0 {
+		t.Fatalf("requests = %+v", rep.Requests)
+	}
+	if got := stub.legacy.Load(); got != 0 {
+		t.Fatalf("legacy route hit %d times under a model mix", got)
+	}
+	a, b := stub.count("alpha"), stub.count("beta")
+	if a == 0 || b == 0 {
+		t.Fatalf("model split alpha=%d beta=%d: both must receive traffic", a, b)
+	}
+	if a <= b {
+		t.Fatalf("model split alpha=%d beta=%d: 3:1 weights inverted", a, b)
+	}
+	la, lb := rep.Latency["model:alpha"], rep.Latency["model:beta"]
+	if la == nil || lb == nil || la.Count != a || lb.Count != b {
+		t.Fatalf("per-model latency keys = alpha %+v (server %d), beta %+v (server %d)", la, a, lb, b)
+	}
+	if rep.Config.Models["alpha"] != 3 {
+		t.Fatalf("report config models = %v", rep.Config.Models)
+	}
+
+	// Without a mix: all legacy, no model latency keys.
+	stub2 := &modelStub{}
+	ts2 := httptest.NewServer(stub2.handler())
+	defer ts2.Close()
+	cfg2 := cfg
+	cfg2.BaseURL = ts2.URL
+	cfg2.Models = nil
+	cfg2.Client = ts2.Client()
+	rep2, err := Run(context.Background(), cfg2, mustPayloads(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stub2.legacy.Load() == 0 {
+		t.Fatal("legacy route never hit without a model mix")
+	}
+	for key := range rep2.Latency {
+		if strings.HasPrefix(key, "model:") {
+			t.Fatalf("unexpected latency key %q without a model mix", key)
+		}
+	}
+}
+
+// TestRunMultiTarget: arrivals fan out round-robin across all targets.
+func TestRunMultiTarget(t *testing.T) {
+	s1, s2 := &modelStub{}, &modelStub{}
+	t1 := httptest.NewServer(s1.handler())
+	defer t1.Close()
+	t2 := httptest.NewServer(s2.handler())
+	defer t2.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  t1.URL,
+		Targets:  []string{t1.URL, t2.URL},
+		QPS:      400,
+		Duration: 250 * time.Millisecond,
+		Seed:     3,
+	}, mustPayloads(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests.OK == 0 || rep.Requests.Errors != 0 {
+		t.Fatalf("requests = %+v", rep.Requests)
+	}
+	h1, h2 := s1.legacy.Load(), s2.legacy.Load()
+	if h1 == 0 || h2 == 0 {
+		t.Fatalf("fan-out split = %d / %d: both targets must receive traffic", h1, h2)
+	}
+	if diff := h1 - h2; diff < -1 || diff > 1 {
+		t.Fatalf("round-robin split %d / %d not balanced", h1, h2)
+	}
+	if len(rep.Targets) != 2 {
+		t.Fatalf("report targets = %v", rep.Targets)
+	}
+
+	// Validation: empty target URL and bad model weights are refused.
+	if _, err := Run(context.Background(), Config{BaseURL: t1.URL, Targets: []string{""}, QPS: 10, Duration: time.Second}, mustPayloads(t)); err == nil {
+		t.Error("empty target accepted")
+	}
+	if _, err := Run(context.Background(), Config{BaseURL: t1.URL, QPS: 10, Duration: time.Second, Models: map[string]float64{"a": -1}}, mustPayloads(t)); err == nil {
+		t.Error("negative model weight accepted")
+	}
+	if _, err := Run(context.Background(), Config{BaseURL: t1.URL, QPS: 10, Duration: time.Second, Models: map[string]float64{"a": 0}}, mustPayloads(t)); err == nil {
+		t.Error("all-zero model mix accepted")
 	}
 }

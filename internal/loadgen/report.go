@@ -25,12 +25,13 @@ func (m Mix) total() float64 { return m.Single + m.Batch + m.Stream }
 // RunConfig echoes the generator settings into the report so a checked-in
 // trajectory is self-describing.
 type RunConfig struct {
-	QPS             float64 `json:"qps"`
-	DurationSeconds float64 `json:"durationSeconds"`
-	Seed            int64   `json:"seed"`
-	Mix             Mix     `json:"mix"`
-	BatchSize       int     `json:"batchSize"`
-	StreamLines     int     `json:"streamLines"`
+	QPS             float64            `json:"qps"`
+	DurationSeconds float64            `json:"durationSeconds"`
+	Seed            int64              `json:"seed"`
+	Mix             Mix                `json:"mix"`
+	Models          map[string]float64 `json:"models,omitempty"` // per-model weights; empty = legacy routes
+	BatchSize       int                `json:"batchSize"`
+	StreamLines     int                `json:"streamLines"`
 }
 
 // Counts aggregates request outcomes. Sent = OK + Errors + Rejected; Dropped
@@ -96,10 +97,13 @@ type CrossCheck struct {
 	WithinOneBucket   bool  `json:"withinOneBucket"`
 }
 
-// Report is the machine-readable result of one load run.
+// Report is the machine-readable result of one load run. Latency keys are
+// the request classes ("single", "batch", "stream"), "all", and — when the
+// run used a per-model mix — "model:{name}" per model.
 type Report struct {
 	SchemaVersion int                 `json:"schemaVersion"`
 	Target        string              `json:"target"`
+	Targets       []string            `json:"targets,omitempty"` // multi-target fan-out set, when used
 	Config        RunConfig           `json:"config"`
 	Requests      Counts              `json:"requests"`
 	OfferedQPS    float64             `json:"offeredQPS"`

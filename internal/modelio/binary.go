@@ -46,8 +46,15 @@ type binaryForest struct {
 	c *binfmt.Container
 }
 
-// Close releases the container mapping.
-func (m *binaryForest) Close() error { return m.c.Close() }
+// Close releases the container mapping. Nil-safe and idempotent: the
+// container's Close runs its unmap exactly once however many wrappers or
+// goroutines reach it.
+func (m *binaryForest) Close() error {
+	if m == nil {
+		return nil
+	}
+	return m.c.Close()
+}
 
 // binaryTree is a single tree loaded from a binary container. It has no
 // pointer tree; Describe reads the container's stored build statistics and
@@ -90,8 +97,14 @@ func (m *binaryTree) Stats() core.BuildStats { return m.stats }
 // SourceTree implements TreeSource by decompiling the flat arrays.
 func (m *binaryTree) SourceTree() (*core.Tree, error) { return m.compiled.Decompile() }
 
-// Close releases the container mapping.
-func (m *binaryTree) Close() error { return m.c.Close() }
+// Close releases the container mapping. Nil-safe and idempotent, like
+// binaryForest.Close.
+func (m *binaryTree) Close() error {
+	if m == nil {
+		return nil
+	}
+	return m.c.Close()
+}
 
 // LoadBinary loads a binary model container, mmap-backed where the platform
 // allows. Callers that reload models must Close the returned model once no
@@ -153,8 +166,12 @@ func ContainerFormat(m Model) string {
 }
 
 // Close releases any OS resources the model holds (the file mapping of a
-// binary model). Safe on every model; JSON models are a no-op.
+// binary model). Safe on every model, nil included; JSON models are a no-op,
+// and closing the same model twice — even concurrently — is safe.
 func Close(m Model) error {
+	if m == nil {
+		return nil
+	}
 	if c, ok := m.(Closer); ok {
 		return c.Close()
 	}

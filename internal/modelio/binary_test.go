@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"udt/internal/core"
@@ -227,5 +228,64 @@ func TestLoadErrorsNamePathAndOffset(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "offset") {
 		t.Errorf("error %q does not name an offset", err)
+	}
+}
+
+// TestCloseIdempotentWrappers: modelio.Close must be nil-safe and idempotent
+// through the whole wrapper chain — tree and forest wrappers, concurrent
+// double close, typed-nil wrappers, and JSON models. Run under -race.
+func TestCloseIdempotentWrappers(t *testing.T) {
+	ds := twoClassDataset(80)
+	tree, err := core.Build(ds, core.Config{MinWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := tree.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := forest.Train(ds, forest.Config{Trees: 4, Seed: 3, TreeConfig: core.Config{MinWeight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for name, path := range map[string]string{
+		"tree":   writeModel(t, &TreeModel{Tree: tree, Compiled: compiled}, dir, "tree.udt"),
+		"forest": writeModel(t, fr, dir, "forest.udt"),
+	} {
+		t.Run(name, func(t *testing.T) {
+			m, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for i := 0; i < 8; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if err := Close(m); err != nil {
+						t.Errorf("concurrent Close: %v", err)
+					}
+				}()
+			}
+			wg.Wait()
+			if err := Close(m); err != nil {
+				t.Fatalf("repeat Close: %v", err)
+			}
+		})
+	}
+	if err := Close(nil); err != nil {
+		t.Fatalf("Close(nil): %v", err)
+	}
+	var nt *binaryTree
+	var nf *binaryForest
+	if err := nt.Close(); err != nil {
+		t.Fatalf("nil binaryTree Close: %v", err)
+	}
+	if err := nf.Close(); err != nil {
+		t.Fatalf("nil binaryForest Close: %v", err)
+	}
+	if err := Close(&TreeModel{Tree: tree, Compiled: compiled}); err != nil {
+		t.Fatalf("JSON model Close: %v", err)
 	}
 }

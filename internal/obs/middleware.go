@@ -85,11 +85,26 @@ type Middleware struct {
 // request context whose spans land in the middleware's per-span histograms
 // and access log.
 func (m *Middleware) Wrap(endpoint string, em *EndpointMetrics, ctypes []string, h http.HandlerFunc) http.HandlerFunc {
+	return m.WrapModel(endpoint, em, nil, ctypes, h)
+}
+
+// WrapModel is Wrap with a second, per-request metrics dimension: per
+// resolves the request to an additional EndpointMetrics — in practice a
+// model registry entry's counters, making per-model accounting one label
+// away from the endpoint accounting — and both receive the identical
+// Observe(elapsed, status). A nil per, or a per returning nil (model not
+// resolvable), degrades to plain Wrap. per runs before the handler, so it
+// must not consume the request body.
+func (m *Middleware) WrapModel(endpoint string, em *EndpointMetrics, per func(*http.Request) *EndpointMetrics, ctypes []string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := RequestID(r)
 		w.Header().Set("X-Request-Id", id)
 		rec := &StatusRecorder{ResponseWriter: w, Status: http.StatusOK}
+		var pm *EndpointMetrics
+		if per != nil {
+			pm = per(r)
+		}
 
 		var tr *Trace
 		if n := m.SampleEvery; n > 0 && (m.seq.Add(1)-1)%uint64(n) == 0 {
@@ -113,6 +128,9 @@ func (m *Middleware) Wrap(endpoint string, em *EndpointMetrics, ctypes []string,
 
 		elapsed := time.Since(start)
 		em.Observe(elapsed, rec.Status)
+		if pm != nil {
+			pm.Observe(elapsed, rec.Status)
+		}
 		if tr != nil {
 			m.finish(endpoint, r, tr, rec.Status, elapsed)
 			m.pool.Put(tr)

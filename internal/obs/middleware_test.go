@@ -209,3 +209,64 @@ func TestAcceptsNegotiation(t *testing.T) {
 		t.Fatal("acceptsAny admitted an unlisted type")
 	}
 }
+
+// TestWrapModelDualAccounting: WrapModel feeds the identical observation
+// into the endpoint metrics and the per-request resolved metrics — requests,
+// errors, and latency all move in lockstep — and a nil resolution (or nil
+// resolver) leaves only the endpoint counters moving. This is the contract
+// the model registry inherits instead of growing its own accounting.
+func TestWrapModelDualAccounting(t *testing.T) {
+	m := &Middleware{}
+	var em EndpointMetrics
+	perModel := map[string]*EndpointMetrics{
+		"a": new(EndpointMetrics),
+		"b": new(EndpointMetrics),
+	}
+	h := m.WrapModel("x", &em, func(r *http.Request) *EndpointMetrics {
+		return perModel[r.Header.Get("X-Model")] // nil for unknown
+	}, nil, func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("X-Model") == "b" {
+			Fail(w, http.StatusBadRequest, http.ErrBodyNotAllowed)
+		}
+	})
+
+	get(t, h, map[string]string{"X-Model": "a"})
+	get(t, h, map[string]string{"X-Model": "a"})
+	get(t, h, map[string]string{"X-Model": "b"})
+	get(t, h, map[string]string{"X-Model": "zzz"}) // resolves to nil
+
+	if got := em.Requests.Load(); got != 4 {
+		t.Fatalf("endpoint requests = %d, want 4", got)
+	}
+	if got := em.Errors.Load(); got != 1 {
+		t.Fatalf("endpoint errors = %d, want 1", got)
+	}
+	a, b := perModel["a"], perModel["b"]
+	if a.Requests.Load() != 2 || a.Errors.Load() != 0 {
+		t.Fatalf("model a = %d req %d err, want 2/0", a.Requests.Load(), a.Errors.Load())
+	}
+	if b.Requests.Load() != 1 || b.Errors.Load() != 1 {
+		t.Fatalf("model b = %d req %d err, want 1/1", b.Requests.Load(), b.Errors.Load())
+	}
+	if a.Nanos.Load() <= 0 || b.Nanos.Load() <= 0 {
+		t.Fatal("per-model latency not recorded")
+	}
+	// Endpoint total covers every request; per-model totals cover subsets.
+	if em.Nanos.Load() < a.Nanos.Load() || em.Nanos.Load() < b.Nanos.Load() {
+		t.Fatal("endpoint latency smaller than a per-model subset")
+	}
+
+	// Accept negotiation failures are observed in both dimensions too: the
+	// 406 happens before the handler but after model resolution.
+	get(t, h, map[string]string{"X-Model": "a", "Accept": "text/csv"})
+	hNeg := m.WrapModel("x", &em, func(r *http.Request) *EndpointMetrics {
+		return perModel[r.Header.Get("X-Model")]
+	}, []string{"application/json"}, func(w http.ResponseWriter, r *http.Request) {})
+	w := get(t, hNeg, map[string]string{"X-Model": "a", "Accept": "text/csv"})
+	if w.Code != http.StatusNotAcceptable {
+		t.Fatalf("status = %d, want 406", w.Code)
+	}
+	if a.Errors.Load() != 1 {
+		t.Fatalf("model a errors after 406 = %d, want 1", a.Errors.Load())
+	}
+}

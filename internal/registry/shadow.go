@@ -1,0 +1,65 @@
+package registry
+
+import (
+	"math"
+
+	"udt/internal/data"
+	"udt/internal/par"
+)
+
+// DistTolerance is the L∞ threshold above which two class distributions for
+// the same tuple count as divergent. Primary and shadow evaluate the same
+// deterministic engine, so a healthy candidate trained identically produces
+// bit-equal distributions; the tolerance only absorbs benign re-encoding
+// noise (JSON→binary round trips quantise nothing today, but the contract
+// allows a format that does).
+const DistTolerance = 1e-9
+
+// ShadowCompare mirrors one request's tuples to the entry's shadow
+// generation and folds the outcome into the entry's divergence counters:
+// one comparison per tuple, an argmax divergence when the predicted class
+// differs, and a distribution divergence when any class probability differs
+// by more than DistTolerance. preds are the primary's predicted class
+// indices; dists are the primary's distributions, nil in early-exit mode
+// (early exit stops before full distributions exist, so only argmax is
+// compared). The mirror is synchronous and on the caller's goroutine —
+// shadow load is real load by design, the point is a dress rehearsal —
+// and a nil or evicted shadow is a no-op.
+func (e *Entry) ShadowCompare(tuples []*data.Tuple, preds []int, dists [][]float64, workers int) {
+	sh := e.AcquireShadow()
+	if sh == nil {
+		return
+	}
+	defer sh.Release()
+	sdists := sh.Model.ClassifyBatch(tuples, workers)
+	var argmaxDiv, distDiv int64
+	for i, sd := range sdists {
+		if par.Argmax(sd) != preds[i] {
+			argmaxDiv++
+		}
+		if dists == nil {
+			continue
+		}
+		if linfDiverges(dists[i], sd) {
+			distDiv++
+		}
+	}
+	e.Metrics.ShadowComparisons.Add(int64(len(tuples)))
+	e.Metrics.ShadowArgmaxDivergence.Add(argmaxDiv)
+	e.Metrics.ShadowDistDivergence.Add(distDiv)
+}
+
+// linfDiverges reports whether two distributions differ beyond DistTolerance
+// in any component (length mismatch — different class sets — is maximal
+// divergence).
+func linfDiverges(a, b []float64) bool {
+	if len(a) != len(b) {
+		return true
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > DistTolerance {
+			return true
+		}
+	}
+	return false
+}

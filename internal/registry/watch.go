@@ -1,0 +1,33 @@
+package registry
+
+// PollResult is one entry's outcome from a Poll tick that attempted a
+// reload. Err is non-nil for a changed file that failed to load (the entry's
+// previous model keeps serving).
+type PollResult struct {
+	Entry      *Entry
+	Generation int64 // new generation on success
+	Describe   string
+	Err        error
+}
+
+// Poll runs one watch tick across every entry: each model file whose
+// identity (mtime + size) changed since its last load is hot-reloaded
+// through the same serialised path as an explicit reload. Unchanged entries
+// produce no result. Entries are visited in name order so logs and counters
+// are deterministic under test.
+func (r *Registry) Poll() []PollResult {
+	var out []PollResult
+	for _, e := range r.Entries() {
+		am, reloaded, err := e.MaybeReload()
+		if !reloaded {
+			continue
+		}
+		res := PollResult{Entry: e, Err: err}
+		if err == nil {
+			res.Generation = am.Generation
+			res.Describe = am.Model.Describe()
+		}
+		out = append(out, res)
+	}
+	return out
+}
